@@ -1,0 +1,39 @@
+"""Shared configuration for the pytest-benchmark targets.
+
+Each file under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md section 3).  Timing tests use the ``benchmark``
+fixture; shape-verification tests *also* route through the fixture (one
+timed harness run, then assertions on its result) so the whole suite runs
+under ``pytest benchmarks/ --benchmark-only``.
+
+``REPRO_BENCHMARK_N`` scales the input size (default 4000 vertices; the
+printable harnesses in :mod:`repro.bench` use larger defaults).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def benchmark_n() -> int:
+    try:
+        return max(100, int(os.environ.get("REPRO_BENCHMARK_N", "4000")))
+    except ValueError:
+        return 4000
+
+
+@pytest.fixture
+def bn() -> int:
+    return benchmark_n()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` under the benchmark fixture with single-shot rounds.
+
+    The dendrogram algorithms take 10ms-1s at benchmark sizes; pedantic
+    mode keeps total bench time bounded while still reporting stable
+    medians over a few rounds.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1, warmup_rounds=1)

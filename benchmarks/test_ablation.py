@@ -1,0 +1,58 @@
+"""Ablations: heap choice, post-processing, spine containers, RCTT steps."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.ablation import run as run_ablation
+from repro.bench.inputs import make_input
+from repro.core.paruf import paruf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+
+
+@pytest.mark.parametrize("heap_kind", ["pairing", "binomial", "skew"])
+def test_time_paruf_heap_kinds(benchmark, bn, heap_kind):
+    tree = make_input("knuth-perm", bn, seed=0)
+    benchmark.group = "ablation:heap-kind"
+    run_once(benchmark, paruf, tree, heap_kind=heap_kind)
+
+
+@pytest.mark.parametrize("postprocess", [True, False], ids=["post-on", "post-off"])
+def test_time_paruf_postprocess(benchmark, bn, postprocess):
+    tree = make_input("knuth", bn, seed=0)
+    benchmark.group = "ablation:postprocess"
+    run_once(benchmark, paruf, tree, postprocess=postprocess)
+
+
+@pytest.mark.parametrize("mode", ["heap", "list"])
+def test_time_tree_contraction_modes(benchmark, bn, mode):
+    # Star inputs expose the O(nh) list cost; cap the size so the list
+    # variant stays tractable.
+    tree = make_input("star-perm", min(bn, 4000), seed=0)
+    benchmark.group = "ablation:spine-container"
+    run_once(benchmark, sld_tree_contraction, tree, mode=mode)
+
+
+def test_ablation_shape(benchmark, bn):
+    result = benchmark.pedantic(
+        run_ablation, kwargs={"n": min(bn, 4000)}, rounds=1, iterations=1
+    )
+    # (b) post-processing: on the unit-weight path the optimization removes
+    # nearly all async work -> dramatically lower charged depth... that
+    # input is not in the grid, but low-par shows the converse: identical
+    # depth with and without (the optimization cannot fire).
+    post = {r["input"]: r for r in result["postprocess"]}
+    lowpar = post["path-low-par"]
+    assert lowpar["on_depth"] >= 0.8 * lowpar["off_depth"]
+    perm = post["path-perm"]
+    assert perm["on_depth"] <= perm["off_depth"] + 1e-9
+
+    # (c) the sorted-list spine must charge asymptotically more work than
+    # the filterable heap on the star input (O(nh) vs O(n log h)).
+    spine = {r["input"]: r for r in result["spine_container"]}
+    assert spine["star-perm"]["work_ratio"] > 5.0
+
+    # (d) RCTT is build-dominated on every ablation input.
+    for r in result["rctt_steps"]:
+        assert r["build_frac"] > r["trace_frac"], r["input"]

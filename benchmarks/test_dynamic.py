@@ -1,0 +1,52 @@
+"""Dynamic SLD maintenance (extension experiment, beyond the paper).
+
+Times updates at different rank quantiles and asserts the locality shape:
+recompute size shrinks monotonically as the updated edge's rank rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core.dynamic import DynamicSLD
+from repro.trees.generators import knuth_tree
+
+
+def _dyn(bn):
+    rng = np.random.default_rng(0)
+    tree = knuth_tree(bn, seed=1).with_weights(rng.permutation(bn - 1).astype(float))
+    return DynamicSLD(tree)
+
+
+@pytest.mark.parametrize("quantile", [0.99, 0.5, 0.1], ids=["q99", "q50", "q10"])
+def test_time_update_at_quantile(benchmark, bn, quantile):
+    dyn = _dyn(bn)
+    order = np.argsort(dyn.ranks)
+    e = int(order[int(quantile * (bn - 2))])
+    benchmark.group = "dynamic:update"
+    w = [float(dyn.weights[e])]
+
+    def update():
+        w[0] += 0.125  # stay in the same rank neighborhood
+        dyn.update_weight(e, w[0])
+
+    run_once(benchmark, update)
+
+
+def test_dynamic_locality_shape(benchmark, bn):
+    def measure():
+        dyn = _dyn(bn)
+        order = np.argsort(dyn.ranks)
+        sizes = {}
+        for q in (0.99, 0.9, 0.5, 0.1):
+            e = int(order[int(q * (bn - 2))])
+            sizes[q] = dyn.update_weight(e, float(dyn.weights[e]) + 0.125)
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # higher-rank updates recompute fewer edges, roughly (1-q) * m
+    assert sizes[0.99] < sizes[0.9] < sizes[0.5] < sizes[0.1]
+    assert sizes[0.99] <= 0.05 * (bn - 1)
+    assert sizes[0.1] >= 0.8 * (bn - 1)

@@ -1,0 +1,81 @@
+"""Figure 6: thread-scaling curves on the synthetic inputs.
+
+Timing benchmarks cover the per-algorithm single-thread runs the curves
+are anchored at; the shape test asserts the paper's scaling claims (SeqUF
+nearly flat, ParUF/RCTT strong scaling, crossover at moderate thread
+counts, ParUF weakest on knuth-perm).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig6 import FIG6_INPUTS, run as run_fig6
+from repro.bench.inputs import make_input
+from repro.core.api import ALGORITHMS
+
+
+@pytest.mark.parametrize("family", FIG6_INPUTS)
+def test_time_rctt_anchor_runs(benchmark, bn, family):
+    tree = make_input(family, bn, seed=0)
+    benchmark.group = f"fig6:{family}"
+    run_once(benchmark, ALGORITHMS["rctt"], tree)
+
+
+def test_fig6_shape(benchmark, bn):
+    result = benchmark.pedantic(run_fig6, kwargs={"n": bn}, rounds=1, iterations=1)
+    series = {(s["family"], s["algorithm"]): s for s in result["series"]}
+    threads = result["threads"]
+
+    for family in FIG6_INPUTS:
+        sequf = series[(family, "sequf")]
+        paruf = series[(family, "paruf")]
+        rctt = series[(family, "rctt")]
+        # simulated times never increase with more threads
+        for s in (sequf, paruf, rctt):
+            assert all(
+                a >= b - 1e-12 for a, b in zip(s["times"], s["times"][1:])
+            ), (family, s["algorithm"])
+        # SeqUF nearly flat; the parallel algorithms scale away from it
+        assert sequf["self_speedup"] < 4.0, family
+        assert rctt["self_speedup"] > sequf["self_speedup"], family
+        # crossover: at full threads both parallel algorithms beat SeqUF
+        assert rctt["times"][-1] < sequf["times"][-1], family
+
+    # geomean ordering matches the paper: RCTT > ParUF > SeqUF
+    g = result["self_speedup_geomean"]
+    assert g["rctt"] > g["sequf"]
+    assert g["paruf"] > g["sequf"]
+
+    # ParUF's weak spots (paper Fig. 6 / Table 1): both knuth-perm (deep
+    # dendrogram, Async-bound) and star-perm (preprocess-bound; the paper's
+    # Table 1 also shows ParUF clearly behind RCTT there) scale worse than
+    # path-perm, ParUF's best permuted input.
+    paruf_speedups = {
+        fam: series[(fam, "paruf")]["self_speedup"]
+        for fam in ("path-perm", "star-perm", "knuth-perm")
+    }
+    assert paruf_speedups["knuth-perm"] < 0.7 * paruf_speedups["path-perm"]
+    assert paruf_speedups["star-perm"] < 0.7 * paruf_speedups["path-perm"]
+
+
+def test_fig6_crossover_threads(benchmark, bn):
+    """The paper: ParUF/RCTT typically overtake SeqUF beyond ~8 threads.
+    We assert the crossover exists and is at most 32 threads on permuted
+    inputs."""
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={"n": bn, "inputs": ("path-perm", "star-perm")},
+        rounds=1,
+        iterations=1,
+    )
+    series = {(s["family"], s["algorithm"]): s for s in result["series"]}
+    threads = result["threads"]
+    for family in ("path-perm", "star-perm"):
+        sequf = series[(family, "sequf")]["times"]
+        rctt = series[(family, "rctt")]["times"]
+        crossover = next(
+            (p for p, (ts, tr) in zip(threads, zip(sequf, rctt)) if tr < ts), None
+        )
+        assert crossover is not None and crossover <= 32, family

@@ -1,0 +1,61 @@
+"""Figure 7: phase breakdowns of RCTT and ParUF.
+
+Timing benchmarks isolate each RCTT phase cost (via the full run and the
+contraction-only run); the shape test asserts the paper's breakdown claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig7 import run as run_fig7
+from repro.bench.inputs import make_input
+from repro.contraction.schedule import build_rc_tree
+from repro.core.api import ALGORITHMS
+
+
+@pytest.mark.parametrize("family", ["path-perm", "knuth-perm"])
+def test_time_rc_tree_build_only(benchmark, bn, family):
+    """The Build step in isolation (the paper's dominant RCTT cost)."""
+    tree = make_input(family, bn, seed=0)
+    benchmark.group = f"fig7:{family}"
+    run_once(benchmark, build_rc_tree, tree)
+
+
+@pytest.mark.parametrize("family", ["path-perm", "knuth-perm"])
+def test_time_rctt_full(benchmark, bn, family):
+    tree = make_input(family, bn, seed=0)
+    benchmark.group = f"fig7:{family}"
+    run_once(benchmark, ALGORITHMS["rctt"], tree)
+
+
+def test_fig7_shape(benchmark, bn):
+    # Wall-clock phase fractions jitter under machine load; average two
+    # independent runs before asserting on them.
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"n": bn, "include_realworld": False}, rounds=1, iterations=1
+    )
+    second = run_fig7(n=bn, include_realworld=False)
+    rows = {}
+    for r1, r2 in zip(result["rows"], second["rows"]):
+        assert r1["input"] == r2["input"]
+        merged = {
+            "input": r1["input"],
+            "rctt": {k: (r1["rctt"][k] + r2["rctt"][k]) / 2 for k in r1["rctt"]},
+            "paruf": {k: (r1["paruf"][k] + r2["paruf"][k]) / 2 for k in r1["paruf"]},
+        }
+        rows[merged["input"]] = merged
+
+    # Paper: RC-tree construction dominates RCTT on every input; the trace
+    # step never exceeds ~a quarter of the time there.  Our pure-Python
+    # trace loop carries a higher constant than the C++ one, so the bound
+    # is relaxed to "build strictly dominates, trace stays a minority".
+    for name, r in rows.items():
+        assert r["rctt"]["build"] > r["rctt"]["trace"], name
+        assert r["rctt"]["trace"] <= 0.55, name
+
+    # Paper: ParUF on knuth-perm is dominated by the Async step...
+    assert rows["knuth-perm"]["paruf"]["async"] > 0.5
+    # ...while the post-processing-friendly inputs spend little time there.
+    assert rows["path"]["paruf"]["async"] < rows["knuth-perm"]["paruf"]["async"]

@@ -1,0 +1,53 @@
+"""Figure 8: thread scaling on the real-world tree stand-ins.
+
+Timing benchmarks cover the three stand-in pipelines end to end (graph ->
+triangle/knn weights -> MST already materialized by the input registry;
+here we time the dendrogram stage).  The shape test asserts the paper's
+Section 5.1 real-world claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.fig8 import run as run_fig8
+from repro.bench.inputs import realworld_inputs
+from repro.core.api import ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def trees(bn_module):
+    return realworld_inputs(bn_module, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bn_module():
+    from conftest import benchmark_n
+
+    return benchmark_n()
+
+
+@pytest.mark.parametrize("name", ["rmat-social", "powerlaw-follow", "knn-points"])
+@pytest.mark.parametrize("algorithm", ["sequf", "paruf", "rctt"])
+def test_time_realworld(benchmark, trees, name, algorithm):
+    tree = trees[name]
+    benchmark.group = f"fig8:{name}"
+    run_once(benchmark, ALGORITHMS[algorithm], tree)
+
+
+def test_fig8_shape(benchmark, bn):
+    result = benchmark.pedantic(run_fig8, kwargs={"n": bn}, rounds=1, iterations=1)
+    by_input: dict[str, dict[str, dict]] = {}
+    for s in result["series"]:
+        by_input.setdefault(s["input"], {})[s["algorithm"]] = s
+
+    for name, algs in by_input.items():
+        # Paper: SeqUF self-speedup modest (1.2-1.8x band; we allow < 4x),
+        # both parallel algorithms scale far better.
+        assert algs["sequf"]["self_speedup"] < 4.0, name
+        assert algs["paruf"]["self_speedup"] > algs["sequf"]["self_speedup"], name
+        assert algs["rctt"]["self_speedup"] > algs["sequf"]["self_speedup"], name
+        # Paper: at all threads both beat SeqUF on every real-world input.
+        assert algs["paruf"].get("speedup_over_sequf", 0) > 1.0, name
+        assert algs["rctt"].get("speedup_over_sequf", 0) > 1.0, name

@@ -1,0 +1,42 @@
+"""Lemma 3.6 / Appendix B: the Omega(n log h) bound as a scaling check.
+
+Timing benchmarks measure the optimal algorithms on the star-of-stars
+instance across the h sweep; the shape test asserts that their measured
+work tracks n log h (bounded normalized spread) while SeqUF's normalized
+work grows for small h.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.lowerbound import run as run_lowerbound
+from repro.core.api import ALGORITHMS
+from repro.trees.generators import star_of_stars
+
+
+@pytest.mark.parametrize("h", [8, 64, 512])
+@pytest.mark.parametrize("algorithm", ["paruf", "tree-contraction"])
+def test_time_star_of_stars(benchmark, bn, h, algorithm):
+    if h > bn:
+        pytest.skip("h exceeds bench size")
+    tree, _ = star_of_stars(bn, h, seed=0)
+    benchmark.group = f"lowerbound:h={h}"
+    run_once(benchmark, ALGORITHMS[algorithm], tree)
+
+
+def test_lowerbound_shape(benchmark, bn):
+    hs = tuple(h for h in (4, 16, 64, 256) if h <= bn // 4)
+    result = benchmark.pedantic(
+        run_lowerbound, kwargs={"n": bn, "hs": hs}, rounds=1, iterations=1
+    )
+    # Optimal algorithms: normalized work W/(n log h) bounded by a small
+    # constant factor across the sweep.
+    assert result["spread"]["paruf"] < 6.0
+    assert result["spread"]["tree-contraction"] < 6.0
+    # SeqUF pays its sort everywhere: its normalized cost must *grow* as h
+    # shrinks (log n / log h), by at least ~2x from largest to smallest h.
+    rows = result["rows"]
+    sequf_norm = [r["normalized"]["sequf"] for r in rows]
+    assert sequf_norm[0] > 1.5 * sequf_norm[-1]

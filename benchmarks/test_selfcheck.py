@@ -1,0 +1,14 @@
+"""Release gate: the algorithm agreement matrix at benchmark scale."""
+
+from __future__ import annotations
+
+from repro.bench.selfcheck import run as run_selfcheck
+
+
+def test_selfcheck_matrix(benchmark, bn):
+    result = benchmark.pedantic(run_selfcheck, kwargs={"n": bn}, rounds=1, iterations=1)
+    assert result["all_ok"], [
+        (r["family"], [a for a, ok in r["status"].items() if not ok])
+        for r in result["rows"]
+        if not all(r["status"].values())
+    ]

@@ -1,0 +1,45 @@
+"""Table 1: SeqUF / ParUF / RCTT wall times and simulated speedups.
+
+Timing benchmarks cover the full family x algorithm grid at one size; the
+shape test reruns the Table 1 harness and asserts the paper's qualitative
+claims (RCTT never loses, low-par hurts only ParUF, permuted weights give
+the largest wins).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench.inputs import SYNTHETIC_FAMILIES, make_input
+from repro.bench.table1 import run as run_table1
+from repro.core.api import ALGORITHMS
+
+
+@pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+@pytest.mark.parametrize("algorithm", ["sequf", "paruf", "rctt"])
+def test_time_algorithm(benchmark, bn, family, algorithm):
+    tree = make_input(family, bn, seed=0)
+    benchmark.group = f"table1:{family}"
+    parents = run_once(benchmark, ALGORITHMS[algorithm], tree)
+    assert parents.shape == (tree.m,)
+
+
+def test_table1_shape(benchmark, bn):
+    """The paper's Table 1 claims, at reproduction scale."""
+    result = benchmark.pedantic(
+        run_table1, kwargs={"sizes": (bn,)}, rounds=1, iterations=1
+    )
+    summary = result["summary"]
+    assert summary["rctt_never_loses"], "paper: RCTT never slower than SeqUF"
+    assert summary["lowpar_paruf_pathological"], "paper: ParUF loses on path-low-par"
+    rows = {r["family"]: r for r in result["rows"]}
+    # Permuted weights must beat unit weights for ParUF (paper: 61.7x vs 2.1x)
+    assert rows["path-perm"]["speedup_paruf"] > rows["path"]["speedup_paruf"]
+    # Both parallel algorithms win clearly on permuted inputs
+    for fam in ("path-perm", "star-perm", "knuth-perm"):
+        assert rows[fam]["speedup_rctt"] > 2.0
+    # ParUF must beat SeqUF on every non-adversarial input (paper: 2.1-150x)
+    for fam, row in rows.items():
+        if fam != "path-low-par":
+            assert row["speedup_paruf"] > 1.0, fam

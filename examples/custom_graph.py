@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Clustering your own graph: CSV edge list -> hierarchy -> report.
+
+Shows the downstream-user path: load a weighted edge list (here written
+to a temp file, but any ``u,v,weight`` CSV works), run
+``graph_single_linkage`` (which handles disconnected graphs by bridging),
+inspect the dendrogram, compare the hierarchy against an alternative
+pipeline with the Fowlkes-Mallows B_k curve, and export the linkage
+matrix for scipy tooling.
+
+Run:  python examples/custom_graph.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.graph_linkage import graph_single_linkage
+from repro.dendrogram.compare import fowlkes_mallows_curve
+from repro.io import export_linkage_csv, load_edges_csv
+
+CSV_CONTENT = """\
+source,target,weight
+0,1,0.2
+1,2,0.3
+0,2,0.4
+2,3,1.5
+3,4,0.25
+4,5,0.35
+3,5,0.45
+6,7,0.1
+7,8,0.2
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "graph.csv"
+        csv_path.write_text(CSV_CONTENT)
+
+        n, edges, weights = load_edges_csv(csv_path)
+        print(f"loaded {len(edges)} edges over {n} vertices from {csv_path.name}")
+
+        res = graph_single_linkage(n, edges, weights, algorithm="rctt")
+        print(f"connected components: {res.n_components} "
+              f"(bridged by {res.bridge_edges.size} artificial edges)")
+
+        labels = res.labels_at(0.5)
+        print(f"clusters at distance <= 0.5: "
+              f"{[int(x) for x in np.bincount(labels)]} members per cluster")
+
+        print("\ndendrogram:")
+        print(res.dendrogram.render(show_leaves=False))
+
+        # Compare MST methods: the hierarchy must be identical.
+        alt = graph_single_linkage(n, edges, weights, mst_method="boruvka")
+        ks, scores = fowlkes_mallows_curve(res.mst, alt.mst, ks=[2, 3, 4])
+        print(f"\nB_k agreement Kruskal vs Boruvka pipelines: {scores.tolist()}")
+        assert (scores == 1.0).all()
+
+        out = Path(tmp) / "linkage.csv"
+        export_linkage_csv(out, res.dendrogram)
+        print(f"\nexported linkage matrix ({out.stat().st_size} bytes) for scipy tooling")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Community-style clustering of social graphs -- the paper's Figure 8 pipeline.
+
+Reproduces the exact real-world-input construction of Section 5 on
+synthetic stand-ins: take a skewed-degree graph (RMAT for Friendster,
+preferential attachment for Twitter), weight each edge ``1/(1+triangles)``
+so dense community edges merge first, reduce to the minimum spanning tree,
+and compute the single-linkage dendrogram with all three algorithms.
+
+Run:  python examples/graph_communities.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import single_linkage_dendrogram
+from repro.datasets import (
+    preferential_attachment_graph,
+    rmat_graph,
+    social_mst,
+    triangle_counts,
+)
+from repro.dendrogram.linkage import cut_height
+
+
+def analyze(name: str, n: int, edges: np.ndarray) -> None:
+    deg = np.bincount(edges.reshape(-1), minlength=n)
+    tri = triangle_counts(n, edges)
+    print(f"{name}: {n} vertices, {len(edges)} edges")
+    print(f"  max degree {deg.max()} (mean {deg.mean():.1f}) -- skewed, social-like")
+    print(f"  triangles per edge: max {tri.max()}, mean {tri.mean():.2f}")
+
+    tree = social_mst(n, edges, seed=0)
+    for algorithm in ("sequf", "paruf", "rctt"):
+        start = time.perf_counter()
+        dend = single_linkage_dendrogram(tree, algorithm=algorithm)
+        dt = time.perf_counter() - start
+        print(f"  {algorithm:6s}: h={dend.height:6d}  {dt * 1e3:7.1f} ms")
+
+    # Cut below weight 1.0: only triangle-supported (community) edges merge.
+    labels = cut_height(tree, 0.99)
+    sizes = np.bincount(labels)
+    big = np.sort(sizes)[::-1][:5]
+    print(f"  communities from triangle-weight cut: {np.unique(labels).size} "
+          f"(largest: {big.tolist()})")
+    print()
+
+
+def main() -> None:
+    gn, gedges = rmat_graph(scale=11, edge_factor=8, seed=1)
+    analyze("rmat-social (Friendster stand-in)", gn, gedges)
+
+    pn, pedges = preferential_attachment_graph(2000, m_attach=4, seed=2)
+    analyze("powerlaw-follow (Twitter stand-in)", pn, pedges)
+
+
+if __name__ == "__main__":
+    main()

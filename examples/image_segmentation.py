@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Alpha-tree image segmentation -- the SLD's image-analysis application.
+
+The paper's related work (Appendix A) points out that the image community
+studies single-linkage hierarchies as *alpha-trees*.  This example builds
+a synthetic image (flat regions + gradient + noise), computes its
+alpha-tree through the dendrogram algorithms, and shows how the segment
+count collapses as the tolerance alpha grows.
+
+Run:  python examples/image_segmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.image import alpha_tree
+
+
+def make_image(seed: int = 0) -> np.ndarray:
+    """A 24x48 image: two flat rectangles, a diagonal gradient, mild noise."""
+    rng = np.random.default_rng(seed)
+    img = np.zeros((24, 48))
+    img[:, :16] = 10.0                      # flat region A
+    img[:, 16:32] = 40.0                    # flat region B
+    yy, xx = np.mgrid[0:24, 0:16]
+    img[:, 32:] = 70.0 + yy + xx            # gradient region C
+    img += rng.normal(scale=0.05, size=img.shape)
+    return img
+
+
+def ascii_segments(seg: np.ndarray) -> str:
+    """Render a label image with one character per segment (mod 62)."""
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    _, compact = np.unique(seg, return_inverse=True)
+    compact = compact.reshape(seg.shape)
+    return "\n".join("".join(alphabet[v % 62] for v in row) for row in compact)
+
+
+def main() -> None:
+    img = make_image()
+    at = alpha_tree(img, algorithm="rctt")
+    print(f"image {img.shape}, MST over {at.mst.m} pixel-graph edges")
+    print(f"alpha-tree height h = {at.dendrogram.height}")
+    print()
+
+    for alpha in (0.1, 0.5, 3.0, 100.0):
+        n_seg = at.n_segments(alpha)
+        print(f"alpha = {alpha:6.1f}  ->  {n_seg:4d} segments")
+
+    # The noise floor (~0.05 sigma) sits below 0.5; the gradient's unit
+    # steps sit below 3.0; the region jumps (30) sit below 100.
+    seg = at.segment(3.0)
+    assert at.n_segments(3.0) == 3, "expected exactly the three regions"
+    print()
+    print("segmentation at alpha=3.0 (one character per segment):")
+    print(ascii_segments(seg))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Single-linkage clustering of point clouds, end to end.
+
+Demonstrates the pipeline the paper motivates (Section 2.3 / the BigANN
+input of Section 5): points -> (k-NN or complete) graph -> minimum
+spanning tree -> single-linkage dendrogram -> flat clusters.  Includes the
+classic concentric-rings case where single linkage succeeds and a
+cross-check against scipy.cluster.hierarchy.
+
+Run:  python examples/points_clustering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.cluster.hierarchy as sch
+import scipy.spatial.distance as ssd
+
+from repro.cluster import hdbscan_lite, single_linkage
+from repro.datasets import gaussian_blobs, noisy_rings
+
+
+def cluster_agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of point pairs on which two labelings agree."""
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    return float((same_a == same_b).mean())
+
+
+def main() -> None:
+    # --- Gaussian blobs via the exact (complete-graph) pipeline ----------
+    pts, truth = gaussian_blobs(240, centers=4, spread=0.4, seed=7)
+    res = single_linkage(pts, algorithm="rctt")
+    labels = res.labels_k(4)
+    print(f"blobs: {len(pts)} points, 4 clusters")
+    print(f"  dendrogram height: {res.dendrogram.height}")
+    print(f"  pairwise agreement with ground truth: {cluster_agreement(labels, truth):.3f}")
+
+    # cross-check merge distances against scipy's single linkage
+    Z_ours = res.linkage_matrix()
+    Z_scipy = sch.linkage(ssd.pdist(pts), method="single")
+    assert np.allclose(Z_ours[:, 2], Z_scipy[:, 2])
+    print("  merge distances match scipy.cluster.hierarchy: OK")
+
+    # --- Concentric rings via the scalable k-NN pipeline ------------------
+    pts, truth = noisy_rings(400, rings=2, noise=0.04, seed=3)
+    res = single_linkage(pts, k=8, algorithm="paruf")
+    labels = res.labels_k(2)
+    print(f"\nrings: {len(pts)} points, k-NN graph (k=8) -> MST -> ParUF dendrogram")
+    print(f"  pairwise agreement with ground truth: {cluster_agreement(labels, truth):.3f}")
+    print("  (centroid methods cannot separate these shapes; single linkage can)")
+
+    # --- Density-based variant (HDBSCAN*-style) ---------------------------
+    pts, _ = gaussian_blobs(300, centers=3, spread=0.3, seed=11)
+    rng = np.random.default_rng(0)
+    noise = rng.uniform(-12, 12, size=(30, 2))
+    noisy = np.concatenate([pts, noise])
+    res = hdbscan_lite(noisy, min_samples=5, min_cluster_size=15)
+    n_noise = int((res.labels == -1).sum())
+    print(f"\nhdbscan-lite on blobs + 30 uniform-noise points:")
+    print(f"  clusters found: {res.n_clusters}, noise points: {n_noise}")
+    assert res.n_clusters >= 2
+
+
+if __name__ == "__main__":
+    main()

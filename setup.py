@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the legacy editable
+install path (``pip install -e . --no-use-pep517``) works on machines
+without the ``wheel`` package (e.g. offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Each experiment module exposes ``run(...) -> dict`` (machine-readable
+results) and ``main()`` (prints the paper-style table).  The pytest
+wrappers under ``benchmarks/`` time the same code paths with
+pytest-benchmark; the printable harnesses are what EXPERIMENTS.md records.
+
+Run e.g.::
+
+    python -m repro.bench.table1
+    python -m repro.bench.fig6
+    python -m repro.bench.fig7
+    python -m repro.bench.fig8
+    python -m repro.bench.lowerbound
+    python -m repro.bench.ablation
+
+Sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1).
+"""
+
+from repro.bench.harness import AlgoRun, format_table, run_algorithm, simulated_time
+from repro.bench.inputs import (
+    BENCH_THREADS,
+    SYNTHETIC_FAMILIES,
+    bench_sizes,
+    make_input,
+    realworld_inputs,
+)
+
+__all__ = [
+    "AlgoRun",
+    "run_algorithm",
+    "simulated_time",
+    "format_table",
+    "SYNTHETIC_FAMILIES",
+    "BENCH_THREADS",
+    "make_input",
+    "bench_sizes",
+    "realworld_inputs",
+]

@@ -1,0 +1,231 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+(a) **ParUF neighbor-heap choice** -- pairing vs binomial vs skew heaps
+    (the paper uses meldable heaps without prescribing one for ParUF;
+    pairing's O(1) meld is the practical winner).
+(b) **ParUF post-processing optimization** -- on vs off, including the
+    low-par input where it cannot fire (the paper's 151x pathology) and
+    the unit-weight inputs where it does nearly all the work.
+(c) **SLD-TreeContraction spine container** -- filterable binomial heaps
+    (O(n log h)) vs plain sorted lists (O(nh), Section 3.2.1), measured in
+    both wall time and charged work.
+(d) **RCTT step costs** -- trace work vs build work (the paper notes trace
+    is the theoretical bottleneck but cheap in practice).
+(e) **Prior state of the art** -- the Wang-et-al-style weight
+    divide-and-conquer vs the paper's algorithms (the comparison the paper
+    could not run directly because only the SeqUF code was released).
+(f) **RC-tree builder** -- the adjacency-list reference scheduler vs the
+    vectorized accumulator-based builder (identical schedules; the paper's
+    "optimizing this step... is an interesting direction for future work").
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_table, fmt_seconds, run_algorithm
+from repro.bench.inputs import bench_sizes, make_input
+
+__all__ = ["run", "main"]
+
+ABLATION_INPUTS = ("path-perm", "path-low-par", "star-perm", "knuth-perm")
+
+
+def run(n: int | None = None, seed: int = 0) -> dict:
+    n = n if n is not None else bench_sizes()[0]
+    trees = {name: make_input(name, n, seed=seed) for name in ABLATION_INPUTS}
+
+    heap_rows = []
+    for name, tree in trees.items():
+        row = {"input": name}
+        for kind in ("pairing", "binomial", "skew"):
+            r = run_algorithm("paruf", tree, heap_kind=kind)
+            row[kind] = r.wall_seconds
+        heap_rows.append(row)
+
+    post_rows = []
+    for name, tree in trees.items():
+        on = run_algorithm("paruf", tree, postprocess=True)
+        off = run_algorithm("paruf", tree, postprocess=False)
+        post_rows.append(
+            {
+                "input": name,
+                "on_wall": on.wall_seconds,
+                "off_wall": off.wall_seconds,
+                "on_depth": on.depth,
+                "off_depth": off.depth,
+            }
+        )
+
+    spine_rows = []
+    for name, tree in trees.items():
+        heap = run_algorithm("tree-contraction", tree)
+        lst = run_algorithm("tree-contraction-list", tree)
+        spine_rows.append(
+            {
+                "input": name,
+                "heap_work": heap.work,
+                "list_work": lst.work,
+                "work_ratio": lst.work / heap.work if heap.work else float("nan"),
+                "heap_wall": heap.wall_seconds,
+                "list_wall": lst.wall_seconds,
+            }
+        )
+
+    rctt_rows = []
+    for name, tree in trees.items():
+        r = run_algorithm("rctt", tree, builder="reference")  # paper-profile build
+        total = sum(r.phases.values()) or 1.0
+        rctt_rows.append(
+            {
+                "input": name,
+                "build_frac": r.phases.get("build", 0.0) / total,
+                "trace_frac": r.phases.get("trace", 0.0) / total,
+                "sort_frac": r.phases.get("sort", 0.0) / total,
+            }
+        )
+
+    prior_rows = []
+    for name, tree in trees.items():
+        wdc = run_algorithm("weight-dc", tree)
+        rctt = run_algorithm("rctt", tree)
+        prior_rows.append(
+            {
+                "input": name,
+                "weight_dc_wall": wdc.wall_seconds,
+                "rctt_wall": rctt.wall_seconds,
+                "weight_dc_parallelism": wdc.parallelism,
+                "rctt_parallelism": rctt.parallelism,
+            }
+        )
+
+    builder_rows = []
+    for name, tree in trees.items():
+        ref = run_algorithm("rctt", tree, builder="reference")
+        fast = run_algorithm("rctt", tree, builder="fast")
+        builder_rows.append(
+            {
+                "input": name,
+                "reference_wall": ref.wall_seconds,
+                "fast_wall": fast.wall_seconds,
+                "speedup": ref.wall_seconds / fast.wall_seconds if fast.wall_seconds else 1.0,
+            }
+        )
+
+    return {
+        "n": n,
+        "heap_kind": heap_rows,
+        "postprocess": post_rows,
+        "spine_container": spine_rows,
+        "rctt_steps": rctt_rows,
+        "prior_sota": prior_rows,
+        "builder": builder_rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    result = run()
+    n = result["n"]
+
+    print(
+        format_table(
+            ["input", "pairing (s)", "binomial (s)", "skew (s)"],
+            [
+                [r["input"], fmt_seconds(r["pairing"]), fmt_seconds(r["binomial"]), fmt_seconds(r["skew"])]
+                for r in result["heap_kind"]
+            ],
+            title=f"Ablation (a): ParUF neighbor-heap implementation, n={n}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "post=on (s)", "post=off (s)", "depth on", "depth off"],
+            [
+                [
+                    r["input"],
+                    fmt_seconds(r["on_wall"]),
+                    fmt_seconds(r["off_wall"]),
+                    f"{r['on_depth']:.0f}",
+                    f"{r['off_depth']:.0f}",
+                ]
+                for r in result["postprocess"]
+            ],
+            title="Ablation (b): ParUF post-processing optimization",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "heap work", "list work", "list/heap", "heap (s)", "list (s)"],
+            [
+                [
+                    r["input"],
+                    f"{r['heap_work']:.2e}",
+                    f"{r['list_work']:.2e}",
+                    f"{r['work_ratio']:.1f}x",
+                    fmt_seconds(r["heap_wall"]),
+                    fmt_seconds(r["list_wall"]),
+                ]
+                for r in result["spine_container"]
+            ],
+            title="Ablation (c): SLD-TreeContraction heap vs sorted-list spines (O(n log h) vs O(nh))",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "build %", "trace %", "sort %"],
+            [
+                [
+                    r["input"],
+                    f"{100 * r['build_frac']:.1f}",
+                    f"{100 * r['trace_frac']:.1f}",
+                    f"{100 * r['sort_frac']:.1f}",
+                ]
+                for r in result["rctt_steps"]
+            ],
+            title="Ablation (d): RCTT step cost split (paper: build dominates)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "weight-dc (s)", "RCTT (s)", "weight-dc W/D", "RCTT W/D"],
+            [
+                [
+                    r["input"],
+                    fmt_seconds(r["weight_dc_wall"]),
+                    fmt_seconds(r["rctt_wall"]),
+                    f"{r['weight_dc_parallelism']:.0f}",
+                    f"{r['rctt_parallelism']:.0f}",
+                ]
+                for r in result["prior_sota"]
+            ],
+            title="Ablation (e): prior SOTA (weight divide-and-conquer) vs RCTT",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "reference build (s)", "vectorized build (s)", "speedup"],
+            [
+                [
+                    r["input"],
+                    fmt_seconds(r["reference_wall"]),
+                    fmt_seconds(r["fast_wall"]),
+                    f"{r['speedup']:.1f}x",
+                ]
+                for r in result["builder"]
+            ],
+            title=(
+                "Ablation (f): RCTT contraction builder -- the paper's "
+                "'optimize RC-tree construction' future-work item"
+            ),
+        )
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

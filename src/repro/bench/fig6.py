@@ -1,0 +1,97 @@
+"""Figure 6 reproduction: running time vs thread count, synthetic inputs.
+
+The paper plots SeqUF / ParUF / RCTT running times against 1..192 threads
+on 100M-vertex inputs.  Here each algorithm runs once (instrumented); the
+thread sweep is the Brent's-law simulation anchored at the measured
+single-thread time.  Shape to verify (Section 5.1):
+
+* SeqUF stays nearly flat (only its sort parallelizes; paper self-speedup
+  1.36-11.6x, geomean 2.94x);
+* ParUF and RCTT scale strongly (paper geomeans 30.1x and 52.1x) and
+  overtake SeqUF at moderate thread counts (~8 in the paper);
+* ParUF scales worst on knuth-perm (deep dendrogram, Async-bound).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_table, fmt_seconds, run_algorithm, simulated_time
+from repro.bench.inputs import BENCH_THREADS, bench_sizes, make_input
+from repro.util import geomean
+
+__all__ = ["run", "main", "FIG6_INPUTS"]
+
+#: The representative inputs plotted in Figure 6.
+FIG6_INPUTS = ("path", "path-perm", "star", "star-perm", "knuth", "knuth-perm")
+
+
+def run(
+    n: int | None = None,
+    inputs: tuple[str, ...] = FIG6_INPUTS,
+    threads: tuple[int, ...] = BENCH_THREADS,
+    algorithms: tuple[str, ...] = ("sequf", "paruf", "rctt"),
+    seed: int = 0,
+) -> dict:
+    """Thread-scaling series for each input and algorithm."""
+    n = n if n is not None else bench_sizes()[1]  # the middle (paper: 100M) size
+    series: list[dict] = []
+    for family in inputs:
+        tree = make_input(family, n, seed=seed)
+        for alg in algorithms:
+            opts = {"builder": "reference"} if alg == "rctt" else {}
+            r = run_algorithm(alg, tree, **opts)
+            times = [simulated_time(r, p) for p in threads]
+            series.append(
+                {
+                    "family": family,
+                    "algorithm": alg,
+                    "n": n,
+                    "threads": list(threads),
+                    "times": times,
+                    "self_speedup": times[0] / times[-1],
+                    "parallelism": r.parallelism,
+                }
+            )
+    summary = {
+        alg: geomean([s["self_speedup"] for s in series if s["algorithm"] == alg])
+        for alg in algorithms
+    }
+    return {"n": n, "threads": list(threads), "series": series, "self_speedup_geomean": summary}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    from repro.bench.ascii_plot import line_chart
+
+    result = run()
+    threads = result["threads"]
+    headers = ["input", "algorithm"] + [f"P={p}" for p in threads] + ["self-speedup"]
+    rows = []
+    for s in result["series"]:
+        rows.append(
+            [s["family"], s["algorithm"]]
+            + [fmt_seconds(t) for t in s["times"]]
+            + [f"{s['self_speedup']:.1f}x"]
+        )
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Figure 6 (reproduction): simulated time (s) vs threads, n={result['n']}",
+        )
+    )
+    by_family: dict[str, dict[str, list[float]]] = {}
+    for s in result["series"]:
+        by_family.setdefault(s["family"], {})[s["algorithm"]] = s["times"]
+    for family, series in by_family.items():
+        print()
+        print(line_chart(series, threads, title=f"[{family}] time vs threads (log y)"))
+    print()
+    for alg, g in result["self_speedup_geomean"].items():
+        paper = {"sequf": "2.94x (range 1.36-11.6x)", "paruf": "30.1x", "rctt": "52.1x"}.get(alg, "-")
+        print(f"self-speedup geomean {alg}: {g:.1f}x   (paper: {paper})")
+    return result
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,97 @@
+"""Figure 8 reproduction: thread scaling on real-world tree stand-ins.
+
+The paper runs the three algorithms on Friendster, Twitter, and BigANN
+MSTs; here the same pipelines run on the synthetic stand-ins (DESIGN.md
+Section 1).  Shape to verify (Section 5.1, "Real-World Inputs"):
+
+* SeqUF self-speedup is modest (paper: 1.2-1.8x, like the permuted-weight
+  synthetic inputs);
+* ParUF self-speedup 36-52x, RCTT 48.7-84x;
+* at all threads ParUF is 18.4-39.8x and RCTT 21.1-34.4x faster than
+  SeqUF.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_table, fmt_seconds, run_algorithm, simulated_time
+from repro.bench.inputs import BENCH_THREADS, bench_sizes, realworld_inputs
+
+__all__ = ["run", "main"]
+
+
+def run(
+    n: int | None = None,
+    threads: tuple[int, ...] = BENCH_THREADS,
+    algorithms: tuple[str, ...] = ("sequf", "paruf", "rctt"),
+    seed: int = 0,
+) -> dict:
+    n = n if n is not None else bench_sizes()[0]
+    trees = realworld_inputs(n, seed=seed)
+    series = []
+    for name, tree in trees.items():
+        per_alg = {}
+        for alg in algorithms:
+            opts = {"builder": "reference"} if alg == "rctt" else {}
+            r = run_algorithm(alg, tree, **opts)
+            times = [simulated_time(r, p) for p in threads]
+            per_alg[alg] = times
+            series.append(
+                {
+                    "input": name,
+                    "algorithm": alg,
+                    "n": tree.n,
+                    "threads": list(threads),
+                    "times": times,
+                    "self_speedup": times[0] / times[-1],
+                }
+            )
+        for alg in algorithms:
+            if alg != "sequf":
+                for s in series:
+                    if s["input"] == name and s["algorithm"] == alg:
+                        s["speedup_over_sequf"] = per_alg["sequf"][-1] / per_alg[alg][-1]
+    return {"threads": list(threads), "series": series}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    result = run()
+    threads = result["threads"]
+    headers = ["input", "algorithm", "n"] + [f"P={p}" for p in threads] + [
+        "self-speedup",
+        "vs SeqUF@192",
+    ]
+    rows = []
+    for s in result["series"]:
+        rows.append(
+            [s["input"], s["algorithm"], str(s["n"])]
+            + [fmt_seconds(t) for t in s["times"]]
+            + [
+                f"{s['self_speedup']:.1f}x",
+                f"{s.get('speedup_over_sequf', 1.0):.1f}x",
+            ]
+        )
+    print(
+        format_table(
+            headers,
+            rows,
+            title="Figure 8 (reproduction): simulated time (s) vs threads, real-world stand-ins",
+        )
+    )
+    from repro.bench.ascii_plot import line_chart
+
+    by_input: dict[str, dict[str, list[float]]] = {}
+    for s in result["series"]:
+        by_input.setdefault(s["input"], {})[s["algorithm"]] = s["times"]
+    for name, series in by_input.items():
+        print()
+        print(line_chart(series, threads, title=f"[{name}] time vs threads (log y)"))
+    print()
+    print("paper bands: SeqUF self-speedup 1.2-1.8x; ParUF 36-52x; RCTT 48.7-84x;")
+    print("             at 192 threads ParUF 18.4-39.8x and RCTT 21.1-34.4x over SeqUF")
+    return result
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

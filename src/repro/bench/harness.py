@@ -1,0 +1,127 @@
+"""Shared benchmark machinery: timed, instrumented algorithm runs.
+
+``run_algorithm`` executes one dendrogram algorithm with a fresh
+:class:`~repro.runtime.cost_model.CostTracker` and
+:class:`~repro.runtime.instrumentation.PhaseTimer`, measuring wall time.
+``simulated_time`` converts the run into a Brent's-law time at P
+processors, anchored at the measured single-thread wall time (DESIGN.md
+Section 1 explains why this substitution preserves the paper's
+experimental shape on a machine without shared-memory parallelism).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import ALGORITHMS
+from repro.runtime.brent import calibrated_times, time_scale
+from repro.runtime.cost_model import CostTracker
+from repro.runtime.instrumentation import PhaseTimer
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["AlgoRun", "run_algorithm", "simulated_time", "model_time", "format_table"]
+
+
+@dataclass
+class AlgoRun:
+    """One instrumented algorithm execution."""
+
+    algorithm: str
+    n: int
+    wall_seconds: float
+    work: float
+    depth: float
+    phases: dict[str, float] = field(default_factory=dict)
+    phase_costs: dict[str, object] = field(default_factory=dict)
+    parents: np.ndarray | None = None
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism ``W / D``."""
+        return self.work / self.depth if self.depth else float("inf")
+
+
+def run_algorithm(
+    algorithm: str,
+    tree: WeightedTree,
+    keep_parents: bool = False,
+    **options,
+) -> AlgoRun:
+    """Run ``algorithm`` on ``tree`` with full instrumentation."""
+    fn = ALGORITHMS[algorithm]
+    tracker = CostTracker()
+    timer = PhaseTimer(tracker=tracker)
+    start = time.perf_counter()
+    parents = fn(tree, tracker=tracker, timer=timer, **options)
+    wall = time.perf_counter() - start
+    return AlgoRun(
+        algorithm=algorithm,
+        n=tree.n,
+        wall_seconds=wall,
+        work=tracker.work,
+        depth=tracker.depth,
+        phases=timer.phases,
+        phase_costs=timer.phase_costs,
+        parents=parents if keep_parents else None,
+    )
+
+
+def simulated_time(run: AlgoRun, p: int) -> float:
+    """Simulated wall time of ``run`` on ``p`` processors (seconds).
+
+    Each phase's measured wall time scales by its own Brent's-law factor
+    :func:`repro.runtime.brent.time_scale` -- SeqUF's parallel sort speeds
+    up while its sequential merge loop does not, matching the paper's
+    observed per-phase behaviour.  Wall time in phases with no charged work
+    (or outside any phase) is treated as perfectly sequential.
+    """
+    if not run.phase_costs:
+        return calibrated_times(run.wall_seconds, run.work, run.depth, [p])[0]
+    total = 0.0
+    covered = 0.0
+    for cost in run.phase_costs.values():
+        covered += cost.seconds
+        total += cost.seconds * time_scale(cost.work, cost.depth, p)
+    total += max(0.0, run.wall_seconds - covered)  # uninstrumented residue
+    return total
+
+
+def model_time(run: AlgoRun, p: int, seconds_per_op: float) -> float:
+    """Abstract-machine time: ``seconds_per_op * (W/p + D)``.
+
+    Unlike :func:`simulated_time`, this ignores each algorithm's Python
+    wall time and prices every charged operation identically, the way the
+    paper's C++ implementations relate to each other.  Calibrate
+    ``seconds_per_op`` from the baseline's run on the same input
+    (``run.wall_seconds / run.work`` of SeqUF).
+    """
+    return seconds_per_op * (run.work / p + run.depth)
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Plain-text aligned table (the harnesses' printable output)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_seconds(s: float) -> str:
+    """Compact seconds formatting used across the harness tables."""
+    if s >= 100:
+        return f"{s:.0f}"
+    if s >= 1:
+        return f"{s:.2f}"
+    return f"{s:.3f}"

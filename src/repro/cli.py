@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``generate``
+    Build a synthetic tree (topology family + weight scheme) and save it.
+``compute``
+    Compute the SLD of a tree (generated inline or loaded from ``.npz``),
+    print summary metrics, optionally save/render/export it.
+``cluster``
+    Run the points pipeline on a synthetic cloud and print cluster sizes.
+``bench``
+    Run one of the paper-reproduction experiment harnesses.
+``info``
+    Describe a saved tree or dendrogram archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = ("path", "star", "knuth", "random", "caterpillar", "broom", "binary")
+_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "lowerbound", "ablation", "selfcheck")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal parallel single-linkage dendrogram computation (SPAA 2024 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic weighted tree")
+    gen.add_argument("--kind", choices=_GENERATORS, default="knuth")
+    gen.add_argument("--n", type=int, default=1000, help="number of vertices")
+    gen.add_argument("--scheme", default="perm", help="weight scheme (see repro.trees.weights)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    comp = sub.add_parser("compute", help="compute a single-linkage dendrogram")
+    src = comp.add_mutually_exclusive_group()
+    src.add_argument("--input", help="tree .npz saved by 'generate' or repro.io")
+    src.add_argument("--kind", choices=_GENERATORS, help="generate inline instead")
+    comp.add_argument("--n", type=int, default=1000)
+    comp.add_argument("--scheme", default="perm")
+    comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument("--algorithm", default="rctt")
+    comp.add_argument("--validate", action="store_true", help="run structural validation")
+    comp.add_argument("--render", action="store_true", help="print ASCII dendrogram (small inputs)")
+    comp.add_argument("--out", help="save dendrogram .npz")
+    comp.add_argument("--linkage-csv", help="export the SciPy linkage matrix as CSV")
+
+    clus = sub.add_parser("cluster", help="cluster a synthetic point cloud")
+    clus.add_argument("--dataset", choices=("blobs", "rings"), default="blobs")
+    clus.add_argument("--n", type=int, default=300)
+    clus.add_argument("--clusters", type=int, default=4, help="blob centers / ring count, and the cut k")
+    clus.add_argument("--knn", type=int, default=0, help="k-NN graph degree (0 = complete graph)")
+    clus.add_argument("--algorithm", default="rctt")
+    clus.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="run a paper-reproduction experiment")
+    bench.add_argument("experiment", choices=_EXPERIMENTS)
+
+    ana = sub.add_parser(
+        "analyze", help="parallelism profile + dendrogram metrics of an input"
+    )
+    src2 = ana.add_mutually_exclusive_group()
+    src2.add_argument("--input", help="tree .npz saved by 'generate' or repro.io")
+    src2.add_argument("--kind", choices=_GENERATORS, help="generate inline instead")
+    ana.add_argument("--n", type=int, default=1000)
+    ana.add_argument("--scheme", default="perm")
+    ana.add_argument("--seed", type=int, default=0)
+
+    cmp_ = sub.add_parser("compare", help="compare two saved dendrograms")
+    cmp_.add_argument("left")
+    cmp_.add_argument("right")
+    cmp_.add_argument("--ks", default="2,4,8", help="comma-separated cut sizes for the B_k curve")
+
+    info = sub.add_parser("info", help="describe a saved archive")
+    info.add_argument("path")
+    return parser
+
+
+def _make_tree(kind: str, n: int, scheme: str, seed: int):
+    from repro.trees.generators import (
+        balanced_binary,
+        broom,
+        caterpillar,
+        knuth_tree,
+        path_tree,
+        random_tree,
+        star_tree,
+    )
+    from repro.trees.weights import apply_scheme
+
+    makers = {
+        "path": lambda: path_tree(n),
+        "star": lambda: star_tree(n),
+        "knuth": lambda: knuth_tree(n, seed=seed),
+        "random": lambda: random_tree(n, seed=seed),
+        "caterpillar": lambda: caterpillar(n),
+        "broom": lambda: broom(n),
+        "binary": lambda: balanced_binary(n),
+    }
+    tree = makers[kind]()
+    return tree.with_weights(apply_scheme(scheme, tree.m, seed=seed + 1))
+
+
+def _cmd_generate(args) -> int:
+    from repro.io import save_tree
+
+    tree = _make_tree(args.kind, args.n, args.scheme, args.seed)
+    save_tree(args.out, tree)
+    print(f"wrote {args.kind}/{args.scheme} tree with n={tree.n} to {args.out}")
+    return 0
+
+
+def _cmd_compute(args) -> int:
+    from repro.core.api import single_linkage_dendrogram
+    from repro.io import export_linkage_csv, load_tree, save_dendrogram
+
+    if args.input:
+        tree = load_tree(args.input)
+        source = args.input
+    else:
+        kind = args.kind or "knuth"
+        tree = _make_tree(kind, args.n, args.scheme, args.seed)
+        source = f"generated {kind}/{args.scheme} n={args.n}"
+    start = time.perf_counter()
+    dend = single_linkage_dendrogram(tree, algorithm=args.algorithm, validate=args.validate)
+    elapsed = time.perf_counter() - start
+    print(f"input:      {source}")
+    print(f"algorithm:  {args.algorithm}")
+    print(f"time:       {elapsed * 1e3:.1f} ms")
+    print(f"nodes:      {dend.m}")
+    if dend.m:
+        print(f"height h:   {dend.height}")
+        print(f"root edge:  {dend.root}")
+        widths = dend.level_widths()
+        print(f"max level width: {int(widths.max())}")
+    if args.render:
+        print()
+        print(dend.render())
+    if args.out:
+        save_dendrogram(args.out, dend)
+        print(f"saved dendrogram to {args.out}")
+    if args.linkage_csv:
+        export_linkage_csv(args.linkage_csv, dend)
+        print(f"exported linkage matrix to {args.linkage_csv}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster.single_linkage import single_linkage
+    from repro.datasets.points import gaussian_blobs, noisy_rings
+
+    if args.dataset == "blobs":
+        pts, truth = gaussian_blobs(args.n, centers=args.clusters, seed=args.seed)
+    else:
+        pts, truth = noisy_rings(args.n, rings=args.clusters, seed=args.seed)
+    res = single_linkage(pts, k=args.knn or None, algorithm=args.algorithm)
+    labels = res.labels_k(args.clusters)
+    sizes = np.bincount(labels)
+    same_ours = labels[:, None] == labels[None, :]
+    same_true = truth[:, None] == truth[None, :]
+    agreement = float((same_ours == same_true).mean())
+    print(f"dataset:   {args.dataset} (n={args.n}, target clusters={args.clusters})")
+    print(f"graph:     {'complete' if not args.knn else f'{args.knn}-NN'}")
+    print(f"algorithm: {args.algorithm}")
+    print(f"cluster sizes: {sorted(sizes.tolist(), reverse=True)}")
+    print(f"pairwise agreement with ground truth: {agreement:.3f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.bench.{args.experiment}")
+    module.main([])
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.api import single_linkage_dendrogram
+    from repro.dendrogram.analysis import parallelism_profile
+    from repro.io import load_tree
+
+    if args.input:
+        tree = load_tree(args.input)
+        source = args.input
+    else:
+        kind = args.kind or "knuth"
+        tree = _make_tree(kind, args.n, args.scheme, args.seed)
+        source = f"generated {kind}/{args.scheme} n={args.n}"
+    dend = single_linkage_dendrogram(tree, algorithm="rctt")
+    prof = parallelism_profile(tree)
+    widths = dend.level_widths()
+    print(f"input:            {source}")
+    print(f"dendrogram height h: {dend.height}  (bounds: {tree.m and 1} .. {tree.m})")
+    print(f"max level width:  {int(widths.max()) if widths.size else 0}")
+    print(f"parallelism profile: {prof.summary()}")
+    if prof.rounds:
+        head = ", ".join(str(int(x)) for x in prof.ready_per_round[:12])
+        print(f"ready-per-round (first 12): {head}{'...' if prof.rounds > 12 else ''}")
+    verdict = (
+        "postprocess-friendly (sort handles the tail)"
+        if prof.postprocess_tail > tree.m // 2
+        else "chain-bound (ParUF adversarial)"
+        if prof.max_ready <= 2 and prof.rounds > max(32, tree.m // 8)
+        else "wide frontier (ParUF-friendly)"
+    )
+    print(f"ParUF outlook:    {verdict}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.dendrogram.compare import fowlkes_mallows_curve
+    from repro.dendrogram.validate import check_same_dendrogram
+    from repro.io import load_dendrogram
+
+    left = load_dendrogram(args.left)
+    right = load_dendrogram(args.right)
+    if left.tree.n != right.tree.n:
+        print(f"point counts differ: {left.tree.n} vs {right.tree.n}")
+        return 1
+    identical = check_same_dendrogram(left.parents, right.parents)
+    print(f"identical parent arrays: {identical}")
+    print(f"heights: {left.height} vs {right.height}")
+    ks = [int(x) for x in args.ks.split(",") if x.strip()]
+    ks = [k for k in ks if 1 <= k <= left.tree.n]
+    if ks:
+        ks_arr, scores = fowlkes_mallows_curve(left.tree, right.tree, ks=ks)
+        for k, s in zip(ks_arr, scores):
+            print(f"B_{int(k)} (Fowlkes-Mallows at {int(k)} clusters): {s:.4f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with np.load(args.path, allow_pickle=False) as data:
+        kind = str(data["kind"]) if "kind" in data else "<unknown>"
+        print(f"{args.path}: kind={kind}")
+        for key in data.files:
+            if key == "kind":
+                continue
+            arr = data[key]
+            print(f"  {key}: shape={arr.shape} dtype={arr.dtype}")
+        if kind == "dendrogram":
+            from repro.io import load_dendrogram
+
+            dend = load_dendrogram(args.path)
+            print(f"  height h = {dend.height}, root = edge {dend.root}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "compute": _cmd_compute,
+    "cluster": _cmd_cluster,
+    "bench": _cmd_bench,
+    "analyze": _cmd_analyze,
+    "compare": _cmd_compare,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

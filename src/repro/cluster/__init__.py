@@ -1,0 +1,34 @@
+"""Single-linkage clustering pipelines built on the dendrogram algorithms.
+
+The paper motivates SLD computation as the core of single-linkage HAC and
+of HDBSCAN*-style density clustering.  These modules provide the full
+points-to-clusters path: k-NN (or complete) graph construction, MST
+reduction, dendrogram computation with any of the package's algorithms,
+and flat-cluster extraction.
+"""
+
+from repro.cluster.evaluation import davies_bouldin, purity, silhouette_score
+from repro.cluster.graph_linkage import GraphLinkageResult, graph_single_linkage
+from repro.cluster.hac import LINKAGE_METHODS, nn_chain_linkage
+from repro.cluster.hdbscan_lite import hdbscan_lite
+from repro.cluster.image import AlphaTreeResult, alpha_tree, grid_graph
+from repro.cluster.knn import complete_graph, knn_graph
+from repro.cluster.single_linkage import SingleLinkageResult, single_linkage
+
+__all__ = [
+    "knn_graph",
+    "complete_graph",
+    "single_linkage",
+    "SingleLinkageResult",
+    "hdbscan_lite",
+    "graph_single_linkage",
+    "GraphLinkageResult",
+    "nn_chain_linkage",
+    "LINKAGE_METHODS",
+    "alpha_tree",
+    "grid_graph",
+    "AlphaTreeResult",
+    "silhouette_score",
+    "davies_bouldin",
+    "purity",
+]

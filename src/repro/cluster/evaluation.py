@@ -1,0 +1,103 @@
+"""Internal and external cluster-quality metrics.
+
+Complements :mod:`repro.dendrogram.compare` (pair-counting agreement
+between two labelings) with the standard quality scores used to pick a
+cut level or compare linkage methods:
+
+* :func:`silhouette_score` -- mean silhouette coefficient (internal);
+* :func:`davies_bouldin` -- average worst-case cluster similarity
+  (internal, lower is better);
+* :func:`purity` -- majority-class fraction against ground truth
+  (external).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.knn import pairwise_distances
+from repro.errors import InvalidGraphError
+
+__all__ = ["silhouette_score", "davies_bouldin", "purity"]
+
+
+def _check_labels(points: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pts = np.asarray(points, dtype=np.float64)
+    lab = np.asarray(labels)
+    if pts.ndim != 2:
+        raise InvalidGraphError(f"points must be 2-D (n, d), got shape {pts.shape}")
+    if lab.shape != (pts.shape[0],):
+        raise ValueError(
+            f"labels must be 1-D with one entry per point; got {lab.shape} for {pts.shape[0]} points"
+        )
+    return pts, lab
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient ``(b - a) / max(a, b)`` over all points.
+
+    ``a`` is the mean intra-cluster distance, ``b`` the mean distance to
+    the nearest other cluster.  Singleton clusters score 0 (the standard
+    convention).  Requires at least 2 clusters and at least 2 points.
+    """
+    pts, lab = _check_labels(points, labels)
+    n = pts.shape[0]
+    uniq = np.unique(lab)
+    if uniq.size < 2 or uniq.size >= n + 1:
+        raise ValueError("silhouette requires 2 <= #clusters and n >= 2")
+    dists = pairwise_distances(pts)
+    scores = np.zeros(n, dtype=np.float64)
+    masks = {c: lab == c for c in uniq}
+    sizes = {c: int(masks[c].sum()) for c in uniq}
+    for i in range(n):
+        c = lab[i]
+        if sizes[c] <= 1:
+            scores[i] = 0.0
+            continue
+        a = dists[i, masks[c]].sum() / (sizes[c] - 1)
+        b = min(
+            dists[i, masks[o]].mean() for o in uniq if o != c
+        )
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def davies_bouldin(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower = tighter, better-separated clusters)."""
+    pts, lab = _check_labels(points, labels)
+    uniq = np.unique(lab)
+    if uniq.size < 2:
+        raise ValueError("Davies-Bouldin requires at least 2 clusters")
+    centroids = np.stack([pts[lab == c].mean(axis=0) for c in uniq])
+    scatter = np.array(
+        [
+            float(np.linalg.norm(pts[lab == c] - centroids[k], axis=1).mean())
+            for k, c in enumerate(uniq)
+        ]
+    )
+    k = uniq.size
+    worst = np.zeros(k)
+    for i in range(k):
+        ratios = [
+            (scatter[i] + scatter[j]) / np.linalg.norm(centroids[i] - centroids[j])
+            for j in range(k)
+            if j != i
+        ]
+        worst[i] = max(ratios)
+    return float(worst.mean())
+
+
+def purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of points whose cluster's majority ground-truth class they
+    share (external metric; 1.0 = every cluster is class-pure)."""
+    lab = np.asarray(labels)
+    tru = np.asarray(truth)
+    if lab.shape != tru.shape or lab.ndim != 1:
+        raise ValueError("labels and truth must be 1-D and equal length")
+    if lab.size == 0:
+        return 1.0
+    total = 0
+    for c in np.unique(lab):
+        members = tru[lab == c]
+        total += int(np.bincount(members - members.min()).max()) if members.size else 0
+    return total / lab.size

@@ -1,0 +1,124 @@
+"""Neighborhood-graph construction for point clouds.
+
+The paper's BigANN input is an approximate k-NN graph over SIFT
+descriptors built with DiskANN; the single-core substitute here is an
+exact, vectorized k-NN over synthetic point clouds (DESIGN.md Section 1).
+Distances are Euclidean; the k-NN graph is symmetrized (an edge appears if
+either endpoint selects the other) and, when requested, made connected by
+bridging components at their closest point pairs -- the same guarantee an
+ANN-graph + MST pipeline needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.structures.unionfind import UnionFind
+
+__all__ = ["knn_graph", "complete_graph", "pairwise_distances"]
+
+
+def pairwise_distances(
+    points: np.ndarray, chunk: int = 1024, workers: int | None = 1
+) -> np.ndarray:
+    """Dense Euclidean distance matrix, computed in row chunks.
+
+    ``workers > 1`` computes chunks on a thread pool: the matmul/sqrt
+    kernels release the GIL, so this is the one place in the package where
+    OS threads yield real speedup on multicore hosts (the rest of the
+    parallelism story runs through the cost model; see DESIGN.md §1).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise InvalidGraphError(f"points must be 2-D (n, d), got shape {pts.shape}")
+    n = pts.shape[0]
+    sq = np.einsum("ij,ij->i", pts, pts)
+    out = np.empty((n, n), dtype=np.float64)
+
+    def fill(lo: int, hi: int) -> None:
+        for block_lo in range(lo, hi, chunk):
+            block_hi = min(block_lo + chunk, hi)
+            block = sq[block_lo:block_hi, None] + sq[None, :] - 2.0 * (
+                pts[block_lo:block_hi] @ pts.T
+            )
+            np.maximum(block, 0.0, out=block)
+            np.sqrt(block, out=out[block_lo:block_hi])
+
+    from repro.runtime.pool import parallel_for
+
+    parallel_for(fill, n, workers=workers, grain=chunk)
+    # The expansion x^2+y^2-2xy leaves O(eps) noise on the diagonal; pin it.
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def complete_graph(points: np.ndarray) -> tuple[int, np.ndarray, np.ndarray]:
+    """All-pairs graph ``(n, edges, weights)`` with Euclidean weights."""
+    dists = pairwise_distances(points)
+    n = dists.shape[0]
+    iu, ju = np.triu_indices(n, k=1)
+    edges = np.stack([iu, ju], axis=1).astype(np.int64)
+    return n, edges, dists[iu, ju]
+
+
+def knn_graph(
+    points: np.ndarray,
+    k: int,
+    ensure_connected: bool = True,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Symmetrized exact k-NN graph ``(n, edges, weights)``.
+
+    Each point contributes edges to its ``k`` nearest neighbors; duplicate
+    (mutual) pairs are merged.  With ``ensure_connected`` (default), any
+    remaining components are bridged at their closest point pairs so the
+    MST reduction can span the cloud.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n < 2:
+        raise InvalidGraphError(f"need at least two points, got {n}")
+    if not 1 <= k < n:
+        raise InvalidGraphError(f"k must be in [1, {n - 1}], got {k}")
+    dists = pairwise_distances(pts)
+    np.fill_diagonal(dists, np.inf)
+    nbrs = np.argpartition(dists, k, axis=1)[:, :k]
+
+    pair_weight: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in nbrs[i]:
+            j = int(j)
+            key = (i, j) if i < j else (j, i)
+            pair_weight[key] = float(dists[i, j])
+    edges = np.array(sorted(pair_weight), dtype=np.int64).reshape(-1, 2)
+    weights = np.array([pair_weight[tuple(p)] for p in edges], dtype=np.float64)
+
+    if ensure_connected:
+        extra_e, extra_w = _bridge_components(n, edges, dists)
+        if extra_e:
+            edges = np.concatenate([edges, np.asarray(extra_e, dtype=np.int64)])
+            weights = np.concatenate([weights, np.asarray(extra_w, dtype=np.float64)])
+    return n, edges, weights
+
+
+def _bridge_components(
+    n: int, edges: np.ndarray, dists: np.ndarray
+) -> tuple[list[list[int]], list[float]]:
+    """Closest-pair bridges between connected components."""
+    uf = UnionFind(n)
+    for u, v in edges:
+        if uf.find(int(u)) != uf.find(int(v)):
+            uf.union(int(u), int(v))
+    extra_e: list[list[int]] = []
+    extra_w: list[float] = []
+    while uf.num_sets > 1:
+        roots = np.array([uf.find(v) for v in range(n)])
+        comp0 = np.flatnonzero(roots == roots[0])
+        rest = np.flatnonzero(roots != roots[0])
+        block = dists[np.ix_(comp0, rest)]
+        a, b = np.unravel_index(np.argmin(block), block.shape)
+        u, v = int(comp0[a]), int(rest[b])
+        extra_e.append([u, v])
+        extra_w.append(float(dists[u, v]))
+        uf.union(u, v)
+    return extra_e, extra_w

@@ -1,0 +1,14 @@
+"""Parallel tree contraction (Miller-Reif) and RC-trees.
+
+One contraction schedule feeds both of the paper's tree-contraction-based
+algorithms: RCTT traces the finished RC-tree (Section 4.2) and
+SLD-TreeContraction replays the rounds with filterable heaps (Section 3.2).
+The compress direction is always the *lesser-rank* incident edge, the
+invariant both algorithms require.
+"""
+
+from repro.contraction.fast import build_rc_tree_fast
+from repro.contraction.rctree import RCTree
+from repro.contraction.schedule import CompressEvent, RakeEvent, build_rc_tree
+
+__all__ = ["RCTree", "build_rc_tree", "build_rc_tree_fast", "RakeEvent", "CompressEvent"]

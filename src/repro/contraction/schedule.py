@@ -1,0 +1,174 @@
+"""Miller-Reif tree contraction with lesser-rank compress direction.
+
+Rounds alternate **rake** (all degree-1 vertices contract into their
+neighbor) and **compress** (an independent set of degree-2 vertices splice
+out).  Independence for compress uses random vertex priorities drawn once
+up front (seeded, hence reproducible): a degree-2 vertex compresses iff its
+priority beats every degree-2 neighbor's, which removes an expected
+constant fraction of every chain per round, giving the ``O(log n)`` round
+bound of randomized Miller-Reif.  For the isolated-edge case (two adjacent
+leaves) the lower-priority endpoint rakes into the higher.
+
+Crucially for SLD correctness (Claims 3.8/3.9 and Algorithm 6), a
+compressed vertex always merges along its **lesser-rank** incident edge;
+the higher-rank edge survives and keeps its identity on the spliced
+adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.trees.wtree import WeightedTree
+from repro.util import check_random_state, log2ceil
+
+__all__ = ["RakeEvent", "CompressEvent", "build_rc_tree"]
+
+
+@dataclass(frozen=True)
+class RakeEvent:
+    """Leaf ``v`` contracts into neighbor ``u`` via edge ``e = (u, v)``."""
+
+    v: int
+    u: int
+    e: int
+
+
+@dataclass(frozen=True)
+class CompressEvent:
+    """Degree-2 vertex ``v`` splices out.
+
+    ``e1 = (u, v)`` and ``e2 = (v, w)`` with ``rank(e1) < rank(e2)``;
+    ``v`` merges into ``u`` (the lesser-rank side) and the surviving
+    adjacency ``(u, w)`` carries edge identity ``e2``.
+    """
+
+    v: int
+    u: int
+    e1: int
+    w: int
+    e2: int
+
+
+def build_rc_tree(
+    tree: WeightedTree,
+    seed: int | np.random.Generator | None = 0,
+    tracker: CostTracker | None = None,
+    priorities: str = "random",
+) -> RCTree:
+    """Contract ``tree`` to a single vertex; return the resulting RC-tree.
+
+    ``priorities`` selects the compress symmetry-breaking rule:
+
+    * ``"random"`` (default) -- a seeded random permutation; every chain
+      loses an expected constant fraction per round, the randomized
+      Miller-Reif ``O(log n)`` round bound.
+    * ``"id"`` -- vertex ids as priorities.  Correct but *pathological* on
+      monotone-id chains (one local maximum per chain, ``Theta(n)``
+      rounds); exposed for the symmetry-breaking ablation.
+    """
+    if priorities not in ("random", "id"):
+        raise ValueError(f"unknown priority rule {priorities!r}; expected 'random' or 'id'")
+    n = tree.n
+    ranks = tree.ranks
+    rc_parent = np.arange(n, dtype=np.int64)
+    rc_edge = np.full(n, -1, dtype=np.int64)
+    rc_round = np.full(n, -1, dtype=np.int64)
+    rc_kind = np.full(n, KIND_ROOT, dtype=np.int64)
+    rounds: list[tuple[str, list]] = []
+
+    if n == 1:
+        return RCTree(n, 0, rc_parent, rc_edge, rc_round, rc_kind, rounds)
+
+    if priorities == "random":
+        rng = check_random_state(seed)
+        priority = rng.permutation(n)
+    else:
+        priority = np.arange(n, dtype=np.int64)
+
+    adj: list[dict[int, int]] = [dict() for _ in range(n)]
+    for e in range(tree.m):
+        u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+        adj[u][v] = e
+        adj[v][u] = e
+
+    alive = np.ones(n, dtype=bool)
+    alive_count = n
+    # Only vertices of degree <= 2 can ever contract; degrees never grow, so
+    # a candidate set seeded with the low-degree vertices and fed by rake
+    # targets covers every future leaf / chain vertex.
+    candidates = {v for v in range(n) if len(adj[v]) <= 2}
+    round_index = 0
+
+    while alive_count > 1:
+        # ---------------- rake round ----------------
+        leaves = [v for v in candidates if alive[v] and len(adj[v]) == 1]
+        rake_events: list[RakeEvent] = []
+        for v in leaves:
+            (u, e), = adj[v].items()
+            if len(adj[u]) == 1 and priority[v] > priority[u]:
+                continue  # isolated edge: the lower-priority endpoint rakes
+            rake_events.append(RakeEvent(v, u, e))
+        scanned = len(candidates)
+        for ev in rake_events:
+            del adj[ev.u][ev.v]
+            adj[ev.v].clear()
+            alive[ev.v] = False
+            rc_parent[ev.v] = ev.u
+            rc_edge[ev.v] = ev.e
+            rc_round[ev.v] = round_index
+            rc_kind[ev.v] = KIND_RAKE
+            candidates.discard(ev.v)
+            if len(adj[ev.u]) <= 2:
+                candidates.add(ev.u)
+        alive_count -= len(rake_events)
+        if rake_events:
+            rounds.append(("rake", rake_events))
+            round_index += 1
+        if tracker is not None:
+            tracker.add(WorkDepth(float(scanned + len(rake_events)), float(log2ceil(n) + 1)))
+        if alive_count <= 1:
+            break
+
+        # ---------------- compress round ----------------
+        deg2 = [v for v in candidates if alive[v] and len(adj[v]) == 2]
+        is_deg2 = set(deg2)
+        compress_events: list[CompressEvent] = []
+        for v in deg2:
+            (a, ea), (b, eb) = adj[v].items()
+            if (a in is_deg2 and priority[a] > priority[v]) or (
+                b in is_deg2 and priority[b] > priority[v]
+            ):
+                continue  # not a local priority maximum among degree-2 peers
+            if ranks[ea] > ranks[eb]:
+                a, ea, b, eb = b, eb, a, ea
+            compress_events.append(CompressEvent(v, a, int(ea), b, int(eb)))
+        for ev in compress_events:
+            del adj[ev.u][ev.v]
+            del adj[ev.w][ev.v]
+            adj[ev.v].clear()
+            adj[ev.u][ev.w] = ev.e2
+            adj[ev.w][ev.u] = ev.e2
+            alive[ev.v] = False
+            rc_parent[ev.v] = ev.u
+            rc_edge[ev.v] = ev.e1
+            rc_round[ev.v] = round_index
+            rc_kind[ev.v] = KIND_COMPRESS
+            candidates.discard(ev.v)
+        alive_count -= len(compress_events)
+        if compress_events:
+            rounds.append(("compress", compress_events))
+            round_index += 1
+        if tracker is not None:
+            tracker.add(
+                WorkDepth(float(len(deg2) + len(compress_events)), float(log2ceil(n) + 1))
+            )
+
+    root = int(np.flatnonzero(alive)[0])
+    rc_round[root] = round_index
+    rct = RCTree(n, root, rc_parent, rc_edge, rc_round, rc_kind, rounds)
+    return rct

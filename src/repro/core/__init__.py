@@ -1,0 +1,49 @@
+"""Dendrogram algorithms: the paper's contribution.
+
+* :mod:`repro.core.sequf` -- the sequential Kruskal/union-find baseline.
+* :mod:`repro.core.paruf` -- the activation-based asynchronous algorithm
+  (Section 4.1, Algorithm 5).
+* :mod:`repro.core.rctt` -- RC-tree tracing (Section 4.2, Algorithm 6).
+* :mod:`repro.core.tree_contraction_sld` -- the heap-based optimal
+  algorithm (Section 3.2, Algorithms 3-4) plus its sub-optimal linked-list
+  ablation (Section 3.2.1).
+* :mod:`repro.core.merge` -- the SLD-Merge primitive and the generic
+  divide-and-conquer framework (Section 3.1).
+* :mod:`repro.core.cartesian` -- the path-graph special case (Cartesian
+  trees, Shun-Blelloch).
+* :mod:`repro.core.brute` -- a definition-level oracle for testing.
+
+The one-call entry point is
+:func:`repro.core.api.single_linkage_dendrogram`.
+"""
+
+from repro.core.api import ALGORITHMS, single_linkage_dendrogram
+from repro.core.brute import brute_force_sld
+from repro.core.cartesian import cartesian_tree_parents, sld_path
+from repro.core.dynamic import DynamicSLD
+from repro.core.merge import merge_spines, sld_divide_and_conquer
+from repro.core.paruf import paruf
+from repro.core.paruf_sync import paruf_sync
+from repro.core.paruf_threaded import paruf_threaded
+from repro.core.rctt import rctt
+from repro.core.sequf import sequf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.core.weight_dc import sld_weight_dc
+
+__all__ = [
+    "single_linkage_dendrogram",
+    "ALGORITHMS",
+    "sequf",
+    "paruf",
+    "paruf_sync",
+    "paruf_threaded",
+    "rctt",
+    "sld_tree_contraction",
+    "sld_weight_dc",
+    "sld_divide_and_conquer",
+    "merge_spines",
+    "cartesian_tree_parents",
+    "sld_path",
+    "brute_force_sld",
+    "DynamicSLD",
+]

@@ -1,0 +1,93 @@
+"""One-call public entry point for dendrogram computation."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.brute import brute_force_sld
+from repro.core.cartesian import sld_path
+from repro.core.merge import sld_divide_and_conquer
+from repro.core.paruf import paruf
+from repro.core.paruf_sync import paruf_sync
+from repro.core.rctt import rctt
+from repro.core.sequf import sequf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.core.weight_dc import sld_weight_dc
+from repro.dendrogram.structure import Dendrogram
+from repro.errors import AlgorithmError
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["ALGORITHMS", "single_linkage_dendrogram"]
+
+
+def _tc_heap(tree: WeightedTree, **kw) -> np.ndarray:
+    return sld_tree_contraction(tree, mode="heap", **kw)
+
+
+def _tc_list(tree: WeightedTree, **kw) -> np.ndarray:
+    return sld_tree_contraction(tree, mode="list", **kw)
+
+
+#: Algorithm registry: name -> callable(tree, **options) -> parent array.
+ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
+    "sequf": sequf,
+    "paruf": paruf,
+    "paruf-sync": paruf_sync,
+    "rctt": rctt,
+    "tree-contraction": _tc_heap,
+    "tree-contraction-list": _tc_list,
+    "divide-conquer": sld_divide_and_conquer,
+    "weight-dc": sld_weight_dc,
+    "cartesian": sld_path,
+    "brute": brute_force_sld,
+}
+
+
+def single_linkage_dendrogram(
+    tree: WeightedTree,
+    algorithm: str = "rctt",
+    validate: bool = False,
+    **options,
+) -> Dendrogram:
+    """Compute the single-linkage dendrogram of an edge-weighted tree.
+
+    Parameters
+    ----------
+    tree:
+        The input :class:`~repro.trees.wtree.WeightedTree`.
+    algorithm:
+        One of :data:`ALGORITHMS`:
+
+        - ``"sequf"`` -- sequential union-find baseline;
+        - ``"paruf"`` -- activation-based parallel algorithm
+          (options: ``heap_kind``, ``postprocess``, ``order``, ``seed``);
+        - ``"paruf-sync"`` -- its round-synchronous NN-chain-style variant;
+        - ``"rctt"`` -- RC-tree tracing (option: ``seed``);
+        - ``"tree-contraction"`` -- optimal heap-based algorithm;
+        - ``"tree-contraction-list"`` -- its sub-optimal list ablation;
+        - ``"divide-conquer"`` -- centroid SLD-Merge divide and conquer;
+        - ``"weight-dc"`` -- divide-and-conquer over weights (Wang et al.
+          style, the prior state of the art; option: ``base_size``);
+        - ``"cartesian"`` -- path inputs only (option: ``method``);
+        - ``"brute"`` -- O(n^2) definitional oracle (tests/small inputs).
+    validate:
+        Run structural validation on the result before returning.
+    options:
+        Forwarded to the algorithm (e.g. ``tracker=`` for work/depth
+        accounting, ``timer=`` for phase breakdowns).
+
+    Returns
+    -------
+    Dendrogram
+        Parent-array dendrogram over the tree's edges.
+    """
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    parents = fn(tree, **options)
+    return Dendrogram(tree, parents, validate=validate)

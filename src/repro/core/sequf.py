@@ -1,0 +1,65 @@
+"""SeqUF: the sequential Kruskal-style union-find baseline (paper Section 1).
+
+Edges are sorted by rank, then merged one at a time; a per-cluster "top
+node" records the most recent merge inside each cluster so the new node can
+adopt it.  This is the algorithm Wang et al. shipped and the baseline every
+speedup in the paper (and in our Table 1 reproduction) is measured against.
+
+Parallelism note: as in the paper, the only parallelizable step is the
+initial sort, which is charged at parallel-sample-sort cost; the merge loop
+is charged sequentially (depth = work).  That is why SeqUF's simulated
+scaling curves stay nearly flat (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.sort import comparison_sort_cost
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.runtime.instrumentation import PhaseTimer
+from repro.structures.unionfind import UnionFind
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["sequf"]
+
+
+def sequf(
+    tree: WeightedTree,
+    tracker: CostTracker | None = None,
+    timer: PhaseTimer | None = None,
+) -> np.ndarray:
+    """Parent array of the SLD, by sequential union-find merging."""
+    m = tree.m
+    parents = np.arange(m, dtype=np.int64)
+    if m == 0:
+        return parents
+    timer = timer if timer is not None else PhaseTimer()
+
+    with timer.phase("sort"):
+        order = np.argsort(tree.ranks, kind="stable")
+        if tracker is not None:
+            tracker.add(comparison_sort_cost(m))
+
+    with timer.phase("merge"):
+        edges = tree.edges
+        uf = UnionFind(tree.n)
+        # top[r] = most recent merge node inside the cluster rooted at r.
+        top = np.full(tree.n, -1, dtype=np.int64)
+        for e in order:
+            e = int(e)
+            u, v = int(edges[e, 0]), int(edges[e, 1])
+            ru, rv = uf.find(u), uf.find(v)
+            tu, tv = int(top[ru]), int(top[rv])
+            if tu != -1:
+                parents[tu] = e
+            if tv != -1:
+                parents[tv] = e
+            w = uf.union(ru, rv)
+            top[w] = e
+        if tracker is not None:
+            # The merge loop is inherently sequential: m iterations of O(1)
+            # amortized union-find work (true find steps are counted).
+            loop_work = float(m + uf.find_steps)
+            tracker.add(WorkDepth(loop_work, loop_work))
+    return parents

@@ -1,0 +1,33 @@
+"""Synthetic stand-ins for the paper's gated real-world inputs.
+
+The paper's Figure 8 inputs are Friendster, Twitter (both: symmetrize,
+weight edges ``1/(1+triangles)``, take the MST), and a DiskANN k-NN graph
+over 100M BigANN SIFT points (then MST).  None of those assets are
+available offline, so this package generates structurally-similar graphs
+and runs the *same* pipelines over them (see DESIGN.md Section 1):
+
+* :func:`synthetic_graphs.rmat_graph` -- skewed-degree RMAT graph
+  (Friendster stand-in);
+* :func:`synthetic_graphs.preferential_attachment_graph` -- power-law
+  follower-style graph (Twitter stand-in);
+* :func:`points.gaussian_blobs` + :mod:`repro.cluster.knn` -- mixture
+  point clouds (BigANN stand-in).
+"""
+
+from repro.datasets.points import gaussian_blobs, noisy_rings
+from repro.datasets.synthetic_graphs import (
+    preferential_attachment_graph,
+    rmat_graph,
+    social_mst,
+)
+from repro.datasets.triangles import triangle_counts, triangle_weights
+
+__all__ = [
+    "gaussian_blobs",
+    "noisy_rings",
+    "rmat_graph",
+    "preferential_attachment_graph",
+    "social_mst",
+    "triangle_counts",
+    "triangle_weights",
+]

@@ -1,0 +1,46 @@
+"""Per-edge triangle counting and the paper's triangle weight scheme.
+
+The paper builds tree inputs from social graphs by "(2) setting the weight
+of each edge (u, v) to be 1/(1+t(u, v)), where t(u, v) is the number of
+triangles incident on the edge" (Section 5).  Counting uses the standard
+neighbor-set intersection, iterating each edge from its lower-degree
+endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+
+__all__ = ["triangle_counts", "triangle_weights"]
+
+
+def triangle_counts(n: int, edges: np.ndarray) -> np.ndarray:
+    """Number of triangles containing each edge of a simple graph."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or (edges.size and edges.shape[1] != 2):
+        raise InvalidGraphError(f"edges must have shape (m, 2), got {edges.shape}")
+    neighbors: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise InvalidGraphError(f"self loop at vertex {u}")
+        neighbors[u].add(v)
+        neighbors[v].add(u)
+    counts = np.empty(edges.shape[0], dtype=np.int64)
+    for i, (u, v) in enumerate(edges):
+        a, b = neighbors[int(u)], neighbors[int(v)]
+        if len(b) < len(a):
+            a, b = b, a
+        counts[i] = sum(1 for x in a if x in b)
+    return counts
+
+
+def triangle_weights(n: int, edges: np.ndarray) -> np.ndarray:
+    """The paper's weight scheme: ``w(u, v) = 1 / (1 + t(u, v))``.
+
+    Edges in many triangles (dense communities) get small weights and merge
+    first, so the MST + SLD pipeline clusters by community density.
+    """
+    return 1.0 / (1.0 + triangle_counts(n, edges).astype(np.float64))

@@ -1,0 +1,47 @@
+"""Single-linkage dendrogram representation, validation, and interop.
+
+A single-linkage dendrogram (SLD) over a weighted tree with ``m = n-1``
+edges is stored the way the paper stores it (Section 2.3): a parent array
+over the *internal* nodes, one per edge, with the root pointing to itself.
+Leaves (the input vertices) are attached implicitly -- vertex ``v`` hangs
+off the node of the minimum-rank edge incident to ``v`` -- and are
+materialized only for SciPy linkage conversion.
+"""
+
+from repro.dendrogram.analysis import ParallelismProfile, parallelism_profile
+from repro.dendrogram.compare import (
+    adjusted_rand_index,
+    fowlkes_mallows,
+    fowlkes_mallows_curve,
+    rand_index,
+)
+from repro.dendrogram.cophenet import cophenetic_distance, cophenetic_matrix
+from repro.dendrogram.lca import DendrogramIndex
+from repro.dendrogram.linkage import cut_height, cut_k, leaf_parents, to_scipy_linkage
+from repro.dendrogram.metrics import dendrogram_height, level_widths, node_depths
+from repro.dendrogram.render import render_dendrogram
+from repro.dendrogram.structure import Dendrogram
+from repro.dendrogram.validate import check_same_dendrogram, validate_parents
+
+__all__ = [
+    "Dendrogram",
+    "validate_parents",
+    "check_same_dendrogram",
+    "dendrogram_height",
+    "node_depths",
+    "level_widths",
+    "to_scipy_linkage",
+    "leaf_parents",
+    "cut_height",
+    "cut_k",
+    "cophenetic_distance",
+    "cophenetic_matrix",
+    "render_dendrogram",
+    "DendrogramIndex",
+    "parallelism_profile",
+    "ParallelismProfile",
+    "rand_index",
+    "adjusted_rand_index",
+    "fowlkes_mallows",
+    "fowlkes_mallows_curve",
+]

@@ -1,0 +1,114 @@
+"""Comparing clusterings and hierarchies.
+
+Pair-counting indices for flat partitions (Rand, adjusted Rand,
+Fowlkes-Mallows) and the classic Fowlkes-Mallows ``B_k`` curve for
+comparing two hierarchies level by level -- the standard tooling for
+asking "do these two dendrograms tell the same story?", e.g. single vs
+average linkage, or exact vs k-NN-approximated pipelines.
+
+All pair counts use the contingency-table formulas (no O(n^2) pair
+enumeration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dendrogram.structure import Dendrogram
+from repro.trees.wtree import WeightedTree
+
+__all__ = [
+    "pair_confusion",
+    "rand_index",
+    "adjusted_rand_index",
+    "fowlkes_mallows",
+    "fowlkes_mallows_curve",
+]
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"label arrays must be 1-D and equal length, got {a.shape}, {b.shape}")
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    table = np.zeros((ai.max() + 1, bi.max() + 1), dtype=np.int64)
+    np.add.at(table, (ai, bi), 1)
+    return table
+
+
+def pair_confusion(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int, int]:
+    """Pair counts ``(both_same, a_same_only, b_same_only, both_diff)``.
+
+    Counts unordered point pairs by whether each labeling puts them in the
+    same cluster.
+    """
+    table = _contingency(a, b)
+    n = int(table.sum())
+    total = n * (n - 1) // 2
+    same_a = int((np.square(table.sum(axis=1)).sum() - n) // 2)
+    same_b = int((np.square(table.sum(axis=0)).sum() - n) // 2)
+    both = int((np.square(table).sum() - n) // 2)
+    return both, same_a - both, same_b - both, total - same_a - same_b + both
+
+
+def rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of point pairs on which the two labelings agree."""
+    both, a_only, b_only, neither = pair_confusion(a, b)
+    total = both + a_only + b_only + neither
+    return (both + neither) / total if total else 1.0
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Rand index corrected for chance (0 expected for random labelings)."""
+    table = _contingency(a, b)
+    n = int(table.sum())
+    if n < 2:
+        return 1.0
+    sum_comb = (table * (table - 1) // 2).sum()
+    rows = table.sum(axis=1)
+    cols = table.sum(axis=0)
+    comb_rows = (rows * (rows - 1) // 2).sum()
+    comb_cols = (cols * (cols - 1) // 2).sum()
+    total = n * (n - 1) // 2
+    expected = comb_rows * comb_cols / total
+    max_index = (comb_rows + comb_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+def fowlkes_mallows(a: np.ndarray, b: np.ndarray) -> float:
+    """Fowlkes-Mallows index: geometric mean of pairwise precision/recall."""
+    both, a_only, b_only, _ = pair_confusion(a, b)
+    denom = (both + a_only) * (both + b_only)
+    if denom == 0:
+        return 1.0  # both labelings are all-singletons
+    return float(both / np.sqrt(denom))
+
+
+def fowlkes_mallows_curve(
+    tree_a: WeightedTree | Dendrogram,
+    tree_b: WeightedTree | Dendrogram,
+    ks: list[int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The B_k curve: Fowlkes-Mallows index of the two hierarchies' k-cluster
+    cuts, for each k.  Returns ``(ks, scores)``.
+
+    Accepts trees or dendrograms over the *same* point set (cuts only need
+    the trees).  Defaults to every k from 2 to n-1.
+    """
+    ta = tree_a.tree if isinstance(tree_a, Dendrogram) else tree_a
+    tb = tree_b.tree if isinstance(tree_b, Dendrogram) else tree_b
+    if ta.n != tb.n:
+        raise ValueError(f"hierarchies cover different point counts: {ta.n} vs {tb.n}")
+    from repro.dendrogram.linkage import cut_k
+
+    if ks is None:
+        ks = list(range(2, max(ta.n, 3)))
+    ks_arr = np.asarray(ks, dtype=np.int64)
+    scores = np.empty(ks_arr.shape[0], dtype=np.float64)
+    for i, k in enumerate(ks_arr):
+        scores[i] = fowlkes_mallows(cut_k(ta, int(k)), cut_k(tb, int(k)))
+    return ks_arr, scores

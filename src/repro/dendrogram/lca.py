@@ -1,0 +1,99 @@
+"""Constant-ish-time cophenetic queries via binary-lifting LCA.
+
+:func:`repro.dendrogram.cophenet.cophenetic_distance` walks two spines in
+``O(h)`` per query; for query-heavy workloads (cross-validation, pair
+sampling, cophenetic correlation) :class:`DendrogramIndex` preprocesses the
+dendrogram once in ``O(m log h)`` and answers merge-node / merge-height
+queries in ``O(log h)`` via binary lifting over the parent array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dendrogram.linkage import leaf_parents
+from repro.dendrogram.metrics import node_depths
+from repro.dendrogram.structure import Dendrogram
+
+__all__ = ["DendrogramIndex"]
+
+
+class DendrogramIndex:
+    """Binary-lifting LCA index over a dendrogram's internal nodes."""
+
+    def __init__(self, dend: Dendrogram) -> None:
+        self.dend = dend
+        tree = dend.tree
+        m = dend.m
+        self._leaf_parent = leaf_parents(tree)
+        if m == 0:
+            self._up = np.zeros((1, 0), dtype=np.int64)
+            self._depth = np.zeros(0, dtype=np.int64)
+            return
+        depth = node_depths(dend.parents, tree.ranks)
+        levels = max(1, int(np.ceil(np.log2(max(int(depth.max()), 2)))) + 1)
+        up = np.empty((levels, m), dtype=np.int64)
+        up[0] = dend.parents
+        for k in range(1, levels):
+            up[k] = up[k - 1][up[k - 1]]
+        self._up = up
+        self._depth = depth
+
+    def lca(self, a: int, b: int) -> int:
+        """LCA node (edge id) of two dendrogram nodes."""
+        depth = self._depth
+        up = self._up
+        if depth[a] < depth[b]:
+            a, b = b, a
+        diff = int(depth[a] - depth[b])
+        k = 0
+        while diff:
+            if diff & 1:
+                a = int(up[k, a])
+            diff >>= 1
+            k += 1
+        if a == b:
+            return int(a)
+        for k in range(up.shape[0] - 1, -1, -1):
+            if up[k, a] != up[k, b]:
+                a = int(up[k, a])
+                b = int(up[k, b])
+        return int(up[0, a])
+
+    def merge_node(self, u: int, v: int) -> int:
+        """Dendrogram node (edge id) at which vertices ``u``/``v`` merge."""
+        n = self.dend.tree.n
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"vertices must lie in [0, {n}), got {u}, {v}")
+        if u == v:
+            raise ValueError("a vertex does not merge with itself")
+        return self.lca(int(self._leaf_parent[u]), int(self._leaf_parent[v]))
+
+    def merge_height(self, u: int, v: int) -> float:
+        """Cophenetic distance of ``u`` and ``v`` (``0.0`` when equal)."""
+        if u == v:
+            return 0.0
+        return float(self.dend.tree.weights[self.merge_node(u, v)])
+
+    def merge_heights(self, pairs: np.ndarray) -> np.ndarray:
+        """Vectorized ``merge_height`` over a ``(k, 2)`` array of pairs."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (k, 2), got {pairs.shape}")
+        out = np.empty(pairs.shape[0], dtype=np.float64)
+        for i, (u, v) in enumerate(pairs):
+            out[i] = self.merge_height(int(u), int(v))
+        return out
+
+    def cophenetic_correlation(self, reference: np.ndarray) -> float:
+        """Pearson correlation between merge heights and a reference
+        ``(n, n)`` dissimilarity matrix (the classic dendrogram-fit score)."""
+        n = self.dend.tree.n
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.shape != (n, n):
+            raise ValueError(f"reference must be ({n}, {n}), got {reference.shape}")
+        iu, ju = np.triu_indices(n, k=1)
+        coph = self.merge_heights(np.stack([iu, ju], axis=1))
+        ref = reference[iu, ju]
+        c = np.corrcoef(coph, ref)
+        return float(c[0, 1])

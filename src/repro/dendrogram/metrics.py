@@ -1,0 +1,53 @@
+"""Dendrogram shape metrics: depths, height ``h``, level widths.
+
+The height ``h`` is the parameter in the paper's ``O(n log h)`` optimal
+work bound (``floor(log n) <= h <= n-1``); level widths drive the ParUF
+parallelism analysis (number of nodes per bottom-up level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["node_depths", "dendrogram_height", "level_widths"]
+
+
+def node_depths(parents: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Depth of each dendrogram node (root = 1), computed top-down.
+
+    Uses the SLD invariant that a parent's rank exceeds its child's rank:
+    processing nodes in decreasing rank order sees every parent before its
+    children, so one linear pass suffices.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    ranks = np.asarray(ranks, dtype=np.int64)
+    m = parents.shape[0]
+    depths = np.zeros(m, dtype=np.int64)
+    order = np.argsort(-ranks)
+    for e in order:
+        p = parents[e]
+        depths[e] = 1 if p == e else depths[p] + 1
+    return depths
+
+
+def dendrogram_height(parents: np.ndarray, ranks: np.ndarray) -> int:
+    """Height ``h``: number of nodes on the longest root-to-node path.
+
+    ``0`` for an empty dendrogram (single-vertex tree).
+    """
+    if len(parents) == 0:
+        return 0
+    return int(node_depths(parents, ranks).max())
+
+
+def level_widths(parents: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Number of nodes at each depth (index 0 = the root level).
+
+    In the paper's terms (Section 4.1): as these widths converge to 1
+    towards the top, ParUF loses parallelism and its post-processing
+    optimization takes over.
+    """
+    if len(parents) == 0:
+        return np.zeros(0, dtype=np.int64)
+    depths = node_depths(parents, ranks)
+    return np.bincount(depths - 1)

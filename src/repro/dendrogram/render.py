@@ -1,0 +1,71 @@
+"""ASCII rendering of small dendrograms (debugging and examples).
+
+Renders the SLD as an indented tree, one line per node, children indented
+under parents, each internal node annotated with its edge id, endpoints,
+weight, and rank.  Leaves (input vertices) are shown under the node that
+first absorbs them.
+"""
+
+from __future__ import annotations
+
+from repro.dendrogram.linkage import leaf_parents
+from repro.dendrogram.structure import Dendrogram
+
+__all__ = ["render_dendrogram"]
+
+_MAX_RENDER_NODES = 2000
+
+
+def render_dendrogram(dend: Dendrogram, show_leaves: bool = True) -> str:
+    """Multi-line string visualization of the dendrogram.
+
+    Children are ordered by decreasing rank (heavier subtree first) so the
+    rendering is deterministic.  Refuses inputs above a size guard --
+    rendering a million-node dendrogram is never what anyone meant.
+    """
+    tree = dend.tree
+    if dend.m == 0:
+        return "(single vertex; empty dendrogram)"
+    if dend.m > _MAX_RENDER_NODES:
+        raise ValueError(
+            f"dendrogram has {dend.m} nodes; rendering is capped at "
+            f"{_MAX_RENDER_NODES} (use metrics/linkage exports instead)"
+        )
+    kids = dend.children()
+    ranks = tree.ranks
+    for lst in kids:
+        lst.sort(key=lambda e: -int(ranks[e]))
+    leaves_under: list[list[int]] = [[] for _ in range(dend.m)]
+    if show_leaves:
+        lp = leaf_parents(tree)
+        for v in range(tree.n):
+            leaves_under[int(lp[v])].append(v)
+
+    lines: list[str] = []
+
+    def describe(e: int) -> str:
+        u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+        return f"edge {e} ({u}-{v})  w={tree.weights[e]:g}  rank={int(ranks[e])}"
+
+    # Iterative pre-order walk (chain-shaped dendrograms would overflow
+    # Python's recursion limit well below the render cap).
+    stack: list[tuple[str, int, str, bool, bool]] = [("node", dend.root, "", True, True)]
+    while stack:
+        kind, x, prefix, tail, is_root = stack.pop()
+        if kind == "leaf":
+            connector = "`-- " if tail else "|-- "
+            lines.append(prefix + connector + f"vertex {x}")
+            continue
+        if is_root:
+            lines.append(describe(x))
+            child_prefix = ""
+        else:
+            connector = "`-- " if tail else "|-- "
+            lines.append(prefix + connector + describe(x))
+            child_prefix = prefix + ("    " if tail else "|   ")
+        children: list[tuple[str, int]] = [("node", c) for c in kids[x]]
+        children += [("leaf", v) for v in leaves_under[x]]
+        for i in range(len(children) - 1, -1, -1):
+            ckind, cx = children[i]
+            stack.append((ckind, cx, child_prefix, i == len(children) - 1, False))
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The :class:`Dendrogram` result object returned by the public API."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dendrogram.metrics import dendrogram_height, level_widths, node_depths
+from repro.dendrogram.validate import validate_parents
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["Dendrogram"]
+
+
+class Dendrogram:
+    """A single-linkage dendrogram over the edges of a weighted tree.
+
+    Attributes
+    ----------
+    tree:
+        The input :class:`~repro.trees.wtree.WeightedTree`.
+    parents:
+        ``parents[e]`` is the edge id of node ``e``'s parent in the SLD;
+        the root node points to itself.
+    """
+
+    __slots__ = ("tree", "parents", "_depths")
+
+    def __init__(self, tree: WeightedTree, parents: np.ndarray, validate: bool = False) -> None:
+        self.tree = tree
+        self.parents = np.asarray(parents, dtype=np.int64)
+        if validate:
+            validate_parents(self.parents, tree.ranks)
+        self._depths: np.ndarray | None = None
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of internal nodes (= number of tree edges)."""
+        return self.parents.shape[0]
+
+    @property
+    def root(self) -> int:
+        """Edge id of the root node (the globally max-rank edge)."""
+        if self.m == 0:
+            raise ValueError("empty dendrogram has no root")
+        roots = np.flatnonzero(self.parents == np.arange(self.m))
+        return int(roots[0])
+
+    def parent(self, e: int) -> int:
+        return int(self.parents[e])
+
+    def spine(self, e: int) -> list[int]:
+        """Node-to-root path starting at node ``e`` (paper's spine_D(e))."""
+        path = [int(e)]
+        while self.parents[path[-1]] != path[-1]:
+            path.append(int(self.parents[path[-1]]))
+        return path
+
+    def children(self) -> list[list[int]]:
+        """Children lists per node (at most two tree-edge children each plus
+        leaf vertices, which are not included here)."""
+        kids: list[list[int]] = [[] for _ in range(self.m)]
+        for e in range(self.m):
+            p = int(self.parents[e])
+            if p != e:
+                kids[p].append(e)
+        return kids
+
+    # -- metrics -------------------------------------------------------------
+    def depths(self) -> np.ndarray:
+        if self._depths is None:
+            self._depths = node_depths(self.parents, self.tree.ranks)
+        return self._depths
+
+    @property
+    def height(self) -> int:
+        """The paper's ``h``: nodes on the longest root-to-node path."""
+        return dendrogram_height(self.parents, self.tree.ranks)
+
+    def level_widths(self) -> np.ndarray:
+        return level_widths(self.parents, self.tree.ranks)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.InvalidDendrogramError` on any
+        structural violation."""
+        validate_parents(self.parents, self.tree.ranks)
+
+    # -- interop (delegates kept here for discoverability) --------------------
+    def to_linkage(self) -> np.ndarray:
+        """SciPy-style ``(n-1, 4)`` linkage matrix (see
+        :func:`repro.dendrogram.linkage.to_scipy_linkage`)."""
+        from repro.dendrogram.linkage import to_scipy_linkage
+
+        return to_scipy_linkage(self.tree)
+
+    def cut_height(self, threshold: float) -> np.ndarray:
+        """Flat cluster labels after merging all edges with weight <= threshold."""
+        from repro.dendrogram.linkage import cut_height
+
+        return cut_height(self.tree, threshold)
+
+    def cut_k(self, k: int) -> np.ndarray:
+        """Flat cluster labels with exactly ``k`` clusters."""
+        from repro.dendrogram.linkage import cut_k
+
+        return cut_k(self.tree, k)
+
+    def cophenetic_distance(self, u: int, v: int) -> float:
+        """Merge height of vertices ``u`` and ``v`` (see
+        :func:`repro.dendrogram.cophenet.cophenetic_distance`)."""
+        from repro.dendrogram.cophenet import cophenetic_distance
+
+        return cophenetic_distance(self, u, v)
+
+    def render(self, show_leaves: bool = True) -> str:
+        """ASCII tree rendering (small dendrograms only)."""
+        from repro.dendrogram.render import render_dendrogram
+
+        return render_dendrogram(self, show_leaves=show_leaves)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dendrogram):
+            return NotImplemented
+        return bool(np.array_equal(self.parents, other.parents))
+
+    def __hash__(self) -> int:  # parent arrays are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dendrogram(m={self.m}, height={self.height if self.m else 0})"

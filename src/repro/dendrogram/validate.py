@@ -1,0 +1,60 @@
+"""Structural validation of dendrogram parent arrays.
+
+These checks enforce the invariants every correct SLD satisfies; semantic
+correctness against the clustering definition is checked in the test suite
+by comparison with the brute-force oracle (:mod:`repro.core.brute`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidDendrogramError
+
+__all__ = ["validate_parents", "check_same_dendrogram"]
+
+
+def validate_parents(parents: np.ndarray, ranks: np.ndarray) -> None:
+    """Verify the structural invariants of an SLD parent array.
+
+    * one node per edge, parents in range;
+    * exactly one root (``parents[e] == e``), and it is the max-rank edge
+      (the last merge performed);
+    * rank monotonicity: ``ranks[parents[e]] > ranks[e]`` for non-roots,
+      which also implies acyclicity and that every node reaches the root.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    ranks = np.asarray(ranks, dtype=np.int64)
+    m = parents.shape[0]
+    if ranks.shape[0] != m:
+        raise InvalidDendrogramError(
+            f"parents has {m} nodes but ranks has {ranks.shape[0]} entries"
+        )
+    if m == 0:
+        return
+    if parents.min() < 0 or parents.max() >= m:
+        bad = int(np.argmax((parents < 0) | (parents >= m)))
+        raise InvalidDendrogramError(f"node {bad} has out-of-range parent {parents[bad]}")
+    roots = np.flatnonzero(parents == np.arange(m))
+    if roots.size != 1:
+        raise InvalidDendrogramError(f"expected exactly one root, found {roots.size}")
+    root = int(roots[0])
+    if ranks[root] != m - 1:
+        raise InvalidDendrogramError(
+            f"root must be the max-rank edge (rank {m - 1}), got rank {ranks[root]}"
+        )
+    nonroot = parents != np.arange(m)
+    bad_rank = nonroot & (ranks[parents] <= ranks)
+    if bad_rank.any():
+        bad = int(np.argmax(bad_rank))
+        raise InvalidDendrogramError(
+            f"node {bad} (rank {ranks[bad]}) has parent {parents[bad]} with "
+            f"non-greater rank {ranks[parents[bad]]}"
+        )
+
+
+def check_same_dendrogram(parents_a: np.ndarray, parents_b: np.ndarray) -> bool:
+    """True iff two parent arrays describe the identical dendrogram."""
+    a = np.asarray(parents_a, dtype=np.int64)
+    b = np.asarray(parents_b, dtype=np.int64)
+    return a.shape == b.shape and bool(np.array_equal(a, b))

@@ -1,0 +1,49 @@
+"""Typed exceptions raised throughout the ``repro`` package.
+
+All user-facing validation failures raise a subclass of :class:`ReproError`
+so callers can catch a single exception type at API boundaries while tests
+can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidTreeError(ReproError):
+    """The input edge list does not describe a valid tree.
+
+    Raised when the edge set has the wrong cardinality, contains self
+    loops, duplicate edges, out-of-range vertex ids, cycles, or does not
+    connect all vertices.
+    """
+
+
+class InvalidWeightsError(ReproError):
+    """Edge weights are malformed (wrong length, NaN, or non-numeric)."""
+
+
+class InvalidDendrogramError(ReproError):
+    """A dendrogram parent array violates a structural invariant."""
+
+
+class InvalidGraphError(ReproError):
+    """An input graph (for MST / clustering pipelines) is malformed."""
+
+
+class NotConnectedError(InvalidGraphError):
+    """The input graph is not connected, so a spanning tree cannot cover it."""
+
+
+class EmptyHeapError(ReproError):
+    """``delete_min``/``find_min`` was called on an empty heap."""
+
+
+class SchedulerError(ReproError):
+    """Misuse of the work-depth tracker (e.g. unbalanced round brackets)."""
+
+
+class AlgorithmError(ReproError):
+    """An unknown algorithm name or invalid algorithm option was requested."""

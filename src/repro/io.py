@@ -1,0 +1,125 @@
+"""Persistence: save/load trees and dendrograms as ``.npz`` archives.
+
+The formats are intentionally plain -- raw arrays plus a format tag -- so
+downstream tooling in any language can read them with a NumPy-compatible
+loader.
+
+* tree archive:        ``kind="tree"``, ``n``, ``edges (m,2)``, ``weights (m,)``
+* dendrogram archive:  ``kind="dendrogram"``, the tree fields, ``parents (m,)``
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.dendrogram.structure import Dendrogram
+from repro.errors import ReproError
+from repro.trees.wtree import WeightedTree
+
+__all__ = [
+    "save_tree",
+    "load_tree",
+    "save_dendrogram",
+    "load_dendrogram",
+    "export_linkage_csv",
+    "load_edges_csv",
+]
+
+
+class FormatError(ReproError):
+    """The archive is not in the expected repro format."""
+
+
+def save_tree(path: str | Path, tree: WeightedTree) -> None:
+    """Write a weighted tree to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        kind=np.array("tree"),
+        n=np.array(tree.n, dtype=np.int64),
+        edges=tree.edges,
+        weights=tree.weights,
+    )
+
+
+def load_tree(path: str | Path) -> WeightedTree:
+    """Read a weighted tree saved by :func:`save_tree`."""
+    with np.load(path, allow_pickle=False) as data:
+        _expect_kind(data, "tree", path)
+        return WeightedTree(int(data["n"]), data["edges"], data["weights"])
+
+
+def save_dendrogram(path: str | Path, dend: Dendrogram) -> None:
+    """Write a dendrogram (tree + parents) to ``path`` (``.npz``)."""
+    tree = dend.tree
+    np.savez_compressed(
+        path,
+        kind=np.array("dendrogram"),
+        n=np.array(tree.n, dtype=np.int64),
+        edges=tree.edges,
+        weights=tree.weights,
+        parents=dend.parents,
+    )
+
+
+def load_dendrogram(path: str | Path) -> Dendrogram:
+    """Read a dendrogram saved by :func:`save_dendrogram` (validated)."""
+    with np.load(path, allow_pickle=False) as data:
+        _expect_kind(data, "dendrogram", path)
+        tree = WeightedTree(int(data["n"]), data["edges"], data["weights"])
+        return Dendrogram(tree, data["parents"], validate=True)
+
+
+def export_linkage_csv(path: str | Path, dend: Dendrogram) -> None:
+    """Write the SciPy-style linkage matrix as CSV with a header row."""
+    Z = dend.to_linkage()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["cluster_a", "cluster_b", "distance", "size"])
+        for row in Z:
+            writer.writerow([int(row[0]), int(row[1]), repr(float(row[2])), int(row[3])])
+
+
+def load_edges_csv(
+    path: str | Path, has_header: bool | None = None
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Read a weighted edge list from CSV: rows of ``u,v[,weight]``.
+
+    Returns ``(n, edges, weights)`` with ``n = max vertex id + 1`` and unit
+    weights where the column is absent.  ``has_header=None`` auto-detects a
+    header row (non-numeric first cell).  Feed the result to
+    :func:`repro.trees.mst.minimum_spanning_tree` or
+    :func:`repro.cluster.graph_linkage.graph_single_linkage`.
+    """
+    rows: list[tuple[int, int, float]] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        for i, row in enumerate(reader):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if i == 0 and has_header is not False:
+                try:
+                    int(row[0])
+                except ValueError:
+                    continue  # header row
+            if len(row) < 2:
+                raise FormatError(f"{path}: row {i + 1} has fewer than two columns")
+            u, v = int(row[0]), int(row[1])
+            w = float(row[2]) if len(row) >= 3 and row[2].strip() else 1.0
+            rows.append((u, v, w))
+    if not rows:
+        raise FormatError(f"{path}: no edges found")
+    edges = np.array([(u, v) for u, v, _ in rows], dtype=np.int64)
+    weights = np.array([w for _, _, w in rows], dtype=np.float64)
+    if edges.min() < 0:
+        raise FormatError(f"{path}: negative vertex id")
+    n = int(edges.max()) + 1
+    return n, edges, weights
+
+
+def _expect_kind(data, kind: str, path) -> None:
+    if "kind" not in data or str(data["kind"]) != kind:
+        found = str(data["kind"]) if "kind" in data else "<missing>"
+        raise FormatError(f"{path}: expected a {kind!r} archive, found kind={found!r}")

@@ -1,0 +1,27 @@
+"""Parallel primitives: scans, reductions, sorts, and packing.
+
+These are the ParlayLib-style building blocks the paper's implementation
+leans on (parallel sort for SeqUF's edge sort, counting sort for binomial
+heap rebuilds, prefix sums for emitting filtered heap nodes).  Each
+primitive has a vectorized NumPy kernel for real execution plus work/depth
+charging that matches its textbook parallel cost.
+"""
+
+from repro.primitives.pack import pack, pack_indices
+from repro.primitives.reduce import parallel_reduce
+from repro.primitives.scan import exclusive_scan, inclusive_scan
+from repro.primitives.semisort import group_by, semisort
+from repro.primitives.sort import counting_sort, rank_sort_indices, sort_by_key
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "parallel_reduce",
+    "counting_sort",
+    "sort_by_key",
+    "rank_sort_indices",
+    "pack",
+    "pack_indices",
+    "semisort",
+    "group_by",
+]

@@ -1,0 +1,39 @@
+"""Filter/pack: emit the selected elements of an array contiguously.
+
+Pack is how the paper's heap filter emits the ``k`` removed elements into a
+single array (Section 2.2): compute a 0/1 flag array, exclusive-scan it for
+offsets, then scatter.  The NumPy kernel is boolean indexing; the charged
+cost is the scan-based parallel pack: ``O(n)`` work, ``O(log n)`` depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.scan import scan_cost
+from repro.runtime.cost_model import CostTracker
+
+__all__ = ["pack", "pack_indices"]
+
+
+def pack(
+    values: np.ndarray, flags: np.ndarray, tracker: CostTracker | None = None
+) -> np.ndarray:
+    """Return ``values[i]`` for every ``i`` with ``flags[i]`` true, in order."""
+    values = np.asarray(values)
+    flags = np.asarray(flags, dtype=bool)
+    if values.shape[0] != flags.shape[0]:
+        raise ValueError("values and flags must have equal length")
+    if tracker is not None:
+        tracker.add(scan_cost(flags.size))
+    return values[flags]
+
+
+def pack_indices(flags: np.ndarray, tracker: CostTracker | None = None) -> np.ndarray:
+    """Indices at which ``flags`` is true, in increasing order."""
+    flags = np.asarray(flags, dtype=bool)
+    if flags.ndim != 1:
+        raise ValueError(f"pack expects 1-D flags, got shape {flags.shape}")
+    if tracker is not None:
+        tracker.add(scan_cost(flags.size))
+    return np.flatnonzero(flags)

@@ -1,0 +1,57 @@
+"""Parallel reduction over an arbitrary associative operator.
+
+Used by SLD-TreeContraction to meld the heaps of all clusters raked into
+the same target in ``O(log d)`` depth (paper Section 3.2), and by tests to
+check associativity-order independence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.util import log2ceil
+
+T = TypeVar("T")
+
+__all__ = ["parallel_reduce"]
+
+
+def parallel_reduce(
+    items: Sequence[T],
+    op: Callable[[T, T], T],
+    tracker: CostTracker | None = None,
+    op_cost: Callable[[T, T], WorkDepth] | None = None,
+) -> T:
+    """Reduce ``items`` with ``op`` in balanced-binary-tree order.
+
+    The reduction tree has ``ceil(log2(n))`` levels; combines at the same
+    level are charged as one parallel round (work = sum, depth = max), so a
+    cost-reporting operator yields the textbook ``O(log n * depth(op))``
+    overall depth.
+
+    ``op`` must be associative; the tree order is deterministic (pairs of
+    adjacent items), matching a ParlayLib-style deterministic reduce.
+    """
+    n = len(items)
+    if n == 0:
+        raise ValueError("parallel_reduce requires at least one item")
+    level = list(items)
+    while len(level) > 1:
+        nxt: list[T] = []
+        round_work = 0.0
+        round_depth = 0.0
+        for i in range(0, len(level) - 1, 2):
+            a, b = level[i], level[i + 1]
+            if op_cost is not None:
+                cost = op_cost(a, b)
+                round_work += cost.work
+                round_depth = max(round_depth, cost.depth)
+            nxt.append(op(a, b))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        if tracker is not None:
+            spawn = log2ceil(max(len(level) // 2, 1))
+            tracker.add(WorkDepth(round_work, round_depth + spawn))
+        level = nxt
+    return level[0]

@@ -1,0 +1,57 @@
+"""Prefix sums (scans) with parallel-cost accounting.
+
+The execution kernel is ``numpy.cumsum`` (sequential under the hood but
+vectorized); the charged cost is that of the standard two-phase
+(up-sweep/down-sweep) parallel scan: ``O(n)`` work and ``O(log n)`` depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.util import log2ceil
+
+__all__ = ["inclusive_scan", "exclusive_scan", "scan_cost"]
+
+
+def scan_cost(n: int) -> WorkDepth:
+    """Work/depth of a parallel scan over ``n`` elements."""
+    if n <= 1:
+        return WorkDepth(float(max(n, 0)), 1.0 if n else 0.0)
+    return WorkDepth(float(2 * n), float(2 * log2ceil(n)))
+
+
+def inclusive_scan(
+    values: np.ndarray, tracker: CostTracker | None = None
+) -> np.ndarray:
+    """Inclusive prefix sum of a 1-D array."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"scan expects a 1-D array, got shape {arr.shape}")
+    if tracker is not None:
+        tracker.add(scan_cost(arr.size))
+    return np.cumsum(arr)
+
+
+def exclusive_scan(
+    values: np.ndarray, tracker: CostTracker | None = None
+) -> tuple[np.ndarray, float]:
+    """Exclusive prefix sum; returns ``(offsets, total)``.
+
+    ``offsets[i]`` is the sum of ``values[:i]``; ``total`` is the sum of the
+    whole array.  This is the shape needed for parallel emission of filtered
+    heap elements into a single output array (paper Section 2.2).
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"scan expects a 1-D array, got shape {arr.shape}")
+    if tracker is not None:
+        tracker.add(scan_cost(arr.size))
+    if arr.size == 0:
+        return np.zeros(0, dtype=arr.dtype), arr.dtype.type(0)
+    out = np.empty_like(arr)
+    out[0] = 0
+    np.cumsum(arr[:-1], out=out[1:])
+    total = out[-1] + arr[-1]
+    return out, total

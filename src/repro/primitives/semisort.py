@@ -1,0 +1,78 @@
+"""Semisort: group equal keys contiguously, in no particular group order.
+
+Semisorting is the randomized primitive behind Wang et al.'s SLD algorithm
+(Gu, Shun, Sun, Blelloch: O(n) expected work, O(log n) depth whp) -- it is
+also the reason that algorithm is randomized and hard to derandomize,
+which the paper contrasts its deterministic algorithms against.
+
+This implementation keeps the semisort *contract* (equal keys adjacent,
+group order arbitrary -- here, order of first appearance) and the charged
+randomized cost, while the execution kernel uses hashing into a
+first-appearance index, the natural single-node realization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.util import log2ceil
+
+__all__ = ["semisort", "group_by"]
+
+
+def semisort(
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    tracker: CostTracker | None = None,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Reorder so equal keys are contiguous (groups in first-seen order).
+
+    Unlike a sort, group order carries no meaning -- callers may rely only
+    on adjacency of equal keys.  Charged at the randomized semisort cost:
+    ``O(k)`` work, ``O(log k)`` depth.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"semisort expects 1-D keys, got shape {keys.shape}")
+    if tracker is not None:
+        k = keys.shape[0]
+        tracker.add(WorkDepth(float(max(k, 1)), float(log2ceil(max(k, 2)) + 1)))
+    # first-appearance group index per key, then a stable counting-style sort
+    _, first_idx, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    group_rank = np.argsort(np.argsort(first_idx))  # unique-id -> appearance order
+    order = np.argsort(group_rank[inverse], kind="stable")
+    if values is None:
+        return keys[order]
+    values = np.asarray(values)
+    if values.shape[0] != keys.shape[0]:
+        raise ValueError("keys and values must have equal length")
+    return keys[order], values[order]
+
+
+def group_by(
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    tracker: CostTracker | None = None,
+) -> dict:
+    """Semisort packaged as ``{key: array_of_values}`` (insertion order).
+
+    ``values=None`` groups the element indices instead -- the common form
+    for "collect the edges incident to each bucket" steps.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"group_by expects 1-D keys, got shape {keys.shape}")
+    if values is None:
+        values = np.arange(keys.shape[0])
+    else:
+        values = np.asarray(values)
+        if values.shape[0] != keys.shape[0]:
+            raise ValueError("keys and values must have equal length")
+    if tracker is not None:
+        k = keys.shape[0]
+        tracker.add(WorkDepth(float(max(k, 1)), float(log2ceil(max(k, 2)) + 1)))
+    out: dict = {}
+    for key, val in zip(keys.tolist(), values):
+        out.setdefault(key, []).append(val)
+    return {k: np.asarray(v) for k, v in out.items()}

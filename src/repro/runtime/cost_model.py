@@ -1,0 +1,203 @@
+"""Work-depth cost accounting in the binary-forking model.
+
+Two pieces:
+
+* :class:`WorkDepth` -- an immutable ``(work, depth)`` pair with the usual
+  series/parallel composition algebra:
+
+  - series:   ``work = w1 + w2``, ``depth = d1 + d2``
+  - parallel: ``work = sum(w_i)``, ``depth = max(d_i) + ceil(log2(k))``
+    (the log term is the binary-forking spawn overhead for ``k`` tasks).
+
+* :class:`CostTracker` -- a mutable accumulator that algorithms charge as
+  they run.  Round-structured algorithms (tree contraction, ParUF levels)
+  use :meth:`CostTracker.parallel_round`; recursive divide-and-conquer code
+  composes :class:`WorkDepth` values functionally via
+  :func:`combine_parallel` / :func:`combine_serial` and deposits the result
+  with :meth:`CostTracker.add`.
+
+Charging conventions used throughout the package (matching the paper's
+analysis in Sections 3-4):
+
+- a heap insert/delete-min/meld on a heap of size ``s`` charges
+  ``log2(s)+1`` work,
+- a heap filter extracting ``k`` of ``s`` items charges ``k*(log2(s)+1)``
+  work and ``(log2(s)+1)**2`` depth,
+- a comparison sort of ``n`` items charges ``n*log2(n)`` work and
+  ``log2(n)**2`` depth, a counting sort over range ``M`` charges ``n + M``
+  work and ``log2(n) + M`` depth,
+- a sequential scan of ``n`` items charges ``n`` work / ``n`` depth, a
+  parallel scan ``n`` work / ``2*log2(n)`` depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchedulerError
+from repro.util import log2ceil
+
+__all__ = [
+    "WorkDepth",
+    "CostTracker",
+    "combine_parallel",
+    "combine_serial",
+    "log_cost",
+]
+
+
+def log_cost(size: int) -> float:
+    """Cost charged for one ``O(log s)`` heap operation on ``s`` elements."""
+    return math.log2(size) + 1.0 if size > 1 else 1.0
+
+
+@dataclass(frozen=True)
+class WorkDepth:
+    """An immutable work/depth pair."""
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def then(self, other: "WorkDepth") -> "WorkDepth":
+        """Series composition: ``self`` followed by ``other``."""
+        return WorkDepth(self.work + other.work, self.depth + other.depth)
+
+    def __add__(self, other: "WorkDepth") -> "WorkDepth":
+        return self.then(other)
+
+    @staticmethod
+    def zero() -> "WorkDepth":
+        return WorkDepth(0.0, 0.0)
+
+    @staticmethod
+    def seq(work: float) -> "WorkDepth":
+        """A sequential segment: depth equals work."""
+        return WorkDepth(work, work)
+
+
+def combine_serial(parts: Iterable[WorkDepth]) -> WorkDepth:
+    """Series composition of ``parts``."""
+    w = 0.0
+    d = 0.0
+    for p in parts:
+        w += p.work
+        d += p.depth
+    return WorkDepth(w, d)
+
+
+def combine_parallel(parts: Sequence[WorkDepth]) -> WorkDepth:
+    """Parallel composition with binary-forking spawn overhead."""
+    if not parts:
+        return WorkDepth.zero()
+    w = sum(p.work for p in parts)
+    d = max(p.depth for p in parts)
+    return WorkDepth(w, d + log2ceil(len(parts)))
+
+
+class _Round:
+    """Accumulator handed out by :meth:`CostTracker.parallel_round`."""
+
+    __slots__ = ("_work", "_depth", "_count")
+
+    def __init__(self) -> None:
+        self._work = 0.0
+        self._depth = 0.0
+        self._count = 0
+
+    def task(self, work: float, depth: float | None = None) -> None:
+        """Record one parallel task of the round.
+
+        ``depth`` defaults to ``work`` (a sequential task body).
+        """
+        if depth is None:
+            depth = work
+        self._work += work
+        if depth > self._depth:
+            self._depth = depth
+        self._count += 1
+
+    def as_workdepth(self) -> WorkDepth:
+        if self._count == 0:
+            return WorkDepth.zero()
+        return WorkDepth(self._work, self._depth + log2ceil(self._count))
+
+
+class CostTracker:
+    """Mutable work/depth accumulator charged by instrumented algorithms.
+
+    A disabled tracker (``CostTracker(enabled=False)``) accepts all calls as
+    cheap no-ops so production paths can keep their instrumentation calls.
+    """
+
+    __slots__ = ("enabled", "_work", "_depth", "_open_rounds")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._work = 0.0
+        self._depth = 0.0
+        self._open_rounds = 0
+
+    # -- read API ---------------------------------------------------------
+    @property
+    def work(self) -> float:
+        return self._work
+
+    @property
+    def depth(self) -> float:
+        return self._depth
+
+    def snapshot(self) -> WorkDepth:
+        return WorkDepth(self._work, self._depth)
+
+    # -- write API --------------------------------------------------------
+    def sequential(self, work: float, depth: float | None = None) -> None:
+        """Charge a sequential segment (depth defaults to work)."""
+        if not self.enabled:
+            return
+        self._work += work
+        self._depth += work if depth is None else depth
+
+    def add(self, cost: WorkDepth) -> None:
+        """Deposit a pre-composed :class:`WorkDepth` (series with history)."""
+        if not self.enabled:
+            return
+        self._work += cost.work
+        self._depth += cost.depth
+
+    def parallel_round(self) -> "_RoundContext":
+        """Context manager collecting one synchronous parallel round."""
+        return _RoundContext(self)
+
+    def reset(self) -> None:
+        if self._open_rounds:
+            raise SchedulerError("cannot reset tracker inside an open parallel round")
+        self._work = 0.0
+        self._depth = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostTracker(work={self._work:.0f}, depth={self._depth:.0f})"
+
+
+class _RoundContext:
+    __slots__ = ("_tracker", "_round")
+
+    def __init__(self, tracker: CostTracker) -> None:
+        self._tracker = tracker
+        self._round: _Round | None = None
+
+    def __enter__(self) -> _Round:
+        self._round = _Round()
+        self._tracker._open_rounds += 1
+        return self._round
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._round is not None
+        self._tracker._open_rounds -= 1
+        if exc_type is None:
+            self._tracker.add(self._round.as_workdepth())
+
+
+#: A shared always-disabled tracker for hot paths that want zero accounting.
+NULL_TRACKER = CostTracker(enabled=False)

@@ -1,0 +1,117 @@
+"""Wall-clock phase timers for breakdown experiments (paper Figure 7).
+
+A :class:`PhaseTimer` optionally *binds* a
+:class:`~repro.runtime.cost_model.CostTracker`: entering a phase snapshots
+the tracker, so per-phase work/depth is recorded alongside per-phase wall
+time.  The Brent simulation in :mod:`repro.bench.harness` needs this split
+because phases scale very differently -- SeqUF's edge sort parallelizes
+while its merge loop does not, and collapsing them into one global (W, D)
+pair would let the sort's work mask the loop's sequential depth.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cost_model import CostTracker
+
+__all__ = ["PhaseTimer", "PhaseCost"]
+
+
+class PhaseCost:
+    """Wall seconds plus charged work/depth of one named phase."""
+
+    __slots__ = ("seconds", "work", "depth")
+
+    def __init__(self, seconds: float = 0.0, work: float = 0.0, depth: float = 0.0) -> None:
+        self.seconds = seconds
+        self.work = work
+        self.depth = depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseCost(seconds={self.seconds:.4f}, work={self.work:.0f}, depth={self.depth:.0f})"
+
+
+class PhaseTimer:
+    """Accumulates wall time (and, if bound, work/depth) per named phase.
+
+    Example::
+
+        tracker = CostTracker()
+        timer = PhaseTimer(tracker=tracker)
+        with timer.phase("build"):
+            build()          # charges tracker
+        timer.phase_costs["build"].work  # work charged during build
+    """
+
+    def __init__(self, tracker: "CostTracker | None" = None) -> None:
+        self._elapsed: dict[str, float] = {}
+        self._order: list[str] = []
+        self._tracker = tracker
+        self._work: dict[str, float] = {}
+        self._depth: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        w0 = d0 = 0.0
+        if self._tracker is not None:
+            w0, d0 = self._tracker.work, self._tracker.depth
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            if name not in self._elapsed:
+                self._elapsed[name] = 0.0
+                self._work[name] = 0.0
+                self._depth[name] = 0.0
+                self._order.append(name)
+            self._elapsed[name] += dt
+            if self._tracker is not None:
+                self._work[name] += self._tracker.work - w0
+                self._depth[name] += self._tracker.depth - d0
+
+    def add(self, name: str, seconds: float, work: float = 0.0, depth: float = 0.0) -> None:
+        """Record a phase contribution directly (for merged timers)."""
+        if name not in self._elapsed:
+            self._elapsed[name] = 0.0
+            self._work[name] = 0.0
+            self._depth[name] = 0.0
+            self._order.append(name)
+        self._elapsed[name] += seconds
+        self._work[name] += work
+        self._depth[name] += depth
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """Elapsed seconds per phase, in first-seen order."""
+        return {name: self._elapsed[name] for name in self._order}
+
+    @property
+    def phase_costs(self) -> dict[str, PhaseCost]:
+        """Per-phase ``(seconds, work, depth)`` records."""
+        return {
+            name: PhaseCost(self._elapsed[name], self._work[name], self._depth[name])
+            for name in self._order
+        }
+
+    def total(self) -> float:
+        return sum(self._elapsed.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-phase fraction of total time (zeros if nothing timed)."""
+        total = self.total()
+        if total == 0:
+            return {name: 0.0 for name in self._order}
+        return {name: self._elapsed[name] / total for name in self._order}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, cost in other.phase_costs.items():
+            self.add(name, cost.seconds, cost.work, cost.depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self.phases.items())
+        return f"PhaseTimer({parts})"

@@ -1,0 +1,71 @@
+"""Best-effort real parallelism helpers.
+
+CPython's GIL prevents the fine-grained shared-memory parallelism the paper
+exploits (this is the documented reproduction gate), so the package's
+performance story runs through the cost model in :mod:`repro.runtime.brent`.
+These helpers still provide *real* thread-pool execution for coarse-grained
+independent tasks -- useful when task bodies release the GIL (NumPy kernels)
+and for exercising the same round-structured code paths the simulated
+scheduler accounts for.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "parallel_for", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count used when none is specified (``os.cpu_count()``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    Runs sequentially when ``workers`` resolves to 1 or there is at most one
+    item, avoiding pool overhead on single-core machines.
+    """
+    n = len(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or n <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=min(workers, n)) as pool:
+        return list(pool.map(fn, items))
+
+
+def parallel_for(
+    fn: Callable[[int, int], None],
+    n: int,
+    workers: int | None = None,
+    grain: int = 1024,
+) -> None:
+    """Run ``fn(lo, hi)`` over a blocked decomposition of ``range(n)``.
+
+    ``fn`` receives half-open index ranges; blocks are at least ``grain``
+    long so per-task overhead stays bounded.
+    """
+    if n <= 0:
+        return
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or n <= grain:
+        fn(0, n)
+        return
+    block = max(grain, (n + workers - 1) // workers)
+    ranges = [(lo, min(lo + block, n)) for lo in range(0, n, block)]
+    with ThreadPoolExecutor(max_workers=min(workers, len(ranges))) as pool:
+        futures = [pool.submit(fn, lo, hi) for lo, hi in ranges]
+        for fut in futures:
+            fut.result()

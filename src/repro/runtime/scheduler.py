@@ -1,0 +1,56 @@
+"""Round-structured task scheduler with cost accounting.
+
+:class:`Scheduler` executes a *round* of independent tasks (callables that
+return ``(value, WorkDepth)``) and charges the round's parallel composition
+to a :class:`~repro.runtime.cost_model.CostTracker`.  Execution order within
+a round is deterministic by default but may be permuted (``shuffle=True``)
+to demonstrate order-insensitivity of the round-structured algorithms, the
+same role the hardware scheduler's nondeterminism plays in the paper's
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
+from repro.util import check_random_state
+
+__all__ = ["Scheduler"]
+
+Task = Callable[[], tuple[Any, WorkDepth]]
+
+
+class Scheduler:
+    """Executes rounds of independent cost-reporting tasks."""
+
+    def __init__(
+        self,
+        tracker: CostTracker | None = None,
+        shuffle: bool = False,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.tracker = tracker if tracker is not None else CostTracker(enabled=False)
+        self.shuffle = shuffle
+        self._rng = check_random_state(seed)
+        self.rounds_run = 0
+
+    def run_round(self, tasks: Sequence[Task]) -> list[Any]:
+        """Run all ``tasks``; return their values in the original task order."""
+        n = len(tasks)
+        if n == 0:
+            return []
+        order = np.arange(n)
+        if self.shuffle and n > 1:
+            self._rng.shuffle(order)
+        values: list[Any] = [None] * n
+        costs: list[WorkDepth] = [WorkDepth.zero()] * n
+        for idx in order:
+            value, cost = tasks[int(idx)]()
+            values[int(idx)] = value
+            costs[int(idx)] = cost
+        self.tracker.add(combine_parallel(costs))
+        self.rounds_run += 1
+        return values

@@ -1,0 +1,28 @@
+"""Core data structures: union-find and meldable heaps.
+
+The paper's algorithms need two substrates beyond arrays:
+
+* **Union-Find** with path compression (SeqUF's cluster bookkeeping, and
+  ParUF's -- which, per Section 4.1, may be any *sequential* union-find
+  because only local-minima edges are processed concurrently).
+* **Meldable min-heaps** keyed by edge rank.  Binomial heaps additionally
+  support the parallel ``filter`` operation of Section 2.2, required by
+  SLD-TreeContraction; pairing and skew heaps are provided as lighter-weight
+  alternatives for ParUF's neighbor-heaps (an ablation in the benchmarks).
+"""
+
+from repro.structures.binomial_heap import BinomialHeap
+from repro.structures.pairing_heap import PairingHeap
+from repro.structures.skew_heap import SkewHeap
+from repro.structures.unionfind import UnionFind
+
+__all__ = ["UnionFind", "BinomialHeap", "PairingHeap", "SkewHeap", "make_heap"]
+
+
+def make_heap(kind: str):
+    """Construct an empty meldable heap by name (``binomial``/``pairing``/``skew``)."""
+    kinds = {"binomial": BinomialHeap, "pairing": PairingHeap, "skew": SkewHeap}
+    try:
+        return kinds[kind]()
+    except KeyError:
+        raise ValueError(f"unknown heap kind {kind!r}; expected one of {sorted(kinds)}") from None

@@ -1,0 +1,249 @@
+"""Meldable binomial min-heap with the paper's ``filter`` extension.
+
+Implements the interface of paper Section 2.2:
+
+* ``insert(key, item)``        -- ``O(log s)``
+* ``delete_min()``             -- ``O(log s)``
+* ``meld(other)``              -- ``O(log s)``, destructive on both inputs
+* ``filter(threshold)``        -- remove and return every element with
+  ``key < threshold``; ``O(k log s)`` work where ``k`` elements leave.
+* ``filter_and_insert(key, item)`` -- insert then filter at that key
+  (used by the optimized rake/compress, Algs. 3-4).
+
+Keys are edge *ranks* -- distinct integers -- so min-heap order is strict.
+The filter walks only nodes that leave plus their immediate surviving
+children (heap order guarantees a node ``>= threshold`` has no descendant
+``< threshold``), then rebuilds the surviving binomial trees with the
+binary-carry grouping procedure the paper describes (counting-sort by
+degree + pairwise linking).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EmptyHeapError
+
+__all__ = ["BinomialHeap"]
+
+
+class _Node:
+    __slots__ = ("key", "item", "degree", "child", "sibling")
+
+    def __init__(self, key: int, item: object) -> None:
+        self.key = key
+        self.item = item
+        self.degree = 0
+        self.child: _Node | None = None  # leftmost (highest-degree) child
+        self.sibling: _Node | None = None  # next in child chain / root list
+
+
+def _link(a: _Node, b: _Node) -> _Node:
+    """Link two binomial trees of equal degree; smaller key becomes root."""
+    if b.key < a.key:
+        a, b = b, a
+    b.sibling = a.child
+    a.child = b
+    a.degree += 1
+    return a
+
+
+class BinomialHeap:
+    """A meldable binomial min-heap over ``(key, item)`` pairs."""
+
+    __slots__ = ("_roots", "_size")
+
+    def __init__(self) -> None:
+        # Root list kept sorted by strictly increasing degree.
+        self._roots: list[_Node] = []
+        self._size = 0
+
+    # -- basics -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    @classmethod
+    def from_items(cls, pairs) -> "BinomialHeap":
+        """Build a heap from an iterable of ``(key, item)`` pairs."""
+        heap = cls()
+        trees = [_Node(k, v) for k, v in pairs]
+        heap._size = len(trees)
+        heap._roots = _rebuild(trees)
+        return heap
+
+    def insert(self, key: int, item: object) -> None:
+        node = _Node(key, item)
+        self._roots = _merge_root_lists(self._roots, [node])
+        self._size += 1
+
+    def find_min(self) -> tuple[int, object]:
+        """``(key, item)`` of the minimum element, without removing it."""
+        node = self._min_root()
+        return node.key, node.item
+
+    def delete_min(self) -> tuple[int, object]:
+        """Remove and return the minimum ``(key, item)``."""
+        node = self._min_root()
+        self._roots.remove(node)
+        # Child chain is ordered by decreasing degree; reversing yields a
+        # valid root list (increasing degree).
+        children: list[_Node] = []
+        c = node.child
+        while c is not None:
+            nxt = c.sibling
+            c.sibling = None
+            children.append(c)
+            c = nxt
+        children.reverse()
+        self._roots = _merge_root_lists(self._roots, children)
+        self._size -= 1
+        return node.key, node.item
+
+    def meld(self, other: "BinomialHeap") -> "BinomialHeap":
+        """Destructively meld ``other`` into ``self``; returns ``self``.
+
+        ``other`` is emptied; using it afterwards is a caller bug.
+        """
+        if other is self:
+            raise ValueError("cannot meld a heap with itself")
+        self._roots = _merge_root_lists(self._roots, other._roots)
+        self._size += other._size
+        other._roots = []
+        other._size = 0
+        return self
+
+    def filter(self, threshold: int) -> list[tuple[int, object]]:
+        """Remove and return all elements with ``key < threshold``.
+
+        The returned list is unsorted (callers sort by rank, as in the
+        update-output step of Algs. 3-4).
+        """
+        removed: list[tuple[int, object]] = []
+        survivors: list[_Node] = []
+        for root in self._roots:
+            if root.key >= threshold:
+                survivors.append(root)
+                continue
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                removed.append((node.key, node.item))
+                c = node.child
+                node.child = None
+                node.degree = 0
+                while c is not None:
+                    nxt = c.sibling
+                    c.sibling = None
+                    if c.key < threshold:
+                        stack.append(c)
+                    else:
+                        survivors.append(c)
+                    c = nxt
+        if removed:
+            self._roots = _rebuild(survivors)
+            self._size -= len(removed)
+        return removed
+
+    def filter_and_insert(self, key: int, item: object) -> list[tuple[int, object]]:
+        """Insert ``(key, item)`` then filter at ``key`` (Algs. 3-4, line 2/5).
+
+        Returns the filtered-out set ``S``; the inserted element itself
+        remains in the heap as the new spine bottom.
+        """
+        self.insert(key, item)
+        return self.filter(key)
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Iterate all ``(key, item)`` pairs in arbitrary order."""
+        stack = list(self._roots)
+        while stack:
+            node = stack.pop()
+            yield node.key, node.item
+            c = node.child
+            while c is not None:
+                stack.append(c)
+                c = c.sibling
+
+    # -- internals ------------------------------------------------------------
+    def _min_root(self) -> _Node:
+        if not self._roots:
+            raise EmptyHeapError("heap is empty")
+        best = self._roots[0]
+        for node in self._roots[1:]:
+            if node.key < best.key:
+                best = node
+        return best
+
+    def _validate(self) -> None:
+        """Check all structural invariants (test hook)."""
+        degrees = [r.degree for r in self._roots]
+        assert degrees == sorted(degrees), "root degrees not increasing"
+        assert len(set(degrees)) == len(degrees), "duplicate root degrees"
+        count = 0
+        for root in self._roots:
+            count += _validate_tree(root)
+        assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"
+
+
+def _validate_tree(node: _Node) -> int:
+    """Validate one binomial tree; return its element count."""
+    # Children have degrees degree-1, degree-2, ..., 0 in chain order.
+    expected = node.degree - 1
+    count = 1
+    c = node.child
+    while c is not None:
+        assert c.key > node.key, "heap order violated"
+        assert c.degree == expected, f"child degree {c.degree}, expected {expected}"
+        count += _validate_tree(c)
+        expected -= 1
+        c = c.sibling
+    assert expected == -1, "wrong number of children"
+    return count
+
+
+def _merge_root_lists(a: list[_Node], b: list[_Node]) -> list[_Node]:
+    """Merge two root lists, linking equal degrees (binary addition).
+
+    Implemented via the same degree-bucket carry procedure used for
+    post-filter rebuilds; with ``O(log s)`` trees per input list this is the
+    standard ``O(log s)`` binomial meld.
+    """
+    if not a:
+        return b
+    if not b:
+        return a
+    return _rebuild(a + b)
+
+
+def _rebuild(trees: list[_Node]) -> list[_Node]:
+    """Rebuild a root list from arbitrary valid binomial trees.
+
+    This is the paper's heap-rebuild step after a filter: group the
+    surviving subtrees by degree (counting sort) and link within each degree
+    with binary carries, restoring one-tree-per-degree.
+    """
+    if not trees:
+        return []
+    buckets: dict[int, list[_Node]] = {}
+    max_deg = 0
+    for t in trees:
+        buckets.setdefault(t.degree, []).append(t)
+        if t.degree > max_deg:
+            max_deg = t.degree
+    roots: list[_Node] = []
+    d = 0
+    while d <= max_deg:
+        bucket = buckets.get(d, [])
+        while len(bucket) >= 2:
+            linked = _link(bucket.pop(), bucket.pop())
+            buckets.setdefault(d + 1, []).append(linked)
+            if d + 1 > max_deg:
+                max_deg = d + 1
+        if bucket:
+            roots.append(bucket[0])
+        d += 1
+    return roots

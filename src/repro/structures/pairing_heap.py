@@ -1,0 +1,138 @@
+"""Meldable pairing min-heap.
+
+A lighter alternative to the binomial heap for ParUF's neighbor-heaps: meld
+is ``O(1)`` and delete-min is ``O(log n)`` amortized (two-pass pairing).
+It does not support the paper's ``filter`` operation, so SLD-TreeContraction
+cannot use it -- that trade-off is exactly the ablation in
+``benchmarks/test_ablation.py``.
+
+All operations are iterative (no recursion), so adversarial shapes such as
+paths cannot hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EmptyHeapError
+
+__all__ = ["PairingHeap"]
+
+
+class _PNode:
+    __slots__ = ("key", "item", "child", "sibling")
+
+    def __init__(self, key: int, item: object) -> None:
+        self.key = key
+        self.item = item
+        self.child: _PNode | None = None
+        self.sibling: _PNode | None = None
+
+
+def _meld_nodes(a: _PNode | None, b: _PNode | None) -> _PNode | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if b.key < a.key:
+        a, b = b, a
+    b.sibling = a.child
+    a.child = b
+    return a
+
+
+class PairingHeap:
+    """A meldable pairing min-heap over ``(key, item)`` pairs."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root: _PNode | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    @classmethod
+    def from_items(cls, pairs) -> "PairingHeap":
+        heap = cls()
+        for k, v in pairs:
+            heap.insert(k, v)
+        return heap
+
+    def insert(self, key: int, item: object) -> None:
+        self._root = _meld_nodes(self._root, _PNode(key, item))
+        self._size += 1
+
+    def find_min(self) -> tuple[int, object]:
+        if self._root is None:
+            raise EmptyHeapError("heap is empty")
+        return self._root.key, self._root.item
+
+    def delete_min(self) -> tuple[int, object]:
+        root = self._root
+        if root is None:
+            raise EmptyHeapError("heap is empty")
+        # Two-pass pairing: left-to-right pair adjacent children, then
+        # right-to-left meld the pairs.
+        pairs: list[_PNode] = []
+        c = root.child
+        while c is not None:
+            first = c
+            second = first.sibling
+            if second is None:
+                first.sibling = None
+                pairs.append(first)
+                break
+            nxt = second.sibling
+            first.sibling = None
+            second.sibling = None
+            pairs.append(_meld_nodes(first, second))  # type: ignore[arg-type]
+            c = nxt
+        new_root: _PNode | None = None
+        for node in reversed(pairs):
+            new_root = _meld_nodes(node, new_root)
+        self._root = new_root
+        self._size -= 1
+        return root.key, root.item
+
+    def meld(self, other: "PairingHeap") -> "PairingHeap":
+        """Destructively meld ``other`` into ``self``; returns ``self``."""
+        if other is self:
+            raise ValueError("cannot meld a heap with itself")
+        self._root = _meld_nodes(self._root, other._root)
+        self._size += other._size
+        other._root = None
+        other._size = 0
+        return self
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node.key, node.item
+            c = node.child
+            while c is not None:
+                stack.append(c)
+                c = c.sibling
+
+    def _validate(self) -> None:
+        """Check heap order and size (test hook)."""
+        count = 0
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                count += 1
+                c = node.child
+                while c is not None:
+                    assert c.key > node.key, "heap order violated"
+                    stack.append(c)
+                    c = c.sibling
+        assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"

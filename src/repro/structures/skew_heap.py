@@ -1,0 +1,124 @@
+"""Meldable skew min-heap (top-down, iterative).
+
+The third neighbor-heap option for ParUF's ablation: meld is ``O(log n)``
+amortized with no balance bookkeeping at all.  The merge walks the two
+right spines iteratively, always swapping children after attaching, which
+is the classic top-down skew-heap merge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EmptyHeapError
+
+__all__ = ["SkewHeap"]
+
+
+class _SNode:
+    __slots__ = ("key", "item", "left", "right")
+
+    def __init__(self, key: int, item: object) -> None:
+        self.key = key
+        self.item = item
+        self.left: _SNode | None = None
+        self.right: _SNode | None = None
+
+
+def _merge(a: _SNode | None, b: _SNode | None) -> _SNode | None:
+    """Iterative top-down skew merge of two heap-ordered trees."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if b.key < a.key:
+        a, b = b, a
+    root = a
+    # Descend the merge path, at each step attaching the loser to the
+    # current node's right slot and then swapping children (the skew twist).
+    while True:
+        a.left, a.right = a.right, a.left  # swap first; merge continues on left
+        if a.left is None:
+            a.left = b
+            break
+        if b.key < a.left.key:
+            a.left, b = b, a.left
+        a = a.left
+    return root
+
+
+class SkewHeap:
+    """A meldable skew min-heap over ``(key, item)`` pairs."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root: _SNode | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    @classmethod
+    def from_items(cls, pairs) -> "SkewHeap":
+        heap = cls()
+        for k, v in pairs:
+            heap.insert(k, v)
+        return heap
+
+    def insert(self, key: int, item: object) -> None:
+        self._root = _merge(self._root, _SNode(key, item))
+        self._size += 1
+
+    def find_min(self) -> tuple[int, object]:
+        if self._root is None:
+            raise EmptyHeapError("heap is empty")
+        return self._root.key, self._root.item
+
+    def delete_min(self) -> tuple[int, object]:
+        root = self._root
+        if root is None:
+            raise EmptyHeapError("heap is empty")
+        self._root = _merge(root.left, root.right)
+        self._size -= 1
+        return root.key, root.item
+
+    def meld(self, other: "SkewHeap") -> "SkewHeap":
+        """Destructively meld ``other`` into ``self``; returns ``self``."""
+        if other is self:
+            raise ValueError("cannot meld a heap with itself")
+        self._root = _merge(self._root, other._root)
+        self._size += other._size
+        other._root = None
+        other._size = 0
+        return self
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node.key, node.item
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    def _validate(self) -> None:
+        """Check heap order and size (test hook)."""
+        count = 0
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                count += 1
+                for c in (node.left, node.right):
+                    if c is not None:
+                        assert c.key > node.key, "heap order violated"
+                        stack.append(c)
+        assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"

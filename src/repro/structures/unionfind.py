@@ -1,0 +1,77 @@
+"""Array-based union-find with path compression and union by size.
+
+Used by SeqUF (Kruskal-style merging), ParUF (Alg. 5's ``F``), the MST
+algorithms, and the brute-force test oracle.  Operation counters feed the
+work accounting (each find charges its true traversal length).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over elements ``0..n-1``.
+
+    ``find`` uses path halving (one-pass compression); ``union`` is by size
+    and returns the surviving root, which is what the dendrogram algorithms
+    key their per-cluster state on.
+    """
+
+    __slots__ = ("_parent", "_size", "n", "num_sets", "finds", "find_steps", "unions")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"element count must be non-negative, got {n}")
+        self.n = n
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+        self.num_sets = n
+        self.finds = 0
+        self.find_steps = 0
+        self.unions = 0
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        parent = self._parent
+        self.finds += 1
+        steps = 0
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+            steps += 1
+        self.find_steps += steps
+        return int(x)
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets containing ``a`` and ``b``; return the new root.
+
+        ``a`` and ``b`` may be arbitrary members (roots are found first).
+        Raises ``ValueError`` if they are already in the same set -- for tree
+        edges this indicates a cycle, which is always a caller bug.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            raise ValueError(f"union of already-connected elements {a} and {b}")
+        size = self._size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        size[ra] += size[rb]
+        self.unions += 1
+        self.num_sets -= 1
+        return int(ra)
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Number of elements in ``x``'s set."""
+        return int(self._size[self.find(x)])
+
+    def roots(self) -> np.ndarray:
+        """Array of current set representatives (one per set)."""
+        fully = np.array([self.find(i) for i in range(self.n)], dtype=np.int64)
+        return np.unique(fully)

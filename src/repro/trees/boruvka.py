@@ -1,0 +1,107 @@
+"""Boruvka's MST algorithm (the classic parallel-friendly MST).
+
+The paper's pipelines reduce graphs to trees via an MST (Section 2.3);
+Kruskal and Prim (in :mod:`repro.trees.mst`) are inherently sequential,
+while Boruvka proceeds in ``O(log n)`` rounds -- in each round every
+component selects its minimum-rank incident edge and components merge
+along the selected edges.  This is the MST algorithm a parallel SLD
+pipeline would actually pair with, so it is instrumented with the same
+work/depth charges as the dendrogram algorithms.
+
+Ties are broken by edge id (rank order), which also guarantees the
+selected edge set is acyclic without needing the usual
+symmetry-breaking tricks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotConnectedError
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.structures.unionfind import UnionFind
+from repro.trees.mst import _check_graph
+from repro.trees.weights import ranks_of
+from repro.trees.wtree import WeightedTree
+from repro.util import log2ceil
+
+__all__ = ["boruvka_mst", "boruvka_rounds"]
+
+
+def boruvka_mst(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    tracker: CostTracker | None = None,
+) -> np.ndarray:
+    """Edge ids of the MST, by Boruvka's algorithm."""
+    ids, _ = boruvka_rounds(n, edges, weights, tracker=tracker)
+    return ids
+
+
+def boruvka_rounds(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    tracker: CostTracker | None = None,
+) -> tuple[np.ndarray, int]:
+    """As :func:`boruvka_mst`, additionally returning the round count."""
+    edges, weights = _check_graph(n, edges, weights)
+    ranks = ranks_of(weights)
+    uf = UnionFind(n)
+    chosen: list[int] = []
+    alive = np.arange(edges.shape[0], dtype=np.int64)
+    rounds = 0
+    while uf.num_sets > 1:
+        rounds += 1
+        # Drop intra-component edges (vectorized roots via repeated finds).
+        roots_u = np.fromiter(
+            (uf.find(int(u)) for u in edges[alive, 0]), dtype=np.int64, count=alive.size
+        )
+        roots_v = np.fromiter(
+            (uf.find(int(v)) for v in edges[alive, 1]), dtype=np.int64, count=alive.size
+        )
+        cross = roots_u != roots_v
+        alive = alive[cross]
+        roots_u = roots_u[cross]
+        roots_v = roots_v[cross]
+        if alive.size == 0:
+            break
+        # Every component selects its min-rank incident edge.
+        best: dict[int, int] = {}
+        for e, ru, rv in zip(alive, roots_u, roots_v):
+            re = int(ranks[e])
+            for r in (int(ru), int(rv)):
+                cur = best.get(r)
+                if cur is None or re < ranks[cur]:
+                    best[r] = int(e)
+        # Merge along selected edges (rank tie-breaking makes this acyclic).
+        added = 0
+        for e in sorted(set(best.values()), key=lambda e: int(ranks[e])):
+            u, v = int(edges[e, 0]), int(edges[e, 1])
+            if uf.find(u) != uf.find(v):
+                uf.union(u, v)
+                chosen.append(e)
+                added += 1
+        if tracker is not None:
+            tracker.add(WorkDepth(float(alive.size), float(log2ceil(n) + 1)))
+        if added == 0:
+            break
+    if uf.num_sets > 1:
+        raise NotConnectedError(
+            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
+        )
+    return np.asarray(sorted(chosen), dtype=np.int64), rounds
+
+
+def boruvka_tree(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    tracker: CostTracker | None = None,
+) -> WeightedTree:
+    """Boruvka MST packaged as a :class:`~repro.trees.wtree.WeightedTree`."""
+    edge_arr = np.asarray(edges, dtype=np.int64)
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    ids = boruvka_mst(n, edge_arr, weight_arr, tracker=tracker)
+    return WeightedTree(n, edge_arr[ids], weight_arr[ids], validate=False)

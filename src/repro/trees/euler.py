@@ -1,0 +1,184 @@
+"""Euler tours and list ranking: the classic parallel tree substrate.
+
+Wang et al.'s SLD algorithm (the prior state of the art, Appendix A)
+implements its divide-and-conquer contraction with the Euler Tour
+Technique.  This module provides that substrate from scratch:
+
+* :func:`euler_tour` -- the arc-successor cycle of a tree (each edge
+  contributes two arcs; the successor of arc ``u -> v`` is the next arc out
+  of ``v`` after ``v -> u`` in ``v``'s adjacency order);
+* :func:`list_rank` -- Wyllie's pointer-jumping list ranking
+  (``O(n log n)`` work, ``O(log n)`` depth, charged accordingly);
+* :func:`root_tree` -- parents, depths, and subtree sizes of a rooted
+  tree derived from tour positions, the standard Euler-tour application.
+
+``root_tree`` doubles as an independently-implemented reference for
+anything the contraction machinery computes about tree structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.trees.wtree import WeightedTree
+from repro.util import log2ceil
+
+__all__ = ["EulerTour", "euler_tour", "list_rank", "root_tree", "RootedTree"]
+
+
+@dataclass
+class EulerTour:
+    """The arc structure of a tree's Euler tour.
+
+    Arc ``2*e`` is ``edges[e, 0] -> edges[e, 1]``; arc ``2*e + 1`` is the
+    reverse.  ``succ`` is the cyclic successor; ``first_arc[v]`` is an
+    arbitrary arc leaving ``v`` (the tour entry point used for rooting).
+    """
+
+    n: int
+    arc_tail: np.ndarray  # arc id -> source vertex
+    arc_head: np.ndarray  # arc id -> target vertex
+    succ: np.ndarray  # arc id -> next arc id on the tour
+    first_arc: np.ndarray  # vertex -> some outgoing arc (-1 if isolated)
+
+
+def euler_tour(tree: WeightedTree) -> EulerTour:
+    """Build the Euler-tour successor cycle of ``tree``.
+
+    ``succ[twin(a)]`` is the arc after ``a``'s reversal at ``a``'s source:
+    the tour traverses every arc exactly once and forms a single cycle of
+    length ``2m``.
+    """
+    m = tree.m
+    n = tree.n
+    arc_tail = np.empty(2 * m, dtype=np.int64)
+    arc_head = np.empty(2 * m, dtype=np.int64)
+    if m:
+        arc_tail[0::2] = tree.edges[:, 0]
+        arc_head[0::2] = tree.edges[:, 1]
+        arc_tail[1::2] = tree.edges[:, 1]
+        arc_head[1::2] = tree.edges[:, 0]
+    succ = np.full(2 * m, -1, dtype=np.int64)
+    first_arc = np.full(n, -1, dtype=np.int64)
+    if m == 0:
+        return EulerTour(n, arc_tail, arc_head, succ, first_arc)
+    # Group outgoing arcs by source; next-in-cyclic-order within a group.
+    order = np.argsort(arc_tail, kind="stable")
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(arc_tail, minlength=n), out=offsets[1:])
+    group_starts = offsets[:-1][np.diff(offsets) > 0]  # one per non-isolated vertex
+    first_arc[arc_tail[order[group_starts]]] = order[group_starts]
+    # position of each arc within its source group
+    pos_in_group = np.empty(2 * m, dtype=np.int64)
+    for v in range(n):
+        lo, hi = int(offsets[v]), int(offsets[v + 1])
+        pos_in_group[order[lo:hi]] = np.arange(hi - lo)
+    # succ[twin(a)] = next arc out of source(a) after a (cyclically)
+    twin = np.arange(2 * m, dtype=np.int64) ^ 1
+    src = arc_tail
+    group_lo = offsets[src]
+    group_sz = offsets[src + 1] - group_lo
+    next_within = order[group_lo + (pos_in_group + 1) % group_sz]
+    succ[twin] = next_within
+    return EulerTour(n, arc_tail, arc_head, succ, first_arc)
+
+
+def list_rank(
+    succ: np.ndarray, head: int, tracker: CostTracker | None = None
+) -> np.ndarray:
+    """Distance of every element from ``head`` along the successor list.
+
+    ``succ`` must describe a single cycle (as :func:`euler_tour` produces)
+    or a terminated list whose last element points to itself.  The cycle is
+    cut at ``head``: ranks are ``0`` at ``head``, increasing along ``succ``.
+
+    Implementation: Wyllie's pointer jumping -- ``ceil(log2 k)`` vectorized
+    rounds of ``rank += rank[next]; next = next[next]`` -- charged at
+    ``O(k log k)`` work and ``O(log k)`` depth.
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    k = succ.shape[0]
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not 0 <= head < k:
+        raise ValueError(f"head {head} out of range [0, {k})")
+    # Cut the cycle: head's predecessor becomes a self-looping terminator
+    # with rank 0; every other element starts with rank 1 (one hop).
+    nxt = succ.copy()
+    rank = np.ones(k, dtype=np.int64)
+    preds = np.flatnonzero(succ == head)
+    if preds.size != 1:
+        raise ValueError("succ must describe a single cycle through head")
+    p = int(preds[0])
+    rank[p] = 0
+    nxt[p] = p
+    # Wyllie's pointer jumping: distances double each round, so
+    # ceil(log2 k) rounds reach the terminator from everywhere.  The
+    # terminator self-loops with rank 0, making extra folds no-ops.
+    rounds = log2ceil(k) + 1
+    for _ in range(rounds):
+        rank = rank + rank[nxt]
+        nxt = nxt[nxt]
+    if tracker is not None:
+        tracker.add(WorkDepth(float(k * rounds), float(2 * rounds)))
+    # rank[i] = steps from i to the terminator; position from head is the
+    # complement within the k-1-step list.
+    return int(rank[head]) - rank
+
+
+@dataclass
+class RootedTree:
+    """Rooted-tree structure derived from an Euler tour."""
+
+    root: int
+    parent_vertex: np.ndarray  # root's parent is itself
+    parent_edge: np.ndarray  # edge to parent; -1 for the root
+    depth: np.ndarray
+    subtree_size: np.ndarray  # vertices in each subtree (incl. self)
+
+
+def root_tree(
+    tree: WeightedTree, root: int = 0, tracker: CostTracker | None = None
+) -> RootedTree:
+    """Parents, depths, subtree sizes via Euler tour positions.
+
+    An arc ``u -> v`` is a *tree arc* (``v`` child of ``u``) iff it appears
+    before its twin in the tour started at ``root``; a vertex's subtree
+    spans the tour interval between its discovery arc and that arc's twin.
+    """
+    n = tree.n
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range [0, {n})")
+    parent_vertex = np.arange(n, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    if tree.m == 0:
+        return RootedTree(root, parent_vertex, parent_edge, depth, size)
+    tour = euler_tour(tree)
+    head = int(tour.first_arc[root])
+    pos = list_rank(tour.succ, head, tracker=tracker)
+    twin = np.arange(2 * tree.m, dtype=np.int64) ^ 1
+    is_tree_arc = pos < pos[twin]  # first traversal: u -> v discovers v
+    heads = tour.arc_head[is_tree_arc]
+    parent_vertex[heads] = tour.arc_tail[is_tree_arc]
+    parent_edge[heads] = np.flatnonzero(is_tree_arc) >> 1
+    # depth: prefix sum of +1 (tree arc) / -1 (back arc) in tour order
+    delta = np.where(is_tree_arc, 1, -1)
+    by_pos = np.empty(2 * tree.m, dtype=np.int64)
+    by_pos[pos] = np.arange(2 * tree.m)
+    depths_along = np.cumsum(delta[by_pos])
+    arc_depth = np.empty(2 * tree.m, dtype=np.int64)
+    arc_depth[by_pos] = depths_along
+    depth[tour.arc_head[is_tree_arc]] = arc_depth[is_tree_arc]
+    depth[root] = 0
+    # subtree size: (pos[twin] - pos + 1) / 2 vertices under the tree arc
+    ta = np.flatnonzero(is_tree_arc)
+    size[tour.arc_head[ta]] = (pos[twin[ta]] - pos[ta] + 1) // 2
+    size[root] = n
+    if tracker is not None:
+        tracker.add(WorkDepth(float(2 * tree.m), float(2 * log2ceil(max(2 * tree.m, 2)))))
+    return RootedTree(root, parent_vertex, parent_edge, depth, size)

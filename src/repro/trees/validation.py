@@ -1,0 +1,75 @@
+"""Structural validation of tree inputs.
+
+Raises the typed exceptions from :mod:`repro.errors` with messages that name
+the first offending edge/vertex, so pipeline failures are diagnosable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidTreeError, InvalidWeightsError
+
+__all__ = ["validate_tree_edges", "validate_weights"]
+
+
+def validate_tree_edges(n: int, edges: np.ndarray) -> None:
+    """Verify that ``edges`` is a spanning tree of ``{0..n-1}``.
+
+    Checks, in order: vertex-count sanity, edge cardinality ``n-1``,
+    endpoint range, self loops, duplicate edges, and acyclicity/connectivity
+    (via a union-find sweep -- ``n-1`` acyclic edges on ``n`` vertices are
+    necessarily spanning).
+    """
+    if n <= 0:
+        raise InvalidTreeError(f"vertex count must be positive, got {n}")
+    edges = np.asarray(edges, dtype=np.int64)
+    m = edges.shape[0]
+    if m != n - 1:
+        raise InvalidTreeError(f"a tree on {n} vertices needs {n - 1} edges, got {m}")
+    if m == 0:
+        return
+    if edges.min() < 0 or edges.max() >= n:
+        bad = int(np.argmax((edges < 0).any(axis=1) | (edges >= n).any(axis=1)))
+        raise InvalidTreeError(f"edge {bad} = {tuple(edges[bad])} has endpoint outside [0, {n})")
+    loops = edges[:, 0] == edges[:, 1]
+    if loops.any():
+        bad = int(np.argmax(loops))
+        raise InvalidTreeError(f"edge {bad} is a self loop at vertex {edges[bad, 0]}")
+    canon = np.sort(edges, axis=1)
+    keys = canon[:, 0] * np.int64(n) + canon[:, 1]
+    uniq, counts = np.unique(keys, return_counts=True)
+    if (counts > 1).any():
+        dup_key = int(uniq[np.argmax(counts > 1)])
+        raise InvalidTreeError(
+            f"duplicate edge between vertices {dup_key // n} and {dup_key % n}"
+        )
+    # Acyclicity via union-find (Python loop; n-1 iterations).
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    for i in range(m):
+        ra, rb = find(int(edges[i, 0])), find(int(edges[i, 1]))
+        if ra == rb:
+            raise InvalidTreeError(f"edge {i} = {tuple(edges[i])} creates a cycle")
+        parent[ra] = rb
+
+
+def validate_weights(weights: np.ndarray) -> None:
+    """Verify weights are finite real numbers."""
+    weights = np.asarray(weights)
+    if weights.ndim != 1:
+        raise InvalidWeightsError(f"weights must be 1-D, got shape {weights.shape}")
+    if weights.size == 0:
+        return
+    if not np.issubdtype(weights.dtype, np.number):
+        raise InvalidWeightsError(f"weights must be numeric, got dtype {weights.dtype}")
+    finite = np.isfinite(weights)
+    if not finite.all():
+        bad = int(np.argmax(~finite))
+        raise InvalidWeightsError(f"weight {bad} is not finite: {weights[bad]}")

@@ -1,0 +1,97 @@
+"""Edge-weight schemes and rank computation (paper Section 5, "Weight Schemes").
+
+Schemes
+-------
+``unit``
+    All edges weigh 1.  Merges happen in edge-id order (ties broken by id),
+    giving SeqUF its best-case sequential locality.
+``perm``
+    A uniformly random permutation of ``0..m-1`` as weights -- the paper's
+    cache-adversarial scheme where SeqUF touches two random cache lines per
+    merge and the parallel algorithms win by up to 150x.
+``low-par``
+    Adversarial for ParUF on paths: weights increase along the first half of
+    the edge sequence and decrease along the second half, so at every moment
+    only ~2 edges are local minima and the dendrogram is a deep ladder that
+    defeats the single-chain post-processing optimization.
+``uniform``
+    I.i.d. uniform(0,1) weights.
+``sorted`` / ``reversed``
+    Monotone weights along the edge-id order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_random_state
+
+__all__ = ["ranks_of", "apply_scheme", "WEIGHT_SCHEMES"]
+
+
+def ranks_of(weights: np.ndarray) -> np.ndarray:
+    """Rank of each edge in the weight-sorted order, ties broken by edge id.
+
+    ``ranks[i]`` is the position of edge ``i`` when edges are sorted by
+    ``(weight, edge_id)``; all algorithms compare edges by this value
+    (paper Section 2.3).
+    """
+    weights = np.asarray(weights)
+    order = np.argsort(weights, kind="stable")
+    ranks = np.empty(weights.shape[0], dtype=np.int64)
+    ranks[order] = np.arange(weights.shape[0], dtype=np.int64)
+    return ranks
+
+
+def _unit(m: int, rng: np.random.Generator) -> np.ndarray:
+    return np.ones(m, dtype=np.float64)
+
+
+def _perm(m: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.permutation(m).astype(np.float64)
+
+
+def _low_par(m: int, rng: np.random.Generator) -> np.ndarray:
+    """First half increasing, second half decreasing (paper's low-par)."""
+    half = m // 2
+    out = np.empty(m, dtype=np.float64)
+    out[:half] = np.arange(half, dtype=np.float64)
+    out[half:] = np.arange(m - 1, half - 1, -1, dtype=np.float64)
+    return out
+
+
+def _uniform(m: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.random(m)
+
+
+def _sorted(m: int, rng: np.random.Generator) -> np.ndarray:
+    return np.arange(m, dtype=np.float64)
+
+
+def _reversed(m: int, rng: np.random.Generator) -> np.ndarray:
+    return np.arange(m, 0, -1, dtype=np.float64)
+
+
+WEIGHT_SCHEMES = {
+    "unit": _unit,
+    "perm": _perm,
+    "low-par": _low_par,
+    "uniform": _uniform,
+    "sorted": _sorted,
+    "reversed": _reversed,
+}
+
+
+def apply_scheme(
+    name: str, m: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Generate a weight vector of length ``m`` under scheme ``name``."""
+    try:
+        fn = WEIGHT_SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown weight scheme {name!r}; expected one of {sorted(WEIGHT_SCHEMES)}"
+        ) from None
+    if m < 0:
+        raise ValueError(f"edge count must be non-negative, got {m}")
+    return fn(m, check_random_state(seed))

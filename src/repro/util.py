@@ -1,0 +1,63 @@
+"""Small shared helpers used across the package."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_int_array",
+    "as_float_array",
+    "log2ceil",
+    "geomean",
+    "check_random_state",
+]
+
+
+def as_int_array(values: Iterable[int] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert ``values`` to a 1-D ``int64`` NumPy array.
+
+    Raises ``ValueError`` if the input is not integral or not 1-D.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} must contain integers")
+    return arr.astype(np.int64, copy=False)
+
+
+def as_float_array(values: Iterable[float] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert ``values`` to a 1-D ``float64`` NumPy array."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def log2ceil(n: int) -> int:
+    """Smallest ``k`` with ``2**k >= n`` (``0`` for ``n <= 1``).
+
+    Used for spawn-overhead depth charges in the binary-forking model.
+    """
+    if n <= 1:
+        return 0
+    return int(math.ceil(math.log2(n)))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (``nan`` for empty input)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

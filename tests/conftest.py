@@ -1,0 +1,93 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.trees.generators import (
+    balanced_binary,
+    broom,
+    caterpillar,
+    knuth_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.trees.weights import WEIGHT_SCHEMES, apply_scheme
+from repro.trees.wtree import WeightedTree
+
+TREE_KINDS = {
+    "path": path_tree,
+    "star": star_tree,
+    "knuth": lambda n, seed=0: knuth_tree(n, seed=seed),
+    "random": lambda n, seed=0: random_tree(n, seed=seed),
+    "caterpillar": caterpillar,
+    "broom": broom,
+    "binary": balanced_binary,
+}
+
+SEEDED_KINDS = ("knuth", "random")
+
+
+def make_tree(kind: str, n: int, seed: int = 0) -> WeightedTree:
+    fn = TREE_KINDS[kind]
+    if kind in SEEDED_KINDS:
+        return fn(n, seed=seed)
+    return fn(n)
+
+
+def random_weighted_tree(
+    rng: np.random.Generator, n: int | None = None, max_n: int = 40
+) -> WeightedTree:
+    """A random topology with random-permutation weights (non-hypothesis)."""
+    if n is None:
+        n = int(rng.integers(2, max_n))
+    kind = list(TREE_KINDS)[int(rng.integers(len(TREE_KINDS)))]
+    tree = make_tree(kind, n, seed=int(rng.integers(2**31)))
+    return tree.with_weights(rng.permutation(tree.m).astype(float))
+
+
+@st.composite
+def weighted_trees(draw, min_n: int = 2, max_n: int = 40):
+    """Hypothesis strategy: arbitrary topology x arbitrary weight scheme."""
+    n = draw(st.integers(min_n, max_n))
+    kind = draw(st.sampled_from(sorted(TREE_KINDS)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    tree = make_tree(kind, n, seed=seed)
+    scheme = draw(st.sampled_from(sorted(WEIGHT_SCHEMES)))
+    wseed = draw(st.integers(0, 2**31 - 1))
+    return tree.with_weights(apply_scheme(scheme, tree.m, seed=wseed))
+
+
+@st.composite
+def arbitrary_weighted_trees(draw, min_n: int = 2, max_n: int = 24):
+    """Hypothesis strategy: fully arbitrary tree (random Pruefer-free
+    attachment) with possibly-tied float weights."""
+    n = draw(st.integers(min_n, max_n))
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, n)]
+    edges = np.array([[p, i + 1] for i, p in enumerate(parents)], dtype=np.int64)
+    weights = draw(
+        st.lists(
+            st.integers(0, max(1, n // 2)),  # small range forces many ties
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    return WeightedTree(n, edges, np.asarray(weights, dtype=np.float64))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tree() -> WeightedTree:
+    """The 8-vertex example-sized tree used across unit tests."""
+    edges = np.array(
+        [[0, 1], [1, 2], [2, 3], [2, 4], [4, 5], [4, 6], [6, 7]], dtype=np.int64
+    )
+    weights = np.array([3.0, 1.0, 6.0, 2.0, 5.0, 0.5, 4.0])
+    return WeightedTree(8, edges, weights)

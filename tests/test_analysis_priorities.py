@@ -1,0 +1,112 @@
+"""Parallelism profiles and the contraction symmetry-breaking ablation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.contraction.schedule import build_rc_tree
+from repro.dendrogram.analysis import parallelism_profile
+from repro.trees.weights import apply_scheme
+
+
+class TestParallelismProfile:
+    def test_sorted_path_has_no_parallelism(self):
+        tree = make_tree("path", 100).with_weights(apply_scheme("sorted", 99))
+        prof = parallelism_profile(tree)
+        assert prof.initial_ready == 1
+        assert prof.max_ready == 1
+        assert prof.rounds == 99
+        assert prof.postprocess_tail == 99  # the sort handles everything
+
+    def test_low_par_pins_ready_at_two(self):
+        tree = make_tree("path", 200).with_weights(apply_scheme("low-par", 199))
+        prof = parallelism_profile(tree)
+        assert prof.initial_ready == 2
+        assert prof.max_ready == 2
+        assert prof.rounds >= 99  # ~n/2 rounds of width 2
+        # the optimization only helps at the very end
+        assert prof.postprocess_tail <= 3
+
+    def test_perm_path_has_linear_parallelism(self):
+        tree = make_tree("path", 1000).with_weights(apply_scheme("perm", 999, seed=0))
+        prof = parallelism_profile(tree)
+        assert prof.initial_ready > 150  # ~ (n-1)/3 expected
+        assert prof.mean_ready > 10
+        assert prof.rounds < 100  # logarithmic-ish level count
+
+    def test_round_count_matches_paruf_sync(self):
+        from repro.core.paruf import ParUFStats
+        from repro.core.paruf_sync import paruf_sync
+
+        tree = make_tree("knuth", 150, seed=3).with_weights(apply_scheme("perm", 149, seed=4))
+        prof = parallelism_profile(tree)
+        stats = ParUFStats()
+        paruf_sync(tree, postprocess=False, stats=stats)
+        assert prof.rounds == stats.max_round
+
+    def test_frontier_sums_to_m(self):
+        tree = make_tree("knuth", 120, seed=3).with_weights(apply_scheme("perm", 119, seed=4))
+        prof = parallelism_profile(tree)
+        assert int(prof.ready_per_round.sum()) == 119
+        assert prof.ready_per_round[-1] >= 1
+
+    def test_star_always_one(self):
+        tree = make_tree("star", 50).with_weights(apply_scheme("perm", 49, seed=1))
+        prof = parallelism_profile(tree)
+        assert prof.max_ready == 1
+        assert prof.postprocess_tail == 49
+
+    def test_empty_tree(self):
+        prof = parallelism_profile(make_tree("path", 1))
+        assert prof.rounds == 0
+
+    def test_summary_string(self):
+        tree = make_tree("path", 20).with_weights(apply_scheme("perm", 19, seed=0))
+        prof = parallelism_profile(tree)
+        assert "rounds=" in prof.summary()
+
+
+class TestPriorityRules:
+    def test_id_priorities_correct_but_slow_on_paths(self):
+        """Monotone ids give one compress local-maximum per chain:
+        Theta(n) rounds -- the ablation motivating random priorities."""
+        n = 256
+        tree = make_tree("path", n).with_weights(apply_scheme("perm", n - 1, seed=0))
+        rnd = build_rc_tree(tree, seed=0, priorities="random")
+        idp = build_rc_tree(tree, priorities="id")
+        idp.validate(tree)  # still a legal contraction
+        assert rnd.num_rounds <= 8 * math.log2(n)
+        assert idp.num_rounds > n / 8  # pathological
+
+    def test_id_priorities_still_yield_correct_slds(self):
+        """RCTT's tracing applied to the id-priority RC-tree must still
+        produce the correct dendrogram (schedule independence)."""
+        from repro.core.brute import brute_force_sld
+
+        tree = make_tree("path", 80).with_weights(apply_scheme("perm", 79, seed=2))
+        expected = brute_force_sld(tree)
+        rct = build_rc_tree(tree, priorities="id")
+        parents = np.arange(tree.m, dtype=np.int64)
+        ranks = tree.ranks
+        voe = rct.vertex_of_edge()
+        buckets: dict[int, list[int]] = {}
+        for e in range(tree.m):
+            u = int(rct.parent[int(voe[e])])
+            while u != rct.root and ranks[rct.edge[u]] < ranks[e]:
+                u = int(rct.parent[u])
+            buckets.setdefault(u, []).append(e)
+        for u, bucket in buckets.items():
+            arr = np.asarray(bucket, dtype=np.int64)
+            arr = arr[np.argsort(ranks[arr], kind="stable")]
+            if arr.size > 1:
+                parents[arr[:-1]] = arr[1:]
+            parents[arr[-1]] = int(rct.edge[u]) if u != rct.root else int(arr[-1])
+        np.testing.assert_array_equal(parents, expected)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="priority rule"):
+            build_rc_tree(make_tree("path", 4), priorities="degree")

@@ -1,0 +1,102 @@
+"""Smoke + shape tests of the printable experiment harnesses at tiny scale.
+
+The full-scale shape assertions live in ``benchmarks/``; these tests make
+sure every experiment module runs end to end, returns the documented
+structure, and its printable ``main()`` produces a table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ablation, fig6, fig7, fig8, lowerbound, table1
+
+N = 600  # tiny: these are plumbing tests, not measurements
+
+
+def test_table1_structure():
+    result = table1.run(sizes=(N,), families=("path", "star-perm"))
+    assert len(result["rows"]) == 2
+    row = result["rows"][0]
+    assert set(row["sim"]) == {"sequf", "paruf", "rctt"}
+    assert row["speedup_rctt"] > 0
+    assert "geomean_speedup_rctt_largest" in result["summary"]
+
+
+def test_fig6_structure():
+    result = fig6.run(n=N, inputs=("path-perm",), threads=(1, 4, 16))
+    assert result["threads"] == [1, 4, 16]
+    assert len(result["series"]) == 3  # one per algorithm
+    for s in result["series"]:
+        assert len(s["times"]) == 3
+        assert s["self_speedup"] >= 1.0 - 1e-9
+
+
+def test_fig7_structure():
+    result = fig7.run(n=N, include_realworld=False)
+    assert len(result["rows"]) == 7
+    for r in result["rows"]:
+        assert abs(sum(r["rctt"].values()) - 1.0) < 1e-6
+        assert abs(sum(r["paruf"].values()) - 1.0) < 1e-6
+
+
+def test_fig8_structure():
+    result = fig8.run(n=N, threads=(1, 8))
+    inputs = {s["input"] for s in result["series"]}
+    assert inputs == {"rmat-social", "powerlaw-follow", "knn-points"}
+    for s in result["series"]:
+        if s["algorithm"] != "sequf":
+            assert "speedup_over_sequf" in s
+
+
+def test_lowerbound_structure():
+    result = lowerbound.run(n=N, hs=(4, 16, 64))
+    assert len(result["rows"]) == 3
+    assert set(result["spread"]) == {"paruf", "tree-contraction"}
+    for row in result["rows"]:
+        assert set(row["normalized"]) == {"paruf", "tree-contraction", "sequf"}
+
+
+def test_ablation_structure():
+    result = ablation.run(n=N)
+    assert {r["input"] for r in result["heap_kind"]} == {
+        "path-perm",
+        "path-low-par",
+        "star-perm",
+        "knuth-perm",
+    }
+    for r in result["spine_container"]:
+        assert r["work_ratio"] > 0
+
+
+@pytest.mark.parametrize(
+    "module,kwargs",
+    [
+        (table1, {}),
+        (fig6, {}),
+        (fig7, {}),
+        (fig8, {}),
+        (lowerbound, {}),
+        (ablation, {}),
+    ],
+    ids=["table1", "fig6", "fig7", "fig8", "lowerbound", "ablation"],
+)
+def test_main_prints_table(module, kwargs, monkeypatch, capsys):
+    """Every harness's main() must print a non-empty aligned table."""
+    # shrink the default sizes so main() stays fast under test; bind the
+    # original run before patching to avoid self-recursion
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "1")
+    small = {
+        table1: lambda run=table1.run: run(sizes=(N,), families=("path", "path-perm")),
+        fig6: lambda run=fig6.run: run(n=N, inputs=("path-perm",)),
+        fig7: lambda run=fig7.run: run(n=N, include_realworld=False),
+        fig8: lambda run=fig8.run: run(n=N, threads=(1, 8)),
+        lowerbound: lambda run=lowerbound.run: run(n=N, hs=(4, 16)),
+        ablation: lambda run=ablation.run: run(n=N),
+    }
+    shrunk = small[module]
+    monkeypatch.setattr(module, "run", lambda *a, **k: shrunk())
+    result = module.main([])
+    out = capsys.readouterr().out
+    assert "---" in out  # the table separator
+    assert result

@@ -1,0 +1,122 @@
+"""Bench harness plumbing: inputs registry, instrumented runs, simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    AlgoRun,
+    format_table,
+    fmt_seconds,
+    model_time,
+    run_algorithm,
+    simulated_time,
+)
+from repro.bench.inputs import (
+    BENCH_THREADS,
+    SYNTHETIC_FAMILIES,
+    bench_sizes,
+    make_input,
+    realworld_inputs,
+)
+from repro.runtime.instrumentation import PhaseCost
+from repro.trees.validation import validate_tree_edges
+
+
+class TestInputs:
+    @pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+    def test_every_family_builds(self, family):
+        tree = make_input(family, 300, seed=1)
+        assert tree.n == 300
+        validate_tree_edges(tree.n, tree.edges)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="input family"):
+            make_input("torus", 100)
+
+    def test_weight_scheme_applied(self):
+        perm = make_input("path-perm", 100, seed=0)
+        unit = make_input("path", 100, seed=0)
+        assert not np.array_equal(perm.weights, unit.weights)
+        assert (unit.weights == 1.0).all()
+
+    def test_low_par_family(self):
+        tree = make_input("path-low-par", 50, seed=0)
+        w = tree.weights
+        assert (np.diff(w[:24]) > 0).all()
+
+    def test_sizes_scale_with_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3")
+        assert bench_sizes() == (30_000, 120_000, 480_000)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        assert bench_sizes() == (10_000, 40_000, 160_000)
+
+    def test_threads_cover_paper_axis(self):
+        assert BENCH_THREADS[0] == 1
+        assert BENCH_THREADS[-1] == 192
+
+    def test_realworld_inputs_are_spanning_trees(self):
+        trees = realworld_inputs(500, seed=0)
+        assert set(trees) == {"rmat-social", "powerlaw-follow", "knn-points"}
+        for name, tree in trees.items():
+            assert tree.m == tree.n - 1, name
+            validate_tree_edges(tree.n, tree.edges)
+
+
+class TestRuns:
+    def test_run_algorithm_populates_everything(self):
+        tree = make_input("knuth-perm", 400, seed=0)
+        run = run_algorithm("rctt", tree, keep_parents=True)
+        assert run.algorithm == "rctt"
+        assert run.wall_seconds > 0
+        assert run.work > 0
+        assert run.depth > 0
+        assert run.parallelism > 1
+        assert run.parents is not None and run.parents.shape == (399,)
+        assert set(run.phases) == {"build", "trace", "sort"}
+
+    def test_parents_dropped_by_default(self):
+        tree = make_input("path", 50, seed=0)
+        assert run_algorithm("sequf", tree).parents is None
+
+    def test_simulated_time_monotone_in_threads(self):
+        tree = make_input("star-perm", 500, seed=0)
+        run = run_algorithm("paruf", tree)
+        times = [simulated_time(run, p) for p in (1, 2, 8, 64, 192)]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+        assert times[0] <= run.wall_seconds * 1.01
+
+    def test_simulated_time_fallback_without_phases(self):
+        run = AlgoRun("x", 10, wall_seconds=1.0, work=1000.0, depth=10.0)
+        assert simulated_time(run, 1) == pytest.approx(1.0)
+        assert simulated_time(run, 100) < 0.1
+
+    def test_sequential_run_does_not_speed_up(self):
+        run = AlgoRun(
+            "x",
+            10,
+            wall_seconds=1.0,
+            work=100.0,
+            depth=100.0,
+            phase_costs={"loop": PhaseCost(1.0, 100.0, 100.0)},
+        )
+        assert simulated_time(run, 192) == pytest.approx(1.0)
+
+    def test_model_time(self):
+        run = AlgoRun("x", 10, wall_seconds=2.0, work=1000.0, depth=10.0)
+        assert model_time(run, 1, 1e-3) == pytest.approx(1.01)
+        assert model_time(run, 100, 1e-3) == pytest.approx(0.02)
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[2:]}) == 1
+
+    def test_fmt_seconds_ranges(self):
+        assert fmt_seconds(123.4) == "123"
+        assert fmt_seconds(1.5) == "1.50"
+        assert fmt_seconds(0.01234) == "0.012"

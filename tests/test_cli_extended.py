@@ -1,0 +1,95 @@
+"""Extended CLI commands: analyze, compare, bench selfcheck, CSV flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+
+
+class TestAnalyze:
+    def test_low_par_verdict(self, capsys):
+        assert cli_main(
+            ["analyze", "--kind", "path", "--n", "400", "--scheme", "low-par"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chain-bound" in out
+
+    def test_sorted_verdict(self, capsys):
+        assert cli_main(
+            ["analyze", "--kind", "path", "--n", "400", "--scheme", "sorted"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "postprocess-friendly" in out
+
+    def test_perm_verdict(self, capsys):
+        assert cli_main(
+            ["analyze", "--kind", "path", "--n", "400", "--scheme", "perm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wide frontier" in out
+
+    def test_analyze_from_file(self, tmp_path, capsys):
+        tree_path = tmp_path / "t.npz"
+        cli_main(["generate", "--kind", "knuth", "--n", "100", "--out", str(tree_path)])
+        capsys.readouterr()
+        assert cli_main(["analyze", "--input", str(tree_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parallelism profile" in out
+
+
+class TestCompare:
+    def _make(self, tmp_path, name, algorithm, seed=1):
+        path = tmp_path / f"{name}.npz"
+        cli_main(
+            [
+                "compute",
+                "--kind",
+                "knuth",
+                "--n",
+                "80",
+                "--seed",
+                str(seed),
+                "--algorithm",
+                algorithm,
+                "--out",
+                str(path),
+            ]
+        )
+        return path
+
+    def test_identical(self, tmp_path, capsys):
+        a = self._make(tmp_path, "a", "rctt")
+        b = self._make(tmp_path, "b", "paruf")
+        capsys.readouterr()
+        assert cli_main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "identical parent arrays: True" in out
+        assert "B_2" in out
+
+    def test_different_inputs(self, tmp_path, capsys):
+        a = self._make(tmp_path, "a", "rctt", seed=1)
+        b = self._make(tmp_path, "b", "rctt", seed=2)
+        capsys.readouterr()
+        assert cli_main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "identical parent arrays: False" in out
+
+    def test_size_mismatch_fails(self, tmp_path, capsys):
+        a = self._make(tmp_path, "a", "rctt")
+        path_b = tmp_path / "c.npz"
+        cli_main(
+            ["compute", "--kind", "path", "--n", "30", "--out", str(path_b)]
+        )
+        capsys.readouterr()
+        assert cli_main(["compare", str(a), str(path_b)]) == 1
+
+
+def test_bench_selfcheck_listed():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = parser.format_help()
+    # subcommand registered
+    assert "compare" in text and "analyze" in text

@@ -1,0 +1,125 @@
+"""Cluster quality metrics: silhouette, Davies-Bouldin, purity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.evaluation import davies_bouldin, purity, silhouette_score
+from repro.cluster.single_linkage import single_linkage
+from repro.datasets.points import gaussian_blobs
+
+
+@pytest.fixture
+def separated():
+    return gaussian_blobs(90, centers=3, spread=0.2, seed=0)
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self, separated):
+        pts, truth = separated
+        assert silhouette_score(pts, truth) > 0.8
+
+    def test_random_labels_near_zero_or_negative(self, separated):
+        pts, _ = separated
+        rng = np.random.default_rng(1)
+        assert silhouette_score(pts, rng.integers(0, 3, len(pts))) < 0.2
+
+    def test_true_beats_wrong_k(self, separated):
+        pts, truth = separated
+        res = single_linkage(pts)
+        good = silhouette_score(pts, res.labels_k(3))
+        worse = silhouette_score(pts, res.labels_k(7))
+        assert good > worse
+
+    def test_two_point_clusters(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 0.0], [5.1, 0.0]])
+        s = silhouette_score(pts, np.array([0, 0, 1, 1]))
+        assert s > 0.9
+
+    def test_singleton_scores_zero(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [9.0, 0.0]])
+        s = silhouette_score(pts, np.array([0, 0, 1]))
+        # singleton contributes 0; the others are near 1
+        assert 0.5 < s < 1.0
+
+    def test_requires_two_clusters(self):
+        pts = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="clusters"):
+            silhouette_score(pts, np.zeros(4, dtype=int))
+
+    def test_matches_manual_computation(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 0, 1])
+        # a(p0)=1, b(p0)=10 -> 0.9 ; a(p1)=1, b(p1)=9 -> 8/9 ; p2 singleton -> 0
+        expected = (0.9 + 8 / 9 + 0.0) / 3
+        assert silhouette_score(pts, labels) == pytest.approx(expected)
+
+
+class TestDaviesBouldin:
+    def test_separated_low(self, separated):
+        pts, truth = separated
+        assert davies_bouldin(pts, truth) < 0.5
+
+    def test_merged_clusters_higher(self, separated):
+        pts, truth = separated
+        merged = truth.copy()
+        merged[merged == 2] = 1  # force two true clusters into one label
+        assert davies_bouldin(pts, merged) > davies_bouldin(pts, truth)
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError, match="2 clusters"):
+            davies_bouldin(np.zeros((3, 2)), np.zeros(3, dtype=int))
+
+    def test_manual_two_clusters(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 0.0], [12.0, 0.0]])
+        labels = np.array([0, 0, 1, 1])
+        # scatter = 1 each, centroid distance = 10 -> DB = 2/10
+        assert davies_bouldin(pts, labels) == pytest.approx(0.2)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(np.array([0, 0, 1, 1]), np.array([5, 5, 9, 9])) == 1.0
+
+    def test_mixed(self):
+        # cluster 0 holds classes {a,a,b}: majority 2 of 3; cluster 1 pure
+        labels = np.array([0, 0, 0, 1])
+        truth = np.array([0, 0, 1, 1])
+        assert purity(labels, truth) == pytest.approx(3 / 4)
+
+    def test_single_cluster_majority(self):
+        labels = np.zeros(5, dtype=int)
+        truth = np.array([0, 0, 0, 1, 1])
+        assert purity(labels, truth) == pytest.approx(3 / 5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            purity(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+    def test_empty(self):
+        assert purity(np.zeros(0, dtype=int), np.zeros(0, dtype=int)) == 1.0
+
+    def test_pipeline_integration(self, separated):
+        pts, truth = separated
+        res = single_linkage(pts)
+        assert purity(res.labels_k(3), truth) == 1.0
+
+
+def test_report_generator(tmp_path, monkeypatch):
+    """The one-shot report runs a (shrunken) experiment and emits markdown."""
+    import repro.bench.report as report
+    import repro.bench.selfcheck as selfcheck
+
+    original_run = selfcheck.run
+    monkeypatch.setattr(selfcheck, "run", lambda **kw: original_run(n=400))
+    text = report.generate_report(experiments=("selfcheck",))
+    assert "# Reproduction report" in text
+    assert "agreement matrix" in text
+    assert "```text" in text
+    out = tmp_path / "r.md"
+    monkeypatch.setattr(
+        report, "generate_report", lambda experiments=("selfcheck",): text
+    )
+    assert report.main([str(out)]) == 0
+    assert out.read_text() == text

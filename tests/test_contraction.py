@@ -1,0 +1,134 @@
+"""Tree contraction and RC-tree invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT
+from repro.contraction.schedule import CompressEvent, RakeEvent, build_rc_tree
+from repro.runtime.cost_model import CostTracker
+from repro.trees.weights import apply_scheme
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=weighted_trees(max_n=40), seed=st.integers(0, 2**31 - 1))
+def test_contraction_is_legal(tree, seed):
+    """Replay every recorded round and assert all legality conditions
+    (degree constraints, independence, lesser-rank compress direction,
+    vertex-edge bijection)."""
+    rct = build_rc_tree(tree, seed=seed)
+    rct.validate(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=40), seed=st.integers(0, 2**31 - 1))
+def test_every_vertex_contracts_once(tree, seed):
+    rct = build_rc_tree(tree, seed=seed)
+    non_root = [v for v in range(tree.n) if v != rct.root]
+    assert all(rct.kind[v] in (KIND_RAKE, KIND_COMPRESS) for v in non_root)
+    assert rct.kind[rct.root] == KIND_ROOT
+    assert rct.edge[rct.root] == -1
+    assert sorted(int(e) for e in rct.edge if e >= 0) == list(range(tree.m))
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=40), seed=st.integers(0, 2**31 - 1))
+def test_parents_contract_later(tree, seed):
+    """An rcnode's parent must still be alive when the child contracts."""
+    rct = build_rc_tree(tree, seed=seed)
+    for v in range(tree.n):
+        if v != rct.root:
+            assert rct.round_of[int(rct.parent[v])] > rct.round_of[v]
+
+
+@pytest.mark.parametrize("kind", ["path", "star", "knuth", "random", "caterpillar", "binary"])
+def test_logarithmic_rounds(kind):
+    """Round count must be O(log n) (randomized Miller-Reif bound)."""
+    n = 4096
+    tree = make_tree(kind, n, seed=0).with_weights(apply_scheme("perm", n - 1, seed=1))
+    rct = build_rc_tree(tree, seed=0)
+    assert rct.num_rounds <= 8 * math.log2(n)
+
+
+@pytest.mark.parametrize("kind", ["path", "star", "knuth"])
+def test_rc_tree_height_logarithmic(kind):
+    n = 4096
+    tree = make_tree(kind, n, seed=0).with_weights(apply_scheme("perm", n - 1, seed=1))
+    rct = build_rc_tree(tree, seed=0)
+    assert rct.height() <= 10 * math.log2(n)
+
+
+def test_star_contracts_in_one_rake_round_plus_final():
+    tree = make_tree("star", 100)
+    rct = build_rc_tree(tree, seed=0)
+    kinds = [k for k, _ in rct.rounds]
+    assert kinds[0] == "rake"
+    assert len(rct.rounds[0][1]) == 99  # all leaves rake at once
+
+
+def test_path_uses_compress():
+    tree = make_tree("path", 500).with_weights(apply_scheme("perm", 499, seed=0))
+    rct = build_rc_tree(tree, seed=0)
+    assert any(k == "compress" and events for k, events in rct.rounds)
+
+
+def test_compress_direction_is_lesser_rank():
+    tree = make_tree("path", 300).with_weights(apply_scheme("perm", 299, seed=2))
+    rct = build_rc_tree(tree, seed=0)
+    ranks = tree.ranks
+    for kind, events in rct.rounds:
+        if kind != "compress":
+            continue
+        for ev in events:
+            assert isinstance(ev, CompressEvent)
+            # the vertex merges toward the lesser-rank side (edge ids denote
+            # surviving identities, so endpoint checks live in rct.validate)
+            assert ranks[ev.e1] < ranks[ev.e2]
+
+
+def test_single_vertex_tree():
+    tree = make_tree("path", 1)
+    rct = build_rc_tree(tree)
+    assert rct.root == 0
+    assert rct.num_rounds == 0
+
+
+def test_two_vertex_tree_rakes_by_priority():
+    tree = make_tree("path", 2)
+    rct = build_rc_tree(tree, seed=0)
+    assert rct.num_rounds == 1
+    kind, events = rct.rounds[0]
+    assert kind == "rake"
+    assert len(events) == 1
+    assert isinstance(events[0], RakeEvent)
+
+
+def test_deterministic_given_seed():
+    tree = make_tree("knuth", 200, seed=5).with_weights(apply_scheme("perm", 199, seed=6))
+    a = build_rc_tree(tree, seed=3)
+    b = build_rc_tree(tree, seed=3)
+    np.testing.assert_array_equal(a.parent, b.parent)
+    np.testing.assert_array_equal(a.edge, b.edge)
+
+
+def test_tracker_charges_rounds():
+    tree = make_tree("path", 256).with_weights(apply_scheme("perm", 255, seed=1))
+    tracker = CostTracker()
+    rct = build_rc_tree(tree, seed=0, tracker=tracker)
+    assert tracker.work >= tree.n  # every vertex scanned at least once
+    # Depth is O(rounds * log n)
+    assert tracker.depth <= (rct.num_rounds + 2) * (math.log2(tree.n) + 2)
+
+
+def test_vertex_of_edge_inverse():
+    tree = make_tree("random", 60, seed=7).with_weights(apply_scheme("perm", 59, seed=8))
+    rct = build_rc_tree(tree, seed=0)
+    voe = rct.vertex_of_edge()
+    for e in range(tree.m):
+        assert rct.edge[int(voe[e])] == e

@@ -1,0 +1,119 @@
+"""The load-bearing correctness property: every algorithm equals the oracle.
+
+The brute-force oracle (:mod:`repro.core.brute`) computes each node's
+parent straight from the single-linkage definition and shares no code with
+the production algorithms, so elementwise agreement of the parent arrays
+is a genuine end-to-end correctness check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import arbitrary_weighted_trees, make_tree, weighted_trees, TREE_KINDS
+from repro.core.brute import brute_force_sld
+from repro.core.api import ALGORITHMS, single_linkage_dendrogram
+from repro.trees.weights import WEIGHT_SCHEMES, apply_scheme
+
+GENERAL_ALGORITHMS = (
+    "sequf",
+    "paruf",
+    "paruf-sync",
+    "rctt",
+    "tree-contraction",
+    "tree-contraction-list",
+    "divide-conquer",
+    "weight-dc",
+)
+
+
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+@pytest.mark.parametrize("kind", sorted(TREE_KINDS))
+@pytest.mark.parametrize("scheme", sorted(WEIGHT_SCHEMES))
+def test_algorithm_matches_oracle_grid(algorithm, kind, scheme):
+    """Deterministic grid: every topology x weight scheme x algorithm."""
+    tree = make_tree(kind, 23, seed=7).with_weights(apply_scheme(scheme, 22, seed=11))
+    expected = brute_force_sld(tree)
+    got = ALGORITHMS[algorithm](tree)
+    np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+@settings(max_examples=60, deadline=None)
+@given(tree=weighted_trees(max_n=32))
+def test_algorithm_matches_oracle_property(algorithm, tree):
+    """Property: random topology/weights, per algorithm."""
+    np.testing.assert_array_equal(ALGORITHMS[algorithm](tree), brute_force_sld(tree))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=arbitrary_weighted_trees())
+def test_all_algorithms_agree_on_tied_weights(tree):
+    """Ties broken by edge id: all algorithms must still agree exactly."""
+    expected = brute_force_sld(tree)
+    for algorithm in GENERAL_ALGORITHMS:
+        got = ALGORITHMS[algorithm](tree)
+        np.testing.assert_array_equal(got, expected, err_msg=algorithm)
+
+
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+def test_two_vertex_tree(algorithm):
+    tree = make_tree("path", 2)
+    parents = ALGORITHMS[algorithm](tree)
+    np.testing.assert_array_equal(parents, [0])
+
+
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS + ("cartesian", "brute"))
+def test_single_vertex_tree(algorithm):
+    tree = make_tree("path", 1)
+    parents = ALGORITHMS[algorithm](tree)
+    assert parents.shape == (0,)
+
+
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
+def test_three_vertex_trees_exhaustive(algorithm):
+    """All weight orders on both 3-vertex topologies (path only; the star on
+    3 vertices is the same graph relabeled)."""
+    import itertools
+
+    from repro.trees.wtree import WeightedTree
+
+    edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+    for w in itertools.permutations([1.0, 2.0]):
+        tree = WeightedTree(3, edges, np.array(w))
+        np.testing.assert_array_equal(
+            ALGORITHMS[algorithm](tree), brute_force_sld(tree)
+        )
+
+
+def test_api_returns_validated_dendrogram():
+    tree = make_tree("knuth", 30, seed=3).with_weights(apply_scheme("perm", 29, seed=4))
+    dend = single_linkage_dendrogram(tree, algorithm="rctt", validate=True)
+    assert dend.m == 29
+    assert dend.tree is tree
+    dend.validate()  # idempotent
+
+
+def test_api_rejects_unknown_algorithm():
+    from repro.errors import AlgorithmError
+
+    tree = make_tree("path", 5)
+    with pytest.raises(AlgorithmError, match="unknown algorithm"):
+        single_linkage_dendrogram(tree, algorithm="fastest")
+
+
+def test_algorithms_registry_is_complete():
+    assert set(ALGORITHMS) == {
+        "sequf",
+        "paruf",
+        "paruf-sync",
+        "rctt",
+        "tree-contraction",
+        "tree-contraction-list",
+        "divide-conquer",
+        "weight-dc",
+        "cartesian",
+        "brute",
+    }

@@ -1,0 +1,108 @@
+"""Cartesian trees and the path special case of SLD computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree
+from repro.core.brute import brute_force_sld
+from repro.core.cartesian import cartesian_tree_parents, sld_path
+from repro.errors import AlgorithmError, InvalidTreeError
+from repro.trees.weights import apply_scheme
+from repro.trees.wtree import WeightedTree
+
+
+def _reference_cartesian(values):
+    """Quadratic reference: parent = min of nearest-greater left/right."""
+    k = len(values)
+    parents = np.arange(k)
+    for i in range(k):
+        left = right = None
+        for j in range(i - 1, -1, -1):
+            if values[j] > values[i]:
+                left = j
+                break
+        for j in range(i + 1, k):
+            if values[j] > values[i]:
+                right = j
+                break
+        if left is None and right is None:
+            parents[i] = i
+        elif left is None:
+            parents[i] = right
+        elif right is None:
+            parents[i] = left
+        else:
+            parents[i] = left if values[left] < values[right] else right
+    return parents
+
+
+@pytest.mark.parametrize("method", ["stack", "dc"])
+@settings(max_examples=80, deadline=None)
+@given(perm=st.permutations(list(range(12))))
+def test_cartesian_matches_reference(method, perm):
+    values = np.array(perm)
+    np.testing.assert_array_equal(
+        cartesian_tree_parents(values, method=method), _reference_cartesian(values)
+    )
+
+
+@pytest.mark.parametrize("method", ["stack", "dc"])
+def test_cartesian_trivial_sizes(method):
+    assert cartesian_tree_parents(np.array([]), method=method).shape == (0,)
+    np.testing.assert_array_equal(cartesian_tree_parents(np.array([5]), method=method), [0])
+    np.testing.assert_array_equal(
+        cartesian_tree_parents(np.array([1, 2]), method=method), [1, 1]
+    )
+    np.testing.assert_array_equal(
+        cartesian_tree_parents(np.array([2, 1]), method=method), [0, 0]
+    )
+
+
+def test_cartesian_monotone_sequences():
+    inc = cartesian_tree_parents(np.arange(8))
+    np.testing.assert_array_equal(inc, [1, 2, 3, 4, 5, 6, 7, 7])
+    dec = cartesian_tree_parents(np.arange(8)[::-1].copy())
+    np.testing.assert_array_equal(dec, [0, 0, 1, 2, 3, 4, 5, 6])
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(AlgorithmError, match="method"):
+        cartesian_tree_parents(np.array([1, 2]), method="treap")
+
+
+@pytest.mark.parametrize("method", ["stack", "dc"])
+@pytest.mark.parametrize("scheme", ["unit", "perm", "low-par", "uniform"])
+def test_sld_path_matches_oracle(method, scheme):
+    tree = make_tree("path", 60).with_weights(apply_scheme(scheme, 59, seed=3))
+    np.testing.assert_array_equal(
+        sld_path(tree, method=method), brute_force_sld(tree)
+    )
+
+
+def test_sld_path_relabeled_vertices(rng):
+    """The walk must recover edge order for any vertex labeling."""
+    n = 40
+    base = make_tree("path", n).with_weights(apply_scheme("perm", n - 1, seed=8))
+    perm = rng.permutation(n)
+    tree = WeightedTree(n, perm[base.edges], base.weights)
+    np.testing.assert_array_equal(sld_path(tree), brute_force_sld(tree))
+
+
+def test_sld_path_rejects_non_path():
+    tree = make_tree("star", 5)
+    with pytest.raises(InvalidTreeError, match="not a path"):
+        sld_path(tree)
+
+
+def test_sld_path_equals_cartesian_tree_directly():
+    """On the identity-labeled path, SLD parents are exactly the Cartesian
+    tree parents of the rank sequence."""
+    n = 30
+    tree = make_tree("path", n).with_weights(apply_scheme("perm", n - 1, seed=1))
+    np.testing.assert_array_equal(
+        sld_path(tree), cartesian_tree_parents(tree.ranks)
+    )

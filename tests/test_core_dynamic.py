@@ -1,0 +1,108 @@
+"""Dynamic SLD: exactness under updates and suffix-recompute locality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.core.dynamic import DynamicSLD
+from repro.errors import InvalidWeightsError
+
+
+def test_initial_build_matches_oracle():
+    tree = make_tree("knuth", 60, seed=2).with_weights(
+        np.random.default_rng(0).permutation(59).astype(float)
+    )
+    dyn = DynamicSLD(tree)
+    np.testing.assert_array_equal(dyn.parents, brute_force_sld(tree))
+    assert dyn.last_update_size == 59
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tree=weighted_trees(min_n=2, max_n=28),
+    updates=st.lists(
+        st.tuples(st.integers(0, 10_000), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_update_sequences_stay_exact(tree, updates):
+    dyn = DynamicSLD(tree)
+    for raw_e, w in updates:
+        e = raw_e % tree.m
+        dyn.update_weight(e, w)
+        np.testing.assert_array_equal(dyn.parents, brute_force_sld(dyn.tree()))
+
+
+def test_top_edge_update_is_local():
+    """Re-weighting an edge that stays the global maximum recomputes O(1)
+    edges; touching the global minimum recomputes everything."""
+    n = 500
+    tree = make_tree("path", n).with_weights(np.arange(n - 1, dtype=float))
+    dyn = DynamicSLD(tree)
+    assert dyn.update_weight(n - 2, 10_000.0) == 1
+    assert dyn.update_weight(0, -10.0) == n - 1
+
+
+def test_update_size_tracks_rank_window():
+    n = 200
+    tree = make_tree("path", n).with_weights(np.arange(n - 1, dtype=float))
+    dyn = DynamicSLD(tree)
+    # move the median edge to the top: window = [median, max]
+    count = dyn.update_weight(100, 10_000.0)
+    assert count == (n - 1) - 100
+    np.testing.assert_array_equal(dyn.parents, brute_force_sld(dyn.tree()))
+
+
+def test_no_op_update_recomputes_suffix_only():
+    n = 100
+    tree = make_tree("path", n).with_weights(np.arange(n - 1, dtype=float))
+    dyn = DynamicSLD(tree)
+    before = dyn.parents.copy()
+    count = dyn.update_weight(50, 50.0)  # identical weight
+    np.testing.assert_array_equal(dyn.parents, before)
+    assert count == (n - 1) - 50
+
+
+def test_rank_swap_updates_both_nodes():
+    tree = make_tree("path", 4).with_weights(np.array([1.0, 2.0, 3.0]))
+    dyn = DynamicSLD(tree)
+    dyn.update_weight(0, 2.5)  # edges 0 and 1 swap ranks
+    np.testing.assert_array_equal(dyn.parents, brute_force_sld(dyn.tree()))
+    assert dyn.ranks.tolist() == [1, 0, 2]
+
+
+def test_dendrogram_and_tree_snapshots_are_isolated():
+    tree = make_tree("knuth", 40, seed=1).with_weights(
+        np.random.default_rng(1).permutation(39).astype(float)
+    )
+    dyn = DynamicSLD(tree)
+    snapshot = dyn.dendrogram()
+    dyn.update_weight(3, 1e6)
+    # the snapshot must not see the update
+    np.testing.assert_array_equal(snapshot.tree.weights, tree.weights)
+    snapshot.validate()
+
+
+def test_errors():
+    tree = make_tree("path", 5)
+    dyn = DynamicSLD(tree)
+    with pytest.raises(ValueError, match="edge id"):
+        dyn.update_weight(99, 1.0)
+    with pytest.raises(InvalidWeightsError):
+        dyn.update_weight(0, float("nan"))
+
+
+def test_total_recomputed_accumulates():
+    n = 50
+    tree = make_tree("path", n).with_weights(np.arange(n - 1, dtype=float))
+    dyn = DynamicSLD(tree)
+    base = dyn.total_recomputed
+    dyn.update_weight(n - 2, 1e5)
+    dyn.update_weight(n - 2, 2e5)
+    assert dyn.total_recomputed == base + 2

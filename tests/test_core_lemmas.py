@@ -1,0 +1,135 @@
+"""The paper's structural lemmas, checked as executable properties."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from conftest import weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.dendrogram.structure import Dendrogram
+from repro.dendrogram.validate import validate_parents
+
+
+def _reach_smaller(tree, e):
+    """I(e): vertices reachable from e's endpoints over smaller-rank edges."""
+    ranks = tree.ranks
+    offsets, nbr_vertex, nbr_edge = tree.adjacency()
+    seen = {int(tree.edges[e, 0]), int(tree.edges[e, 1])}
+    stack = list(seen)
+    inferior = set()
+    while stack:
+        v = stack.pop()
+        for s in range(int(offsets[v]), int(offsets[v + 1])):
+            f = int(nbr_edge[s])
+            if f != e and ranks[f] < ranks[e]:
+                inferior.add(f)
+                w = int(nbr_vertex[s])
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+    return inferior
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=28))
+def test_lemma_3_2_subtree_equals_adjacent_inferiors(tree):
+    """Lemma 3.2: the subtree of D rooted at node e contains exactly the
+    adjacent-inferior edge set I(e)."""
+    parents = brute_force_sld(tree)
+    dend = Dendrogram(tree, parents)
+    kids = dend.children()
+    for e in range(tree.m):
+        # collect D(e)'s strict descendants
+        desc = set()
+        stack = list(kids[e])
+        while stack:
+            x = stack.pop()
+            desc.add(x)
+            stack.extend(kids[x])
+        assert desc == _reach_smaller(tree, e), f"edge {e}"
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=28))
+def test_lemma_3_3_star_edges_share_a_spine(tree):
+    """Lemma 3.3: all edges incident to a vertex lie on the spine of the
+    minimum-rank incident edge."""
+    parents = brute_force_sld(tree)
+    dend = Dendrogram(tree, parents)
+    ranks = tree.ranks
+    for v in range(tree.n):
+        _, incident = tree.neighbors(v)
+        if incident.size <= 1:
+            continue
+        e1 = int(incident[np.argmin(ranks[incident])])
+        spine = set(dend.spine(e1))
+        for f in incident:
+            assert int(f) in spine, f"edge {f} of vertex {v} not on spine({e1})"
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=28))
+def test_parent_rank_monotonicity(tree):
+    """Non-root parents always have strictly greater rank (the invariant
+    validate_parents enforces; here proved against the oracle output)."""
+    parents = brute_force_sld(tree)
+    validate_parents(parents, tree.ranks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=28))
+def test_lemma_4_1_local_minima_merge_first(tree):
+    """Lemma 4.1/4.2: each initial local-minimum edge e is a dendrogram
+    leaf-level node whose parent is the min-rank edge incident to the merged
+    cluster."""
+    parents = brute_force_sld(tree)
+    ranks = tree.ranks
+    offsets, _, nbr_edge = tree.adjacency()
+    for e in range(tree.m):
+        u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+        incident = np.concatenate(
+            [
+                nbr_edge[int(offsets[u]) : int(offsets[u + 1])],
+                nbr_edge[int(offsets[v]) : int(offsets[v + 1])],
+            ]
+        )
+        others = incident[incident != e]
+        if others.size == 0:
+            continue
+        if ranks[e] < ranks[others].min():
+            # e is a local minimum: its parent is the min-rank other edge
+            expected = int(others[np.argmin(ranks[others])])
+            assert int(parents[e]) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=28))
+def test_root_is_max_rank_edge(tree):
+    parents = brute_force_sld(tree)
+    root = int(np.flatnonzero(parents == np.arange(tree.m))[0])
+    assert tree.ranks[root] == tree.m - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=24))
+def test_dendrogram_children_at_most_two_edges(tree):
+    """Each SLD node merges exactly two clusters, so it has at most two
+    edge-children (other children are leaves)."""
+    parents = brute_force_sld(tree)
+    dend = Dendrogram(tree, parents)
+    for e, kids in enumerate(dend.children()):
+        assert len(kids) <= 2, f"node {e} has {len(kids)} edge children"
+
+
+def test_star_dendrogram_sorts_edges():
+    """Appendix B: the SLD of a star totally orders its edges by rank."""
+    from repro.trees.generators import star_tree
+    from repro.trees.weights import apply_scheme
+
+    tree = star_tree(40).with_weights(apply_scheme("perm", 39, seed=9))
+    parents = brute_force_sld(tree)
+    order = np.argsort(tree.ranks)
+    for a, b in zip(order, order[1:]):
+        assert parents[a] == b
+    assert parents[order[-1]] == order[-1]

@@ -1,0 +1,88 @@
+"""SLD-Merge primitive and the centroid divide-and-conquer algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from conftest import make_tree, weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.core.merge import extract_spine, merge_spines, sld_divide_and_conquer
+from repro.runtime.cost_model import CostTracker
+from repro.trees.weights import apply_scheme
+from repro.trees.wtree import WeightedTree
+
+
+def test_extract_spine_follows_parents_to_root():
+    parents = np.array([2, 2, 4, 4, 4])
+    assert extract_spine(parents, 0) == [0, 2, 4]
+    assert extract_spine(parents, 4) == [4]
+
+
+def test_merge_spines_relinks_interleaved():
+    ranks = np.arange(6)
+    parents = np.array([2, 3, 2, 3, 4, 5])
+    # spine A: 0 -> 2 (ranks 0, 2); spine B: 1 -> 3 (ranks 1, 3)
+    merged = merge_spines(parents, [0, 2], [1, 3], ranks)
+    assert merged == [0, 1, 2, 3]
+    assert parents[0] == 1 and parents[1] == 2 and parents[2] == 3
+    assert parents[3] == 3  # merged top becomes root
+
+
+def test_merge_spines_empty_side():
+    """A single-vertex side contributes the empty characteristic spine."""
+    ranks = np.arange(3)
+    parents = np.array([1, 1, 2])
+    merged = merge_spines(parents, [0, 1], [], ranks)
+    assert merged == [0, 1]
+    assert parents[1] == 1
+
+
+def test_merge_theorem_3_5_on_explicit_split():
+    """Split a known tree at a shared vertex, solve the halves with the
+    oracle, merge, and compare with the whole-tree oracle."""
+    # Tree: 0-1-2-3 path plus 2-4, 2-5 star arms; split at vertex 2.
+    edges = np.array([[0, 1], [1, 2], [2, 3], [2, 4], [2, 5]], dtype=np.int64)
+    weights = np.array([4.0, 1.0, 3.0, 0.5, 2.0])
+    tree = WeightedTree(6, edges, weights)
+    ranks = tree.ranks
+
+    # Side A: edges {0,1} (the 0-1-2 path); side B: edges {2,3,4}.
+    tree_a = WeightedTree(3, np.array([[0, 1], [1, 2]]), weights[:2])
+    tree_b = WeightedTree(4, np.array([[0, 1], [0, 2], [0, 3]]), weights[2:])
+    pa = brute_force_sld(tree_a)
+    pb = brute_force_sld(tree_b)
+    parents = np.arange(5, dtype=np.int64)
+    parents[:2] = pa
+    parents[2:] = pb + 2  # re-offset side-B edge ids
+
+    # Characteristic edges at the shared vertex: min-rank incident per side.
+    inc_a = [0, 1]
+    inc_b = [2, 3, 4]
+    ea = min((e for e in inc_a if 2 in edges[e]), key=lambda e: ranks[e])
+    eb = min((e for e in inc_b if 2 in edges[e]), key=lambda e: ranks[e])
+    merge_spines(parents, extract_spine(parents, ea), extract_spine(parents, eb), ranks)
+    np.testing.assert_array_equal(parents, brute_force_sld(tree))
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=36))
+def test_divide_and_conquer_matches_oracle(tree):
+    np.testing.assert_array_equal(sld_divide_and_conquer(tree), brute_force_sld(tree))
+
+
+def test_divide_and_conquer_cost_tracked():
+    tree = make_tree("knuth", 200, seed=1).with_weights(apply_scheme("perm", 199, seed=2))
+    tracker = CostTracker()
+    sld_divide_and_conquer(tree, tracker=tracker)
+    assert tracker.work > 0
+    # Parallel recursion: depth must be well below work.
+    assert tracker.depth < tracker.work / 2
+
+
+def test_divide_and_conquer_on_star_and_path():
+    for kind in ("star", "path"):
+        tree = make_tree(kind, 120).with_weights(apply_scheme("perm", 119, seed=3))
+        np.testing.assert_array_equal(
+            sld_divide_and_conquer(tree), brute_force_sld(tree)
+        )

@@ -1,0 +1,62 @@
+"""Round-synchronous ParUF: correctness and its scheduling contrast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import make_tree, weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.core.paruf import ParUFStats, paruf
+from repro.core.paruf_sync import paruf_sync
+from repro.runtime.cost_model import CostTracker
+from repro.trees.weights import apply_scheme
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=30))
+def test_matches_oracle(tree):
+    np.testing.assert_array_equal(paruf_sync(tree), brute_force_sld(tree))
+
+
+@pytest.mark.parametrize("heap_kind", ["pairing", "binomial", "skew"])
+def test_heap_kinds(heap_kind):
+    tree = make_tree("knuth", 60, seed=1).with_weights(apply_scheme("perm", 59, seed=2))
+    np.testing.assert_array_equal(
+        paruf_sync(tree, heap_kind=heap_kind), brute_force_sld(tree)
+    )
+
+
+def test_round_count_equals_async_max_round():
+    """The synchronous round count is the async algorithm's activation
+    depth: both realize the same level structure."""
+    tree = make_tree("knuth", 200, seed=4).with_weights(apply_scheme("perm", 199, seed=5))
+    async_stats, sync_stats = ParUFStats(), ParUFStats()
+    paruf(tree, postprocess=False, stats=async_stats)
+    paruf_sync(tree, postprocess=False, stats=sync_stats)
+    assert sync_stats.max_round == async_stats.max_round
+
+
+def test_postprocess_fires_identically():
+    tree = make_tree("path", 80).with_weights(apply_scheme("sorted", 79))
+    stats = ParUFStats()
+    parents = paruf_sync(tree, stats=stats)
+    assert stats.used_postprocess
+    np.testing.assert_array_equal(parents, brute_force_sld(tree))
+
+
+def test_barrier_overhead_charged():
+    """The synchronous variant must charge at least as much depth as the
+    asynchronous one -- every round pays a barrier (the overhead Alg. 5's
+    asynchrony avoids)."""
+    tree = make_tree("path", 400).with_weights(apply_scheme("low-par", 399))
+    t_async, t_sync = CostTracker(), CostTracker()
+    paruf(tree, postprocess=False, tracker=t_async)
+    paruf_sync(tree, postprocess=False, tracker=t_sync)
+    assert t_sync.depth >= t_async.depth
+
+
+def test_empty_and_singleton():
+    assert paruf_sync(make_tree("path", 1)).shape == (0,)
+    np.testing.assert_array_equal(paruf_sync(make_tree("path", 2)), [0])

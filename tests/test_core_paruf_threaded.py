@@ -1,0 +1,83 @@
+"""Threaded ParUF: the status protocol under genuine preemptive threads.
+
+These are stress tests of the paper's race-freedom argument (Theorem
+4.3): heap and union-find accesses are deliberately unlocked in
+``paruf_threaded``, so any protocol violation shows up as a corrupted
+dendrogram (caught by oracle comparison) or a crashed worker (re-raised).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.core.brute import brute_force_sld
+from repro.core.paruf import ParUFStats
+from repro.core.paruf_threaded import paruf_threaded
+from repro.trees.weights import apply_scheme
+
+
+@pytest.mark.parametrize("num_threads", [1, 2, 4, 8])
+@pytest.mark.parametrize("kind", ["path", "star", "knuth", "random"])
+def test_matches_oracle_across_thread_counts(num_threads, kind):
+    tree = make_tree(kind, 90, seed=3).with_weights(apply_scheme("perm", 89, seed=4))
+    got = paruf_threaded(tree, num_threads=num_threads)
+    np.testing.assert_array_equal(got, brute_force_sld(tree))
+
+
+def test_repeated_runs_are_deterministic_output(rng):
+    """Different interleavings every run, identical dendrogram every run."""
+    tree = make_tree("knuth", 150, seed=7).with_weights(apply_scheme("perm", 149, seed=8))
+    expected = brute_force_sld(tree)
+    for _ in range(10):
+        np.testing.assert_array_equal(paruf_threaded(tree, num_threads=4), expected)
+
+
+def test_fine_grained_switching_stress():
+    """Force a GIL switch after (almost) every bytecode: the harshest
+    interleaving the protocol must survive."""
+    tree = make_tree("random", 120, seed=11).with_weights(apply_scheme("perm", 119, seed=12))
+    expected = brute_force_sld(tree)
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        for _ in range(3):
+            np.testing.assert_array_equal(paruf_threaded(tree, num_threads=6), expected)
+    finally:
+        sys.setswitchinterval(old)
+
+
+@pytest.mark.parametrize("heap_kind", ["pairing", "binomial", "skew"])
+def test_heap_kinds(heap_kind):
+    tree = make_tree("knuth", 70, seed=1).with_weights(apply_scheme("uniform", 69, seed=2))
+    got = paruf_threaded(tree, num_threads=3, heap_kind=heap_kind)
+    np.testing.assert_array_equal(got, brute_force_sld(tree))
+
+
+def test_low_par_adversary_under_threads():
+    """Two concurrent chains racing toward the middle -- the maximal-
+    contention shape for the activation protocol."""
+    tree = make_tree("path", 300).with_weights(apply_scheme("low-par", 299))
+    expected = brute_force_sld(tree)
+    np.testing.assert_array_equal(paruf_threaded(tree, num_threads=2), expected)
+
+
+def test_stats_recorded():
+    tree = make_tree("path", 40).with_weights(apply_scheme("perm", 39, seed=0))
+    stats = ParUFStats()
+    paruf_threaded(tree, num_threads=2, stats=stats)
+    assert stats.processed_async == 39
+    assert stats.initial_ready >= 1
+
+
+def test_bad_thread_count():
+    with pytest.raises(ValueError, match="thread"):
+        paruf_threaded(make_tree("path", 4), num_threads=0)
+
+
+def test_trivial_inputs():
+    assert paruf_threaded(make_tree("path", 1)).shape == (0,)
+    np.testing.assert_array_equal(paruf_threaded(make_tree("path", 2)), [0])

@@ -1,0 +1,97 @@
+"""SLD-TreeContraction: heap vs list modes, protection semantics, costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.core.tree_contraction_sld import SpineList, sld_tree_contraction
+from repro.errors import AlgorithmError
+from repro.runtime.cost_model import CostTracker
+from repro.trees.weights import apply_scheme
+
+
+@pytest.mark.parametrize("mode", ["heap", "list"])
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=28), seed=st.integers(0, 2**31 - 1))
+def test_correct_for_any_seed(mode, tree, seed):
+    got = sld_tree_contraction(tree, mode=mode, seed=seed)
+    np.testing.assert_array_equal(got, brute_force_sld(tree))
+
+
+def test_modes_identical_output():
+    tree = make_tree("knuth", 150, seed=3).with_weights(apply_scheme("perm", 149, seed=4))
+    np.testing.assert_array_equal(
+        sld_tree_contraction(tree, mode="heap"),
+        sld_tree_contraction(tree, mode="list"),
+    )
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(AlgorithmError, match="mode"):
+        sld_tree_contraction(make_tree("path", 4), mode="treap")
+
+
+def test_list_mode_charges_more_work_on_deep_dendrograms():
+    """The Section 3.2.1 ablation: O(nh) list merges vs O(n log h) heap
+    filters.  A star (h = n-1, every rake melds into the center's growing
+    spine) makes the quadratic list cost explicit, and the gap must widen
+    with n."""
+
+    def ratio(n: int) -> float:
+        tree = make_tree("star", n).with_weights(apply_scheme("perm", n - 1, seed=0))
+        heap_tracker, list_tracker = CostTracker(), CostTracker()
+        sld_tree_contraction(tree, mode="heap", tracker=heap_tracker)
+        sld_tree_contraction(tree, mode="list", tracker=list_tracker)
+        return list_tracker.work / heap_tracker.work
+
+    r_small, r_big = ratio(200), ratio(800)
+    assert r_small > 3
+    assert r_big > 2 * r_small  # quadratic vs n log h: the gap grows
+
+
+def test_balanced_dendrogram_near_linear_work():
+    """With h = O(log n) the optimal algorithm's work is O(n log log n):
+    the per-edge charge must stay far below log2(n)."""
+    import math
+
+    n = 2048
+    tree = make_tree("path", n).with_weights(apply_scheme("perm", n - 1, seed=0))
+    tracker = CostTracker()
+    sld_tree_contraction(tree, mode="heap", tracker=tracker)
+    per_edge = tracker.work / (n - 1)
+    assert per_edge < 4 * math.log2(math.log2(n)) + 20
+
+
+class TestSpineList:
+    def test_filter_and_insert_splits_strictly_below_key(self):
+        sp = SpineList()
+        assert sp.filter_and_insert(5, 50) == []
+        # Inserting a larger key removes everything strictly below it (those
+        # nodes become protected), keeping the new key as the spine bottom.
+        assert sp.filter_and_insert(9, 90) == [(5, 50)]
+        assert [k for k, _ in sp.items()] == [9]
+        other = SpineList()
+        other.filter_and_insert(11, 110)
+        sp.meld(other)
+        removed = sp.filter_and_insert(10, 100)
+        assert removed == [(9, 90)]
+        assert [k for k, _ in sp.items()] == [10, 11]
+
+    def test_meld_is_sorted_merge_and_empties_other(self):
+        a, b = SpineList(), SpineList()
+        a.filter_and_insert(1, 10)
+        b.filter_and_insert(0, 0)
+        b.filter_and_insert(2, 20)  # removes key 0
+        a.meld(b)
+        assert [k for k, _ in a.items()] == [1, 2]
+        assert len(b) == 0
+
+    def test_empty_filter(self):
+        sp = SpineList()
+        assert sp.filter_and_insert(3, 30) == []
+        assert len(sp) == 1

@@ -1,0 +1,164 @@
+"""Synthetic datasets: point clouds, social graphs, triangle weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.points import gaussian_blobs, noisy_rings
+from repro.datasets.synthetic_graphs import (
+    preferential_attachment_graph,
+    rmat_graph,
+    social_mst,
+)
+from repro.datasets.triangles import triangle_counts, triangle_weights
+from repro.errors import InvalidGraphError
+from repro.trees.validation import validate_tree_edges
+
+
+class TestPoints:
+    def test_blobs_shapes(self):
+        pts, labels = gaussian_blobs(100, centers=4, dim=3, seed=0)
+        assert pts.shape == (100, 3)
+        assert labels.shape == (100,)
+        assert np.unique(labels).size == 4
+
+    def test_blobs_deterministic(self):
+        a, _ = gaussian_blobs(50, seed=1)
+        b, _ = gaussian_blobs(50, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blobs_too_few(self):
+        with pytest.raises(ValueError, match="centers"):
+            gaussian_blobs(2, centers=4)
+
+    def test_rings_radii(self):
+        pts, labels = noisy_rings(200, rings=2, noise=0.0, seed=2)
+        radii = np.linalg.norm(pts, axis=1)
+        np.testing.assert_allclose(radii[labels == 0], 1.0, atol=1e-9)
+        np.testing.assert_allclose(radii[labels == 1], 2.0, atol=1e-9)
+
+    def test_rings_too_few(self):
+        with pytest.raises(ValueError, match="rings"):
+            noisy_rings(1, rings=2)
+
+
+class TestTriangles:
+    def test_triangle_in_k3(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        np.testing.assert_array_equal(triangle_counts(3, edges), [1, 1, 1])
+
+    def test_k4_counts(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]])
+        np.testing.assert_array_equal(triangle_counts(4, edges), [2] * 6)
+
+    def test_tree_has_no_triangles(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        assert triangle_counts(4, edges).sum() == 0
+
+    def test_weights_formula(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2], [2, 3]])
+        w = triangle_weights(4, edges)
+        np.testing.assert_allclose(w, [0.5, 0.5, 0.5, 1.0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidGraphError, match="self loop"):
+            triangle_counts(2, np.array([[1, 1]]))
+
+    def test_bad_shape(self):
+        with pytest.raises(InvalidGraphError, match="shape"):
+            triangle_counts(2, np.array([0, 1, 2]))
+
+
+class TestRmat:
+    def test_basic_shape(self):
+        n, edges = rmat_graph(8, edge_factor=4, seed=0)
+        assert n == 256
+        assert edges.shape[1] == 2
+        assert edges.shape[0] > 100
+        # simple: no loops, no duplicates, canonical orientation
+        assert (edges[:, 0] < edges[:, 1]).all()
+        keys = edges[:, 0] * n + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+    def test_degree_skew(self):
+        """Social-graph stand-in must have heavy-tailed degrees."""
+        n, edges = rmat_graph(10, edge_factor=8, seed=1)
+        deg = np.bincount(edges.reshape(-1), minlength=n)
+        assert deg.max() > 10 * max(deg[deg > 0].mean(), 1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="scale"):
+            rmat_graph(0)
+        with pytest.raises(ValueError, match="distribution"):
+            rmat_graph(4, a=0.9, b=0.2, c=0.2)
+
+    def test_deterministic(self):
+        _, a = rmat_graph(7, seed=5)
+        _, b = rmat_graph(7, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_simple(self):
+        n, edges = preferential_attachment_graph(300, m_attach=3, seed=0)
+        assert n == 300
+        present = np.zeros(n, dtype=bool)
+        present[edges.reshape(-1)] = True
+        assert present.all()
+        keys = np.minimum(edges[:, 0], edges[:, 1]) * n + np.maximum(edges[:, 0], edges[:, 1])
+        assert np.unique(keys).size == keys.size
+
+    def test_power_law_hubs(self):
+        n, edges = preferential_attachment_graph(1000, m_attach=3, seed=1)
+        deg = np.bincount(edges.reshape(-1), minlength=n)
+        assert deg.max() > 8 * deg.mean()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="two vertices"):
+            preferential_attachment_graph(1)
+        with pytest.raises(ValueError, match="m_attach"):
+            preferential_attachment_graph(10, m_attach=0)
+
+
+class TestSocialMst:
+    @pytest.mark.parametrize("gen", ["rmat", "pa"])
+    def test_produces_spanning_tree(self, gen):
+        if gen == "rmat":
+            n, edges = rmat_graph(8, seed=2)
+        else:
+            n, edges = preferential_attachment_graph(200, seed=2)
+        tree = social_mst(n, edges, seed=0)
+        assert tree.n == n
+        assert tree.m == n - 1
+        validate_tree_edges(tree.n, tree.edges)
+
+    def test_dense_edges_merge_first(self):
+        """Within a triangle-rich clique attached to a sparse path, the
+        clique edges carry lower weights."""
+        # K4 on {0..3} plus path 3-4-5
+        edges = np.array(
+            [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3], [3, 4], [4, 5]]
+        )
+        tree = social_mst(6, edges)
+        w = dict()
+        for e in range(tree.m):
+            u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+            w[(min(u, v), max(u, v))] = tree.weights[e]
+        assert w[(3, 4)] == 1.0  # no triangles on the path
+        clique_weights = [v for k, v in w.items() if max(k) <= 3]
+        assert all(cw < 1.0 for cw in clique_weights)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidGraphError, match="no edges"):
+            social_mst(3, np.zeros((0, 2), dtype=np.int64))
+
+    def test_all_algorithms_agree_on_social_tree(self):
+        from repro.core.api import ALGORITHMS
+        from repro.core.brute import brute_force_sld
+
+        n, edges = preferential_attachment_graph(120, seed=3)
+        tree = social_mst(n, edges, seed=1)
+        expected = brute_force_sld(tree)
+        for alg in ("sequf", "paruf", "rctt", "tree-contraction"):
+            np.testing.assert_array_equal(ALGORITHMS[alg](tree), expected, err_msg=alg)

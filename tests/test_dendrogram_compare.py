@@ -1,0 +1,137 @@
+"""Partition and hierarchy comparison indices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.single_linkage import single_linkage
+from repro.datasets.points import gaussian_blobs
+from repro.dendrogram.compare import (
+    adjusted_rand_index,
+    fowlkes_mallows,
+    fowlkes_mallows_curve,
+    pair_confusion,
+    rand_index,
+)
+
+labels_st = st.lists(st.integers(0, 5), min_size=2, max_size=60).map(np.array)
+
+
+class TestPairCounting:
+    def test_identical_labelings(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+        assert fowlkes_mallows(a, a) == 1.0
+
+    def test_label_name_invariance(self):
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([7, 7, 3, 3, 9])
+        assert rand_index(a, b) == 1.0
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_known_confusion(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        both, a_only, b_only, neither = pair_confusion(a, b)
+        assert (both, a_only, b_only, neither) == (0, 2, 2, 2)
+        assert rand_index(a, b) == pytest.approx(2 / 6)
+        assert fowlkes_mallows(a, b) == 0.0
+
+    def test_all_singletons_vs_all_one(self):
+        a = np.arange(6)
+        b = np.zeros(6, dtype=np.int64)
+        both, a_only, b_only, neither = pair_confusion(a, b)
+        assert both == 0 and a_only == 0
+        assert b_only == 15 and neither == 0
+        # FM treats the degenerate all-singleton side as precision 1
+        assert fowlkes_mallows(a, a) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=labels_st, data=st.data())
+    def test_symmetry(self, a, data):
+        b = np.array(
+            data.draw(st.lists(st.integers(0, 5), min_size=len(a), max_size=len(a)))
+        )
+        assert rand_index(a, b) == pytest.approx(rand_index(b, a))
+        assert fowlkes_mallows(a, b) == pytest.approx(fowlkes_mallows(b, a))
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=labels_st, data=st.data())
+    def test_bounds(self, a, data):
+        b = np.array(
+            data.draw(st.lists(st.integers(0, 5), min_size=len(a), max_size=len(a)))
+        )
+        assert 0.0 <= rand_index(a, b) <= 1.0
+        assert 0.0 <= fowlkes_mallows(a, b) <= 1.0 + 1e-12
+        assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+
+    def test_adjusted_rand_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        vals = [
+            adjusted_rand_index(rng.integers(0, 4, 400), rng.integers(0, 4, 400))
+            for _ in range(20)
+        ]
+        assert abs(float(np.mean(vals))) < 0.05
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="equal length"):
+            rand_index(np.zeros(3), np.zeros(4))
+
+    def test_matches_sklearn_free_reference(self):
+        """Cross-check ARI against the direct pair-enumeration formula."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 40)
+        b = rng.integers(0, 4, 40)
+        both, a_only, b_only, neither = pair_confusion(a, b)
+        # brute pair enumeration
+        cb = ca = cn = cboth = 0
+        for i in range(40):
+            for j in range(i + 1, 40):
+                sa, sb = a[i] == a[j], b[i] == b[j]
+                if sa and sb:
+                    cboth += 1
+                elif sa:
+                    ca += 1
+                elif sb:
+                    cb += 1
+                else:
+                    cn += 1
+        assert (both, a_only, b_only, neither) == (cboth, ca, cb, cn)
+
+
+class TestBkCurve:
+    def test_identical_hierarchies(self):
+        pts, _ = gaussian_blobs(40, centers=3, seed=0)
+        res = single_linkage(pts)
+        ks, scores = fowlkes_mallows_curve(res.mst, res.dendrogram, ks=[2, 3, 5, 10])
+        np.testing.assert_array_equal(ks, [2, 3, 5, 10])
+        np.testing.assert_allclose(scores, 1.0)
+
+    def test_exact_vs_knn_pipeline(self):
+        """The k-NN-approximated hierarchy agrees with the exact one at the
+        coarse levels on well-separated blobs."""
+        pts, _ = gaussian_blobs(60, centers=3, spread=0.3, seed=2)
+        exact = single_linkage(pts)
+        approx = single_linkage(pts, k=6)
+        _, scores = fowlkes_mallows_curve(exact.mst, approx.mst, ks=[2, 3])
+        assert (scores > 0.99).all()
+
+    def test_different_point_counts_rejected(self):
+        pts_a, _ = gaussian_blobs(20, centers=2, seed=1)
+        pts_b, _ = gaussian_blobs(25, centers=2, seed=1)
+        a = single_linkage(pts_a)
+        b = single_linkage(pts_b)
+        with pytest.raises(ValueError, match="point counts"):
+            fowlkes_mallows_curve(a.mst, b.mst)
+
+    def test_default_ks_cover_range(self):
+        pts, _ = gaussian_blobs(12, centers=2, seed=3)
+        res = single_linkage(pts)
+        ks, scores = fowlkes_mallows_curve(res.mst, res.mst)
+        assert ks[0] == 2 and ks[-1] == 11
+        np.testing.assert_allclose(scores, 1.0)

@@ -1,0 +1,92 @@
+"""Documentation integrity and input immutability.
+
+* README code blocks must actually run (docs rot otherwise);
+* documented files and commands must exist;
+* no algorithm may mutate its input tree (several implementations use
+  in-place scratch tricks internally -- this guards their restore paths).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import weighted_trees
+from repro.core.api import ALGORITHMS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestReadme:
+    def test_quickstart_block_runs(self):
+        """Execute the README's first python block end to end."""
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert blocks, "README lost its python examples"
+        ns: dict = {}
+        exec(blocks[0], ns)  # the quickstart block
+        assert "dend" in ns
+        assert ns["dend"].height >= 1
+
+    def test_points_block_runs(self):
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert len(blocks) >= 2
+        rng = np.random.default_rng(0)
+        ns = {"points": rng.random((40, 2))}
+        exec(blocks[1], ns)
+        assert ns["labels"].shape == (40,)
+
+    def test_documented_files_exist(self):
+        for name in ("DESIGN.md", "EXPERIMENTS.md", "docs/API.md", "docs/THEORY.md"):
+            assert (ROOT / name).exists(), name
+        for example in re.findall(r"`(\w+\.py)`", (ROOT / "README.md").read_text()):
+            if example in ("setup.py",):
+                continue
+            assert (ROOT / "examples" / example).exists(), example
+
+    def test_documented_bench_modules_exist(self):
+        import importlib
+
+        text = (ROOT / "README.md").read_text()
+        for mod in re.findall(r"python -m (repro\.bench\.\w+)", text):
+            importlib.import_module(mod)
+
+    def test_algorithm_table_matches_registry(self):
+        """Every algorithm named in the README table is registered."""
+        text = (ROOT / "README.md").read_text()
+        documented = set(re.findall(r"^\| `([\w-]+)` —", text, flags=re.M))
+        assert documented <= set(ALGORITHMS), documented - set(ALGORITHMS)
+
+
+class TestInputImmutability:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [a for a in ALGORITHMS if a != "cartesian"],
+    )
+    def test_algorithms_do_not_mutate_input(self, algorithm):
+        from conftest import make_tree
+        from repro.trees.weights import apply_scheme
+
+        tree = make_tree("knuth", 60, seed=9).with_weights(apply_scheme("perm", 59, seed=10))
+        edges_before = tree.edges.copy()
+        weights_before = tree.weights.copy()
+        ranks_before = tree.ranks.copy()
+        ALGORITHMS[algorithm](tree)
+        np.testing.assert_array_equal(tree.edges, edges_before, err_msg=algorithm)
+        np.testing.assert_array_equal(tree.weights, weights_before, err_msg=algorithm)
+        np.testing.assert_array_equal(tree.ranks, ranks_before, err_msg=algorithm)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tree=weighted_trees(max_n=20))
+    def test_repeated_runs_identical(self, tree):
+        """Calling any algorithm twice on the same tree object gives the
+        same answer -- no hidden state left behind."""
+        for algorithm in ("paruf", "rctt", "tree-contraction", "weight-dc"):
+            first = ALGORITHMS[algorithm](tree)
+            second = ALGORITHMS[algorithm](tree)
+            np.testing.assert_array_equal(first, second, err_msg=algorithm)

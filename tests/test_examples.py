@@ -1,0 +1,75 @@
+"""Every example script must run end to end (with shrunken workloads)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "points_clustering.py",
+        "graph_communities.py",
+        "scaling_study.py",
+        "image_segmentation.py",
+        "custom_graph.py",
+    } <= names
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "all algorithms agree" in out
+    assert "dendrogram height" in out
+
+
+def test_points_clustering(capsys):
+    _run("points_clustering.py")
+    out = capsys.readouterr().out
+    assert "match scipy" in out
+    assert "agreement with ground truth: 1.000" in out
+
+
+@pytest.mark.slow
+def test_graph_communities(capsys):
+    _run("graph_communities.py")
+    out = capsys.readouterr().out
+    assert "Friendster stand-in" in out
+    assert "Twitter stand-in" in out
+
+
+def test_scaling_study(capsys):
+    _run("scaling_study.py", argv=["2000"])
+    out = capsys.readouterr().out
+    assert "scaling study, n=2000" in out
+    assert "T(P=192)" in out
+
+
+def test_image_segmentation(capsys):
+    _run("image_segmentation.py")
+    out = capsys.readouterr().out
+    assert "3 segments" in out
+    assert "alpha-tree height" in out
+
+
+def test_custom_graph(capsys):
+    _run("custom_graph.py")
+    out = capsys.readouterr().out
+    assert "connected components: 2" in out
+    assert "B_k agreement" in out

@@ -1,0 +1,138 @@
+"""Cross-subsystem integration scenarios: full user journeys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+
+from repro.cli import main as cli_main
+from repro.cluster.graph_linkage import graph_single_linkage
+from repro.cluster.image import alpha_tree
+from repro.cluster.single_linkage import single_linkage
+from repro.core.api import ALGORITHMS, single_linkage_dendrogram
+from repro.datasets.points import gaussian_blobs
+from repro.datasets.synthetic_graphs import preferential_attachment_graph, social_mst
+from repro.dendrogram.cophenet import cophenetic_matrix
+from repro.dendrogram.lca import DendrogramIndex
+from repro.io import load_dendrogram, load_tree
+
+
+def test_generate_save_compute_reload_roundtrip(tmp_path):
+    """CLI generate -> compute -> info -> load: ids, weights, and parents
+    survive every boundary."""
+    tree_path = tmp_path / "t.npz"
+    dend_path = tmp_path / "d.npz"
+    assert cli_main(
+        ["generate", "--kind", "knuth", "--n", "120", "--seed", "5", "--out", str(tree_path)]
+    ) == 0
+    assert cli_main(
+        ["compute", "--input", str(tree_path), "--algorithm", "tree-contraction",
+         "--validate", "--out", str(dend_path)]
+    ) == 0
+    tree = load_tree(tree_path)
+    dend = load_dendrogram(dend_path)
+    np.testing.assert_array_equal(dend.tree.edges, tree.edges)
+    np.testing.assert_array_equal(
+        dend.parents, ALGORITHMS["sequf"](tree)
+    )
+
+
+def test_points_to_flat_clusters_every_algorithm(rng):
+    """The full points pipeline agrees across all production algorithms,
+    down to the flat labels."""
+    pts, _ = gaussian_blobs(80, centers=4, spread=0.3, seed=9)
+    reference = None
+    for algorithm in ("sequf", "paruf", "paruf-sync", "rctt", "tree-contraction", "weight-dc"):
+        res = single_linkage(pts, algorithm=algorithm)
+        labels = res.labels_k(4)
+        if reference is None:
+            reference = labels
+        else:
+            np.testing.assert_array_equal(labels, reference, err_msg=algorithm)
+
+
+def test_social_graph_to_cophenetic_correlation():
+    """Graph -> triangle weights -> MST -> dendrogram -> LCA index: the
+    cophenetic correlation against the tree's own ultrametric is 1."""
+    n, edges = preferential_attachment_graph(150, seed=4)
+    tree = social_mst(n, edges, seed=1)
+    dend = single_linkage_dendrogram(tree, algorithm="rctt", validate=True)
+    idx = DendrogramIndex(dend)
+    mat = cophenetic_matrix(dend)
+    assert idx.cophenetic_correlation(mat) == pytest.approx(1.0)
+
+
+def test_scipy_dendrogram_plotting_path(rng):
+    """Our linkage matrices drive scipy's own dendrogram layout code."""
+    pts = rng.random((25, 2))
+    res = single_linkage(pts)
+    Z = res.linkage_matrix()
+    out = sch.dendrogram(Z, no_plot=True)
+    assert len(out["ivl"]) == 25  # all leaves placed
+
+
+def test_alpha_tree_uses_same_machinery_as_points():
+    """The image pipeline and the point pipeline share MST + SLD code and
+    must obey the same validation."""
+    img = np.zeros((6, 6))
+    img[3:, :] = 2.0
+    at = alpha_tree(img, algorithm="paruf")
+    at.dendrogram.validate()
+    seg = at.segment(1.0)
+    assert np.unique(seg).size == 2
+
+
+def test_disconnected_graph_all_algorithms_agree():
+    edges = np.array([[0, 1], [1, 2], [3, 4], [5, 6], [6, 7]])
+    weights = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+    reference = None
+    for algorithm in ("sequf", "paruf", "rctt", "tree-contraction"):
+        res = graph_single_linkage(8, edges, weights, algorithm=algorithm)
+        if reference is None:
+            reference = res.dendrogram.parents
+        else:
+            np.testing.assert_array_equal(res.dendrogram.parents, reference, err_msg=algorithm)
+    assert res.n_components == 3
+
+
+def test_bench_harness_runs_registered_algorithms(rng):
+    """run_algorithm works for every registry entry that supports
+    instrumentation (i.e. everything except the brute oracle)."""
+    from repro.bench.harness import run_algorithm
+    from repro.bench.inputs import make_input
+
+    tree = make_input("knuth-perm", 300, seed=2)
+    expected = ALGORITHMS["brute"](tree)
+    for name in ALGORITHMS:
+        if name in ("brute", "cartesian"):
+            continue
+        run = run_algorithm(name, tree, keep_parents=True)
+        np.testing.assert_array_equal(run.parents, expected, err_msg=name)
+        assert run.work > 0, name
+
+
+def test_cartesian_via_harness_on_path():
+    from repro.bench.harness import run_algorithm
+    from repro.bench.inputs import make_input
+
+    tree = make_input("path-perm", 200, seed=3)
+    run = run_algorithm("cartesian", tree, keep_parents=True)
+    np.testing.assert_array_equal(run.parents, ALGORITHMS["sequf"](tree))
+
+
+def test_render_after_reload(tmp_path):
+    """Persistence must preserve enough structure for rendering and
+    cophenetic queries."""
+    from repro.io import save_dendrogram
+
+    pts, _ = gaussian_blobs(12, centers=2, seed=3)
+    res = single_linkage(pts)
+    path = tmp_path / "d.npz"
+    save_dendrogram(path, res.dendrogram)
+    reloaded = load_dendrogram(path)
+    text = reloaded.render()
+    assert "vertex 0" in text
+    assert reloaded.cophenetic_distance(0, 11) == pytest.approx(
+        res.dendrogram.cophenetic_distance(0, 11)
+    )

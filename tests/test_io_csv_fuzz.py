@@ -1,0 +1,117 @@
+"""CSV edge-list loading and fuzzing of the dendrogram validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.core.brute import brute_force_sld
+from repro.dendrogram.validate import validate_parents
+from repro.errors import InvalidDendrogramError
+from repro.io import FormatError, load_edges_csv
+from repro.trees.mst import minimum_spanning_tree
+
+
+class TestLoadEdgesCsv:
+    def test_basic_with_weights(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,2.5\n1,2,0.5\n0,2,1.0\n")
+        n, edges, weights = load_edges_csv(p)
+        assert n == 3
+        np.testing.assert_array_equal(edges, [[0, 1], [1, 2], [0, 2]])
+        np.testing.assert_allclose(weights, [2.5, 0.5, 1.0])
+
+    def test_header_autodetected(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("source,target,weight\n0,1,2.5\n1,2,0.5\n")
+        n, edges, weights = load_edges_csv(p)
+        assert edges.shape == (2, 2)
+
+    def test_unit_weights_when_missing(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("0,1\n1,2\n")
+        _, _, weights = load_edges_csv(p)
+        assert (weights == 1.0).all()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,1.0\n\n1,2,2.0\n")
+        _, edges, _ = load_edges_csv(p)
+        assert edges.shape == (2, 2)
+
+    def test_errors(self, tmp_path):
+        empty = tmp_path / "e.csv"
+        empty.write_text("")
+        with pytest.raises(FormatError, match="no edges"):
+            load_edges_csv(empty)
+        short = tmp_path / "s.csv"
+        short.write_text("0\n")
+        with pytest.raises(FormatError, match="two columns"):
+            load_edges_csv(short)
+        neg = tmp_path / "n.csv"
+        neg.write_text("-1,2,1.0\n")
+        with pytest.raises(FormatError, match="negative"):
+            load_edges_csv(neg)
+
+    def test_pipeline_from_csv(self, tmp_path):
+        """CSV -> MST -> dendrogram end to end."""
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,1.0\n1,2,2.0\n0,2,3.0\n2,3,0.5\n")
+        n, edges, weights = load_edges_csv(p)
+        tree = minimum_spanning_tree(n, edges, weights)
+        parents = brute_force_sld(tree)
+        validate_parents(parents, tree.ranks)
+
+
+class TestValidatorFuzzing:
+    """validate_parents must reject every single-field corruption of a
+    correct parent array (and accept the original)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tree=weighted_trees(min_n=3, max_n=24),
+        data=st.data(),
+    )
+    def test_single_mutation_rejected_or_equivalent(self, tree, data):
+        parents = brute_force_sld(tree)
+        validate_parents(parents, tree.ranks)  # sanity
+        idx = data.draw(st.integers(0, tree.m - 1))
+        new_val = data.draw(st.integers(-1, tree.m))
+        corrupted = parents.copy()
+        corrupted[idx] = new_val
+        if np.array_equal(corrupted, parents):
+            return
+        ranks = tree.ranks
+        root = int(np.flatnonzero(parents == np.arange(tree.m))[0])
+        # The structural validator cannot see *semantic* errors (a wrong
+        # but rank-larger parent); it must reject everything else.
+        structurally_ok = (
+            0 <= new_val < tree.m
+            and (
+                (new_val == idx and idx == root)
+                or (new_val != idx and ranks[new_val] > ranks[idx] and idx != root)
+            )
+        )
+        if structurally_ok:
+            validate_parents(corrupted, ranks)
+        else:
+            with pytest.raises(InvalidDendrogramError):
+                validate_parents(corrupted, ranks)
+
+    def test_semantic_errors_need_the_oracle(self):
+        """Document the validator's limits: a structurally-valid but wrong
+        dendrogram passes validation and only oracle comparison finds it."""
+        tree = make_tree("star", 6).with_weights(np.array([5.0, 1.0, 2.0, 3.0, 4.0]))
+        parents = brute_force_sld(tree)
+        wrong = parents.copy()
+        # Point the min-rank node at the root instead of its true parent.
+        order = np.argsort(tree.ranks)
+        lowest, true_parent = int(order[0]), int(parents[order[0]])
+        root = int(order[-1])
+        if true_parent != root:
+            wrong[lowest] = root
+            validate_parents(wrong, tree.ranks)  # passes structurally
+            assert not np.array_equal(wrong, parents)  # but is wrong

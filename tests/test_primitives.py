@@ -1,0 +1,162 @@
+"""Parallel primitives: scans, sorts, reduce, pack -- against NumPy refs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.primitives.pack import pack, pack_indices
+from repro.primitives.reduce import parallel_reduce
+from repro.primitives.scan import exclusive_scan, inclusive_scan, scan_cost
+from repro.primitives.sort import (
+    comparison_sort_cost,
+    counting_sort,
+    rank_sort_indices,
+    sort_by_key,
+)
+from repro.runtime.cost_model import CostTracker, WorkDepth
+
+int_arrays = hnp.arrays(np.int64, hnp.array_shapes(max_dims=1, max_side=200), elements=st.integers(-1000, 1000))
+
+
+class TestScan:
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_inclusive_matches_cumsum(self, arr):
+        np.testing.assert_array_equal(inclusive_scan(arr), np.cumsum(arr))
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_exclusive_shifts_inclusive(self, arr):
+        offsets, total = exclusive_scan(arr)
+        assert total == arr.sum()
+        if arr.size:
+            np.testing.assert_array_equal(offsets[1:], np.cumsum(arr)[:-1])
+            assert offsets[0] == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            inclusive_scan(np.zeros((2, 2)))
+
+    def test_charges_log_depth(self):
+        tracker = CostTracker()
+        inclusive_scan(np.arange(1024), tracker=tracker)
+        assert tracker.work == 2048
+        assert tracker.depth == 20  # 2 * log2(1024)
+
+    def test_scan_cost_small(self):
+        assert scan_cost(0) == WorkDepth(0.0, 0.0)
+        assert scan_cost(1) == WorkDepth(1.0, 1.0)
+
+
+class TestSort:
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_sort_by_key(self, arr):
+        np.testing.assert_array_equal(sort_by_key(arr), np.sort(arr, kind="stable"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_sort_carries_values_stably(self, arr):
+        values = np.arange(arr.size)
+        keys, vals = sort_by_key(arr, values)
+        # stability: equal keys keep original index order
+        for k in np.unique(keys):
+            idx = vals[keys == k]
+            assert (np.diff(idx) > 0).all()
+
+    def test_sort_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            sort_by_key(np.arange(3), np.arange(4))
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_rank_sort_indices(self, arr):
+        order = rank_sort_indices(arr)
+        np.testing.assert_array_equal(arr[order], np.sort(arr, kind="stable"))
+
+    def test_comparison_cost_shape(self):
+        c = comparison_sort_cost(1024)
+        assert c.work == 1024 * 10
+        assert c.depth == 100
+
+
+class TestCountingSort:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=hnp.arrays(np.int64, hnp.array_shapes(max_dims=1, max_side=100), elements=st.integers(0, 15))
+    )
+    def test_matches_numpy(self, keys):
+        np.testing.assert_array_equal(counting_sort(keys, 16), np.sort(keys, kind="stable"))
+
+    def test_values_grouped_stably(self):
+        keys = np.array([2, 0, 2, 1, 0])
+        vals = np.array([10, 11, 12, 13, 14])
+        k, v = counting_sort(keys, 3, values=vals)
+        np.testing.assert_array_equal(k, [0, 0, 1, 2, 2])
+        np.testing.assert_array_equal(v, [11, 14, 13, 10, 12])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            counting_sort(np.array([0, 5]), 5)
+        with pytest.raises(ValueError, match="out of range"):
+            counting_sort(np.array([-1]), 5)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError, match="key_range"):
+            counting_sort(np.array([0]), 0)
+
+    def test_charges_linear_work(self):
+        tracker = CostTracker()
+        counting_sort(np.zeros(100, dtype=np.int64), 8, tracker=tracker)
+        assert tracker.work == 108
+
+
+class TestReduce:
+    @settings(max_examples=50, deadline=None)
+    @given(items=st.lists(st.integers(-100, 100), min_size=1, max_size=64))
+    def test_sum_matches(self, items):
+        assert parallel_reduce(items, lambda a, b: a + b) == sum(items)
+
+    @settings(max_examples=50, deadline=None)
+    @given(items=st.lists(st.text(max_size=3), min_size=1, max_size=32))
+    def test_non_commutative_order_preserved(self, items):
+        """Concatenation is associative but not commutative: the balanced
+        reduction must preserve left-to-right order."""
+        assert parallel_reduce(items, lambda a, b: a + b) == "".join(items)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reduce([], lambda a, b: a + b)
+
+    def test_cost_has_log_rounds(self):
+        tracker = CostTracker()
+        parallel_reduce(
+            list(range(64)),
+            lambda a, b: a + b,
+            tracker=tracker,
+            op_cost=lambda a, b: WorkDepth(1.0, 1.0),
+        )
+        assert tracker.work == 63  # one combine per internal node
+        assert tracker.depth <= 6 * (1 + 6)  # 6 rounds x (combine + spawn)
+
+
+class TestPack:
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_pack_matches_boolean_indexing(self, arr):
+        flags = arr % 2 == 0
+        np.testing.assert_array_equal(pack(arr, flags), arr[flags])
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=int_arrays)
+    def test_pack_indices(self, arr):
+        flags = arr > 0
+        np.testing.assert_array_equal(pack_indices(flags), np.flatnonzero(flags))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pack(np.arange(3), np.array([True]))

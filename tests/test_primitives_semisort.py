@@ -1,0 +1,85 @@
+"""Semisort and group-by: the Wang et al. substrate's contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.primitives.semisort import group_by, semisort
+from repro.runtime.cost_model import CostTracker
+
+key_arrays = hnp.arrays(
+    np.int64, hnp.array_shapes(max_dims=1, max_side=150), elements=st.integers(-20, 20)
+)
+
+
+class TestSemisort:
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_equal_keys_adjacent(self, keys):
+        out = semisort(keys)
+        # every key occupies one contiguous block
+        seen: set[int] = set()
+        prev = None
+        for k in out.tolist():
+            if k != prev:
+                assert k not in seen, f"key {k} split into multiple blocks"
+                seen.add(k)
+                prev = k
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_is_a_permutation(self, keys):
+        out = semisort(keys)
+        np.testing.assert_array_equal(np.sort(out), np.sort(keys))
+
+    def test_groups_in_first_seen_order(self):
+        keys = np.array([5, 2, 5, 9, 2])
+        out = semisort(keys)
+        np.testing.assert_array_equal(out, [5, 5, 2, 2, 9])
+
+    def test_values_travel_with_keys(self):
+        keys = np.array([1, 0, 1, 0])
+        vals = np.array([10, 11, 12, 13])
+        k, v = semisort(keys, vals)
+        np.testing.assert_array_equal(k, [1, 1, 0, 0])
+        assert sorted(v[:2].tolist()) == [10, 12]
+        assert sorted(v[2:].tolist()) == [11, 13]
+
+    def test_cost_is_linear(self):
+        tracker = CostTracker()
+        semisort(np.zeros(1000, dtype=np.int64), tracker=tracker)
+        assert tracker.work == 1000
+        assert tracker.depth <= 12
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            semisort(np.zeros((2, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            semisort(np.arange(3), np.arange(2))
+
+
+class TestGroupBy:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=key_arrays)
+    def test_groups_partition_indices(self, keys):
+        groups = group_by(keys)
+        collected = sorted(int(i) for arr in groups.values() for i in arr)
+        assert collected == list(range(keys.shape[0]))
+        for k, idxs in groups.items():
+            assert (keys[idxs] == k).all()
+
+    def test_values_mode(self):
+        keys = np.array([0, 1, 0])
+        vals = np.array([7.5, 8.5, 9.5])
+        groups = group_by(keys, vals)
+        np.testing.assert_allclose(groups[0], [7.5, 9.5])
+        np.testing.assert_allclose(groups[1], [8.5])
+
+    def test_empty(self):
+        assert group_by(np.zeros(0, dtype=np.int64)) == {}

@@ -1,0 +1,194 @@
+"""Deeper semantic properties of single-linkage dendrograms.
+
+These properties pin down *what the SLD means*, independent of any
+particular algorithm: invariance under monotone weight transformations,
+equivariance under vertex relabeling, refinement structure of flat cuts,
+and the minimax/ultrametric characterization of merge heights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.core.api import single_linkage_dendrogram
+from repro.core.brute import brute_force_sld
+from repro.dendrogram.linkage import cut_height, cut_k
+from repro.trees.weights import apply_scheme
+from repro.trees.wtree import WeightedTree
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=30))
+def test_monotone_weight_transform_invariance(tree):
+    """Any strictly increasing transform of the weights preserves ranks and
+    therefore the exact dendrogram."""
+    base = brute_force_sld(tree)
+    transformed = tree.with_weights(np.exp(tree.weights / (abs(tree.weights).max() + 1.0)))
+    np.testing.assert_array_equal(tree.ranks, transformed.ranks)
+    np.testing.assert_array_equal(brute_force_sld(transformed), base)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=26), seed=st.integers(0, 2**31 - 1))
+def test_vertex_relabeling_equivariance(tree, seed):
+    """Permuting vertex labels must not change the dendrogram at all --
+    node identities are edge positions, which are unchanged."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(tree.n)
+    relabeled = WeightedTree(tree.n, perm[tree.edges], tree.weights)
+    np.testing.assert_array_equal(brute_force_sld(relabeled), brute_force_sld(tree))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=weighted_trees(max_n=26), seed=st.integers(0, 2**31 - 1))
+def test_edge_reordering_equivariance(tree, seed):
+    """Permuting the *edge array* permutes dendrogram node ids accordingly:
+    parents_new[sigma(e)] == sigma(parents_old[e]).
+
+    Requires pairwise-distinct weights -- with ties, tie-breaking by edge
+    id legitimately depends on the ordering -- so the tree is re-weighted
+    by a random permutation first.
+    """
+    rng = np.random.default_rng(seed)
+    tree = tree.with_weights(rng.permutation(tree.m).astype(np.float64))
+    sigma = rng.permutation(tree.m)
+    inv = np.empty_like(sigma)
+    inv[sigma] = np.arange(tree.m)
+    reordered = WeightedTree(tree.n, tree.edges[inv], tree.weights[inv])
+    old = brute_force_sld(tree)
+    new = brute_force_sld(reordered)
+    np.testing.assert_array_equal(new[sigma], sigma[old])
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=24))
+def test_cut_refinement_monotonicity(tree):
+    """Raising the threshold can only merge clusters: labels at t1 <= t2
+    form a refinement (same-label at t1 implies same-label at t2)."""
+    ws = np.unique(tree.weights)
+    if ws.size < 2:
+        return
+    t1, t2 = float(ws[0]), float(ws[-1])
+    la = cut_height(tree, t1)
+    lb = cut_height(tree, t2)
+    for u in range(tree.n):
+        for v in range(u + 1, tree.n):
+            if la[u] == la[v]:
+                assert lb[u] == lb[v]
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=24), k=st.integers(1, 24))
+def test_cut_k_produces_exactly_k(tree, k):
+    k = min(k, tree.n)
+    labels = cut_k(tree, k)
+    assert np.unique(labels).size == k
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=20))
+def test_merge_heights_are_minimax_distances(tree):
+    """Cophenetic distance == minimum over paths of the maximum edge weight
+    (trivially the unique tree path); furthermore every pairwise distance
+    is attained by some edge weight."""
+    from repro.dendrogram.cophenet import cophenetic_matrix
+
+    dend = single_linkage_dendrogram(tree, algorithm="brute")
+    mat = cophenetic_matrix(dend)
+    weights = set(np.round(tree.weights, 12).tolist())
+    iu, ju = np.triu_indices(tree.n, k=1)
+    for val in np.round(mat[iu, ju], 12):
+        assert val in weights
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=weighted_trees(max_n=18))
+def test_single_linkage_is_maximal_dominated_ultrametric(tree):
+    """Classic fact: the single-linkage ultrametric is pointwise the
+    LARGEST ultrametric dominated by the input tree metric's bottleneck
+    structure -- concretely, coph(u, v) <= max edge weight on the u-v path,
+    with equality at the bottleneck."""
+    import networkx as nx
+
+    from repro.dendrogram.cophenet import cophenetic_matrix
+
+    g = nx.Graph()
+    for e in range(tree.m):
+        g.add_edge(int(tree.edges[e, 0]), int(tree.edges[e, 1]), w=float(tree.weights[e]))
+    dend = single_linkage_dendrogram(tree)
+    mat = cophenetic_matrix(dend)
+    for u in range(tree.n):
+        for v in range(u + 1, tree.n):
+            path = nx.shortest_path(g, u, v)
+            bottleneck = max(g[a][b]["w"] for a, b in zip(path, path[1:]))
+            assert mat[u, v] == pytest.approx(bottleneck)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=weighted_trees(max_n=26))
+def test_dendrogram_determined_by_ranks_alone(tree):
+    """Replacing weights by their ranks yields the identical dendrogram --
+    algorithms may only use comparisons (the Lemma 3.6 setting)."""
+    by_rank = tree.with_weights(tree.ranks.astype(np.float64))
+    np.testing.assert_array_equal(brute_force_sld(by_rank), brute_force_sld(tree))
+
+
+def test_reversed_weights_flip_chain_direction():
+    """On a path with sorted weights, reversing weights reverses the merge
+    chain (a readable sanity anchor for rank handling)."""
+    n = 12
+    inc = make_tree("path", n).with_weights(apply_scheme("sorted", n - 1))
+    dec = make_tree("path", n).with_weights(apply_scheme("reversed", n - 1))
+    p_inc = brute_force_sld(inc)
+    p_dec = brute_force_sld(dec)
+    # inc: parent[i] = i+1; dec: parent[i] = i-1
+    np.testing.assert_array_equal(p_inc[:-1], np.arange(1, n - 1))
+    np.testing.assert_array_equal(p_dec[1:], np.arange(0, n - 2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=weighted_trees(max_n=22))
+def test_subtree_consistency_lemma_3_2(tree):
+    """Solving the induced subtree of any dendrogram node's cluster
+    reproduces the same internal structure (Lemma 3.2's modularity)."""
+    parents = brute_force_sld(tree)
+    if tree.m < 3:
+        return
+    # pick the largest non-root node's cluster
+    from repro.dendrogram.structure import Dendrogram
+
+    dend = Dendrogram(tree, parents)
+    root = dend.root
+    candidates = [e for e in range(tree.m) if e != root]
+    # choose the candidate with the most descendants
+    kids = dend.children()
+
+    def subtree_edges(e):
+        out = [e]
+        stack = list(kids[e])
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(kids[x])
+        return sorted(out)
+
+    best = max(candidates, key=lambda e: len(subtree_edges(e)))
+    sub = subtree_edges(best)
+    if len(sub) < 2:
+        return
+    # build the induced subtree on those edges
+    verts = sorted({int(x) for e in sub for x in tree.edges[e]})
+    vmap = {v: i for i, v in enumerate(verts)}
+    sub_edges = np.array([[vmap[int(tree.edges[e, 0])], vmap[int(tree.edges[e, 1])]] for e in sub])
+    sub_tree = WeightedTree(len(verts), sub_edges, tree.weights[sub])
+    sub_parents = brute_force_sld(sub_tree)
+    emap = {e: i for i, e in enumerate(sub)}
+    for e in sub:
+        if e == best:
+            assert sub_parents[emap[e]] == emap[e]  # local root
+        else:
+            assert sub_parents[emap[e]] == emap[int(parents[e])]

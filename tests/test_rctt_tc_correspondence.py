@@ -1,0 +1,81 @@
+"""The Section 4.2 correspondence: RCTT buckets == SLD-TC filtered sets.
+
+The paper derives RCTT by observing that the heap-filter of
+SLD-TreeContraction at the contraction of cluster ``u`` removes exactly
+the edges whose RC-tree trace stops at rcnode ``u``.  This test runs both
+algorithms over the *same* contraction schedule and compares the sets
+directly -- a much sharper check than output agreement alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.contraction.schedule import build_rc_tree
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.trees.weights import apply_scheme
+
+
+def rctt_buckets(tree, seed):
+    """Recompute RCTT's trace buckets, keyed like the protected log."""
+    rct = build_rc_tree(tree, seed=seed)
+    ranks = tree.ranks
+    voe = rct.vertex_of_edge()
+    buckets: dict[int, list[int]] = {}
+    for e in range(tree.m):
+        u = int(rct.parent[int(voe[e])])
+        while u != rct.root and ranks[rct.edge[u]] < ranks[e]:
+            u = int(rct.parent[u])
+        buckets.setdefault(u, []).append(e)
+    out: dict[int, list[int]] = {}
+    for u, es in buckets.items():
+        key = -1 if u == rct.root else u
+        out[key] = sorted(es)
+    return out
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=weighted_trees(max_n=40), seed=st.integers(0, 2**31 - 1))
+def test_buckets_equal_filtered_sets(tree, seed):
+    log: dict[int, list[int]] = {}
+    sld_tree_contraction(tree, mode="heap", seed=seed, protected_log=log)
+    buckets = rctt_buckets(tree, seed)
+    # Non-root keys in the log are vertices whose contraction filtered
+    # something; the bucket of that vertex must match exactly.  The root
+    # spine (-1) corresponds to the root bucket.
+    assert log == buckets
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=weighted_trees(max_n=30), seed=st.integers(0, 2**31 - 1))
+def test_every_edge_protected_exactly_once(tree, seed):
+    log: dict[int, list[int]] = {}
+    sld_tree_contraction(tree, mode="heap", seed=seed, protected_log=log)
+    seen: list[int] = []
+    for items in log.values():
+        seen.extend(items)
+    assert sorted(seen) == list(range(tree.m))
+
+
+def test_list_mode_logs_identically():
+    tree = make_tree("knuth", 120, seed=5).with_weights(apply_scheme("perm", 119, seed=6))
+    heap_log: dict[int, list[int]] = {}
+    list_log: dict[int, list[int]] = {}
+    sld_tree_contraction(tree, mode="heap", seed=1, protected_log=heap_log)
+    sld_tree_contraction(tree, mode="list", seed=1, protected_log=list_log)
+    assert heap_log == list_log
+
+
+def test_bucket_sizes_bounded_by_height():
+    """Every bucket is a chunk of some spine, so its size is at most h
+    (the paper's bucket-sort cost argument in Section 4.2)."""
+    from repro.dendrogram.metrics import dendrogram_height
+
+    tree = make_tree("knuth", 400, seed=2).with_weights(apply_scheme("perm", 399, seed=3))
+    log: dict[int, list[int]] = {}
+    parents = sld_tree_contraction(tree, mode="heap", seed=0, protected_log=log)
+    h = dendrogram_height(parents, tree.ranks)
+    assert max(len(v) for v in log.values()) <= h

@@ -1,0 +1,76 @@
+"""Mid-scale agreement: between tiny property tests and bench-scale checks.
+
+Hypothesis covers n <= 40 exhaustively-ish; ``repro.bench.selfcheck``
+covers bench scale.  These tests cover the middle ground where
+recursion-depth, rebuild, and restore bugs tend to first appear, still
+fast enough for the default suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.core.api import ALGORITHMS
+from repro.core.brute import brute_force_sld
+from repro.trees.weights import apply_scheme
+
+MID_ALGORITHMS = (
+    "paruf",
+    "paruf-sync",
+    "rctt",
+    "tree-contraction",
+    "divide-conquer",
+    "weight-dc",
+)
+
+
+@pytest.mark.parametrize("algorithm", MID_ALGORITHMS)
+@pytest.mark.parametrize("kind,scheme", [
+    ("knuth", "perm"),
+    ("random", "uniform"),
+    ("caterpillar", "perm"),
+    ("broom", "reversed"),
+    ("binary", "uniform"),
+])
+def test_mid_scale_vs_oracle(algorithm, kind, scheme):
+    n = 350
+    tree = make_tree(kind, n, seed=17).with_weights(apply_scheme(scheme, n - 1, seed=18))
+    np.testing.assert_array_equal(
+        ALGORITHMS[algorithm](tree), brute_force_sld(tree), err_msg=algorithm
+    )
+
+
+@pytest.mark.parametrize("algorithm", MID_ALGORITHMS)
+def test_larger_scale_vs_sequf(algorithm):
+    """At n = 3000 the oracle is too slow; SeqUF (itself oracle-verified
+    above and at small scale) is the reference."""
+    n = 3000
+    tree = make_tree("knuth", n, seed=23).with_weights(apply_scheme("perm", n - 1, seed=24))
+    expected = ALGORITHMS["sequf"](tree)
+    np.testing.assert_array_equal(ALGORITHMS[algorithm](tree), expected, err_msg=algorithm)
+
+
+def test_deep_chain_no_recursion_failure():
+    """A sorted path of 5000 edges produces an h = m dendrogram: every
+    algorithm must survive without hitting Python's recursion limit."""
+    n = 5001
+    tree = make_tree("path", n).with_weights(apply_scheme("sorted", n - 1))
+    expected = ALGORITHMS["sequf"](tree)
+    for algorithm in ("paruf", "rctt", "tree-contraction", "weight-dc", "cartesian"):
+        np.testing.assert_array_equal(
+            ALGORITHMS[algorithm](tree), expected, err_msg=algorithm
+        )
+
+
+def test_star_with_huge_degree():
+    """Degree n-1 stresses heap init, contraction's single giant rake
+    round, and the bucket sort."""
+    n = 4000
+    tree = make_tree("star", n).with_weights(apply_scheme("perm", n - 1, seed=5))
+    expected = ALGORITHMS["sequf"](tree)
+    for algorithm in ("paruf", "rctt", "tree-contraction"):
+        np.testing.assert_array_equal(
+            ALGORITHMS[algorithm](tree), expected, err_msg=algorithm
+        )

@@ -1,0 +1,208 @@
+"""Meldable heap invariants: binomial, pairing, and skew heaps.
+
+Besides per-heap shape invariants, a cross-implementation property test
+drives all three heaps through the same random operation sequence and
+requires identical observable behaviour (delete-min order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyHeapError
+from repro.structures import make_heap
+from repro.structures.binomial_heap import BinomialHeap
+from repro.structures.pairing_heap import PairingHeap
+from repro.structures.skew_heap import SkewHeap
+
+ALL_HEAPS = [BinomialHeap, PairingHeap, SkewHeap]
+
+
+@pytest.mark.parametrize("cls", ALL_HEAPS)
+class TestCommonHeapBehaviour:
+    def test_insert_find_delete(self, cls):
+        h = cls()
+        for k in (5, 3, 8, 1, 9):
+            h.insert(k, f"v{k}")
+        assert len(h) == 5
+        assert h.find_min() == (1, "v1")
+        assert h.delete_min() == (1, "v1")
+        assert h.delete_min() == (3, "v3")
+        assert len(h) == 3
+        h._validate()
+
+    def test_empty_heap_raises(self, cls):
+        h = cls()
+        assert h.is_empty
+        with pytest.raises(EmptyHeapError):
+            h.find_min()
+        with pytest.raises(EmptyHeapError):
+            h.delete_min()
+
+    def test_meld_combines_and_empties_other(self, cls):
+        a, b = cls(), cls()
+        for k in (4, 2):
+            a.insert(k, k)
+        for k in (3, 1):
+            b.insert(k, k)
+        a.meld(b)
+        assert len(a) == 4
+        assert len(b) == 0
+        assert b.is_empty
+        assert [a.delete_min()[0] for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_meld_with_self_rejected(self, cls):
+        h = cls()
+        h.insert(1, 1)
+        with pytest.raises(ValueError):
+            h.meld(h)
+
+    def test_meld_empty_sides(self, cls):
+        a, b = cls(), cls()
+        a.insert(7, 7)
+        a.meld(b)  # empty right side
+        assert len(a) == 1
+        c = cls()
+        c.meld(a)  # empty left side
+        assert c.find_min() == (7, 7)
+
+    def test_drain_yields_sorted_order(self, cls):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(200)
+        h = cls()
+        for k in keys:
+            h.insert(int(k), int(k))
+        out = [h.delete_min()[0] for _ in range(200)]
+        assert out == sorted(keys.tolist())
+        assert h.is_empty
+
+    def test_from_items(self, cls):
+        h = cls.from_items([(3, "c"), (1, "a"), (2, "b")])
+        assert len(h) == 3
+        assert h.find_min() == (1, "a")
+        h._validate()
+
+    def test_items_iterates_everything(self, cls):
+        h = cls.from_items((k, k) for k in range(17))
+        assert sorted(k for k, _ in h.items()) == list(range(17))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.integers(0, 10_000)),
+            st.tuples(st.just("delete"), st.just(0)),
+            st.tuples(st.just("meld"), st.just(0)),
+        ),
+        max_size=80,
+    )
+)
+def test_cross_heap_agreement(ops):
+    """All three heaps must agree on every observable result.
+
+    Two heap instances of each kind are maintained; melds fold the second
+    into the first.  Keys are deduplicated (distinct ranks in the library).
+    """
+    heaps = {name: (make_heap(name), make_heap(name)) for name in ("binomial", "pairing", "skew")}
+    used: set[int] = set()
+    results = {name: [] for name in heaps}
+    for op, key in ops:
+        if op == "insert":
+            if key in used:
+                continue
+            used.add(key)
+            for name, (h, _) in heaps.items():
+                h.insert(key, -key)
+        elif op == "delete":
+            outs = set()
+            for name, (h, _) in heaps.items():
+                if h.is_empty:
+                    outs.add(None)
+                else:
+                    got = h.delete_min()
+                    results[name].append(got)
+                    outs.add(got)
+            assert len(outs) == 1
+        else:  # meld second into first, then re-create the second
+            for name in heaps:
+                h, other = heaps[name]
+                h.meld(other)
+                heaps[name] = (h, make_heap(name))
+    sizes = {len(h) + len(o) for (h, o) in heaps.values()}
+    assert len(sizes) == 1
+    for h, o in heaps.values():
+        h._validate()
+        o._validate()
+
+
+def test_make_heap_rejects_unknown():
+    with pytest.raises(ValueError, match="heap kind"):
+        make_heap("fibonacci")
+
+
+class TestBinomialFilter:
+    def test_filter_partitions_by_threshold(self):
+        h = BinomialHeap.from_items((k, k * 10) for k in range(20))
+        removed = h.filter(7)
+        assert sorted(k for k, _ in removed) == list(range(7))
+        assert sorted(k for k, _ in h.items()) == list(range(7, 20))
+        assert len(h) == 13
+        h._validate()
+
+    def test_filter_nothing(self):
+        h = BinomialHeap.from_items((k, k) for k in range(5, 10))
+        assert h.filter(5) == []
+        assert len(h) == 5
+        h._validate()
+
+    def test_filter_everything(self):
+        h = BinomialHeap.from_items((k, k) for k in range(8))
+        removed = h.filter(100)
+        assert len(removed) == 8
+        assert h.is_empty
+        h._validate()
+
+    def test_filter_and_insert_keeps_inserted_key(self):
+        h = BinomialHeap.from_items((k, k) for k in (2, 4, 6, 8))
+        removed = h.filter_and_insert(5, 55)
+        assert sorted(k for k, _ in removed) == [2, 4]
+        assert h.find_min() == (5, 55)
+        assert len(h) == 3
+        h._validate()
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        keys=st.sets(st.integers(0, 1000), min_size=1, max_size=120),
+        data=st.data(),
+    )
+    def test_filter_property(self, keys, data):
+        threshold = data.draw(st.integers(0, 1001))
+        h = BinomialHeap.from_items((k, k) for k in keys)
+        removed = h.filter(threshold)
+        assert sorted(k for k, _ in removed) == sorted(k for k in keys if k < threshold)
+        assert sorted(k for k, _ in h.items()) == sorted(k for k in keys if k >= threshold)
+        h._validate()
+        # heap still fully functional after rebuild
+        if not h.is_empty:
+            assert h.delete_min()[0] == min(k for k in keys if k >= threshold)
+            h._validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        keys=st.sets(st.integers(0, 500), min_size=2, max_size=60),
+        thresholds=st.lists(st.integers(0, 501), min_size=1, max_size=5),
+    )
+    def test_repeated_filters(self, keys, thresholds):
+        h = BinomialHeap.from_items((k, k) for k in keys)
+        remaining = set(keys)
+        for t in sorted(thresholds):
+            removed = h.filter(t)
+            expect = {k for k in remaining if k < t}
+            assert {k for k, _ in removed} == expect
+            remaining -= expect
+            h._validate()
+        assert {k for k, _ in h.items()} == remaining

@@ -1,0 +1,93 @@
+"""Stateful (model-based) testing of the binomial heap.
+
+Hypothesis drives random interleavings of insert / delete-min / meld /
+filter against a sorted-list model; every step re-checks the heap's shape
+invariants.  This is the strongest guard on the filter + rebuild path that
+SLD-TreeContraction depends on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.structures.binomial_heap import BinomialHeap
+
+
+class BinomialHeapMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.heap = BinomialHeap()
+        self.side = BinomialHeap()  # meld source
+        self.model: set[int] = set()
+        self.side_model: set[int] = set()
+
+    @rule(key=st.integers(0, 10_000))
+    def insert(self, key: int) -> None:
+        if key in self.model or key in self.side_model:
+            return  # ranks are distinct in the library
+        self.heap.insert(key, -key)
+        self.model.add(key)
+
+    @rule(key=st.integers(0, 10_000))
+    def insert_side(self, key: int) -> None:
+        if key in self.model or key in self.side_model:
+            return
+        self.side.insert(key, -key)
+        self.side_model.add(key)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def delete_min(self) -> None:
+        key, item = self.heap.delete_min()
+        expected = min(self.model)
+        assert key == expected
+        assert item == -expected
+        self.model.remove(expected)
+
+    @rule()
+    def meld_side_in(self) -> None:
+        self.heap.meld(self.side)
+        self.model |= self.side_model
+        self.side_model = set()
+        assert self.side.is_empty
+
+    @rule(threshold=st.integers(0, 10_001))
+    def filter_below(self, threshold: int) -> None:
+        removed = self.heap.filter(threshold)
+        expected = {k for k in self.model if k < threshold}
+        assert {k for k, _ in removed} == expected
+        assert all(v == -k for k, v in removed)
+        self.model -= expected
+
+    @rule(key=st.integers(0, 10_000))
+    def filter_and_insert(self, key: int) -> None:
+        if key in self.model or key in self.side_model:
+            return
+        removed = self.heap.filter_and_insert(key, -key)
+        expected = {k for k in self.model if k < key}
+        assert {k for k, _ in removed} == expected
+        self.model -= expected
+        self.model.add(key)
+
+    @invariant()
+    def sizes_match(self) -> None:
+        assert len(self.heap) == len(self.model)
+        assert len(self.side) == len(self.side_model)
+
+    @invariant()
+    def structure_valid(self) -> None:
+        self.heap._validate()
+        self.side._validate()
+
+    @invariant()
+    def min_matches_model(self) -> None:
+        if self.model:
+            assert self.heap.find_min()[0] == min(self.model)
+
+
+TestBinomialHeapStateful = BinomialHeapMachine.TestCase
+TestBinomialHeapStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,76 @@
+"""Boruvka MST: agreement with Kruskal/Prim, round bound, instrumentation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotConnectedError
+from repro.runtime.cost_model import CostTracker
+from repro.trees.boruvka import boruvka_mst, boruvka_rounds, boruvka_tree
+from repro.trees.mst import kruskal_mst
+from test_trees_mst import random_connected_graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 40), seed=st.integers(0, 2**31 - 1))
+def test_agrees_with_kruskal(n, seed):
+    rng = np.random.default_rng(seed)
+    n, edges, weights = random_connected_graph(rng, n)
+    b = boruvka_mst(n, edges, weights)
+    k = kruskal_mst(n, edges, weights)
+    assert sorted(b.tolist()) == sorted(k.tolist())
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 60), seed=st.integers(0, 2**31 - 1))
+def test_logarithmic_rounds(n, seed):
+    rng = np.random.default_rng(seed)
+    n, edges, weights = random_connected_graph(rng, n, extra=2 * n)
+    _, rounds = boruvka_rounds(n, edges, weights)
+    assert rounds <= math.ceil(math.log2(n)) + 1
+
+
+def test_disconnected_raises():
+    edges = np.array([[0, 1], [2, 3]], dtype=np.int64)
+    with pytest.raises(NotConnectedError):
+        boruvka_mst(4, edges, np.ones(2))
+
+
+def test_ties_resolved_consistently():
+    """Unit weights: rank tie-breaking by edge id must still yield a valid
+    spanning tree identical to Kruskal's choice."""
+    rng = np.random.default_rng(3)
+    n, edges, _ = random_connected_graph(rng, 25, extra=40)
+    weights = np.ones(edges.shape[0])
+    b = boruvka_mst(n, edges, weights)
+    k = kruskal_mst(n, edges, weights)
+    assert sorted(b.tolist()) == sorted(k.tolist())
+
+
+def test_tracker_charges_per_round():
+    rng = np.random.default_rng(1)
+    n, edges, weights = random_connected_graph(rng, 64, extra=128)
+    tracker = CostTracker()
+    _, rounds = boruvka_rounds(n, edges, weights, tracker=tracker)
+    assert tracker.work >= edges.shape[0]  # first round scans every edge
+    assert tracker.depth <= rounds * (math.log2(n) + 2)
+
+
+def test_boruvka_tree_is_weighted_tree():
+    rng = np.random.default_rng(2)
+    n, edges, weights = random_connected_graph(rng, 30)
+    tree = boruvka_tree(n, edges, weights)
+    assert tree.n == n and tree.m == n - 1
+    from repro.trees.validation import validate_tree_edges
+
+    validate_tree_edges(tree.n, tree.edges)
+
+
+def test_single_vertex_graph():
+    ids = boruvka_mst(1, np.zeros((0, 2), dtype=np.int64), np.zeros(0))
+    assert ids.shape == (0,)

@@ -1,0 +1,146 @@
+"""Euler tours, list ranking, and tour-based tree rooting."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tree, weighted_trees
+from repro.runtime.cost_model import CostTracker
+from repro.trees.euler import euler_tour, list_rank, root_tree
+
+
+def bfs_reference(tree, root):
+    """Independent rooting reference."""
+    n = tree.n
+    par = np.arange(n, dtype=np.int64)
+    pare = np.full(n, -1, dtype=np.int64)
+    dep = np.zeros(n, dtype=np.int64)
+    off, nv, ne = tree.adjacency()
+    q = deque([root])
+    seen = {root}
+    order = [root]
+    while q:
+        v = q.popleft()
+        for s in range(int(off[v]), int(off[v + 1])):
+            w = int(nv[s])
+            if w not in seen:
+                seen.add(w)
+                par[w] = v
+                pare[w] = int(ne[s])
+                dep[w] = dep[v] + 1
+                q.append(w)
+                order.append(w)
+    size = np.ones(n, dtype=np.int64)
+    for v in reversed(order):
+        if v != root:
+            size[par[v]] += size[v]
+    return par, pare, dep, size
+
+
+class TestEulerTour:
+    @settings(max_examples=40, deadline=None)
+    @given(tree=weighted_trees(max_n=40))
+    def test_single_cycle_covering_all_arcs(self, tree):
+        if tree.m == 0:
+            return
+        tour = euler_tour(tree)
+        # follow succ 2m times from any arc: must visit every arc once
+        a = 0
+        seen = []
+        for _ in range(2 * tree.m):
+            seen.append(a)
+            a = int(tour.succ[a])
+        assert a == 0  # closed cycle
+        assert sorted(seen) == list(range(2 * tree.m))
+
+    def test_arc_orientation(self):
+        tree = make_tree("path", 4)
+        tour = euler_tour(tree)
+        np.testing.assert_array_equal(tour.arc_tail[0::2], tree.edges[:, 0])
+        np.testing.assert_array_equal(tour.arc_head[0::2], tree.edges[:, 1])
+        np.testing.assert_array_equal(tour.arc_tail[1::2], tree.edges[:, 1])
+
+    def test_first_arc_leaves_vertex(self):
+        tree = make_tree("star", 8)
+        tour = euler_tour(tree)
+        for v in range(8):
+            assert tour.arc_tail[int(tour.first_arc[v])] == v
+
+    def test_empty_tree(self):
+        tree = make_tree("path", 1)
+        tour = euler_tour(tree)
+        assert tour.succ.size == 0
+        assert tour.first_arc.tolist() == [-1]
+
+
+class TestListRank:
+    def test_simple_cycle(self):
+        # cycle 0 -> 2 -> 1 -> 0
+        succ = np.array([2, 0, 1])
+        ranks = list_rank(succ, head=0)
+        np.testing.assert_array_equal(ranks, [0, 2, 1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(k=st.integers(1, 300), seed=st.integers(0, 2**31 - 1))
+    def test_random_cycles(self, k, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(k)
+        succ = np.empty(k, dtype=np.int64)
+        succ[perm] = perm[np.r_[1:k, 0]]  # cycle in permuted order
+        head = int(perm[0])
+        ranks = list_rank(succ, head)
+        # walking the cycle from head must see ranks 0, 1, 2, ...
+        a = head
+        for expected in range(k):
+            assert ranks[a] == expected
+            a = int(succ[a])
+
+    def test_bad_head(self):
+        with pytest.raises(ValueError, match="head"):
+            list_rank(np.array([1, 0]), head=5)
+
+    def test_not_a_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            list_rank(np.array([0, 0]), head=1)
+
+    def test_charges_logarithmic_depth(self):
+        k = 1024
+        succ = np.r_[1:k, 0]
+        tracker = CostTracker()
+        list_rank(succ, 0, tracker=tracker)
+        assert tracker.depth <= 2 * (11 + 1)
+        assert tracker.work >= k * 10
+
+
+class TestRootTree:
+    @settings(max_examples=40, deadline=None)
+    @given(tree=weighted_trees(max_n=40), data=st.data())
+    def test_matches_bfs_reference(self, tree, data):
+        root = data.draw(st.integers(0, tree.n - 1))
+        rt = root_tree(tree, root)
+        par, pare, dep, size = bfs_reference(tree, root)
+        np.testing.assert_array_equal(rt.parent_vertex, par)
+        np.testing.assert_array_equal(rt.parent_edge, pare)
+        np.testing.assert_array_equal(rt.depth, dep)
+        np.testing.assert_array_equal(rt.subtree_size, size)
+
+    def test_subtree_sizes_sum(self):
+        tree = make_tree("knuth", 60, seed=2)
+        rt = root_tree(tree, 0)
+        assert rt.subtree_size[0] == 60
+        assert rt.depth[0] == 0
+        leaf_count = int((tree.degrees() == 1).sum())
+        assert int((rt.subtree_size == 1).sum()) >= leaf_count - 1
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError, match="root"):
+            root_tree(make_tree("path", 3), root=3)
+
+    def test_single_vertex(self):
+        rt = root_tree(make_tree("path", 1), 0)
+        assert rt.subtree_size.tolist() == [1]

@@ -1,0 +1,176 @@
+"""WeightedTree representation, adjacency, validation, weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import weighted_trees
+from repro.errors import InvalidTreeError, InvalidWeightsError
+from repro.trees.validation import validate_tree_edges, validate_weights
+from repro.trees.weights import apply_scheme, ranks_of
+from repro.trees.wtree import WeightedTree
+
+
+class TestConstruction:
+    def test_basic(self, small_tree):
+        assert small_tree.n == 8
+        assert small_tree.m == 7
+
+    def test_from_edge_list(self):
+        t = WeightedTree.from_edge_list([(0, 1), (1, 2)], weights=[2.0, 1.0])
+        assert t.n == 3
+        assert t.weights.tolist() == [2.0, 1.0]
+
+    def test_from_edge_list_defaults(self):
+        t = WeightedTree.from_edge_list([(0, 1)])
+        assert t.weights.tolist() == [1.0]
+
+    def test_bad_edge_shape(self):
+        with pytest.raises(InvalidTreeError, match="shape"):
+            WeightedTree(3, np.zeros((2, 3), dtype=np.int64), np.ones(2))
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(InvalidWeightsError):
+            WeightedTree(3, np.array([[0, 1], [1, 2]]), np.ones(3))
+
+    def test_single_vertex(self):
+        t = WeightedTree(1, np.zeros((0, 2), dtype=np.int64), np.zeros(0))
+        assert t.m == 0
+        assert t.degrees().tolist() == [0]
+
+    def test_with_weights_shares_topology(self, small_tree):
+        t2 = small_tree.with_weights(np.arange(7, dtype=float))
+        assert t2.n == small_tree.n
+        np.testing.assert_array_equal(t2.edges, small_tree.edges)
+        assert t2.weights.tolist() == list(range(7))
+
+    def test_with_weights_wrong_length(self, small_tree):
+        with pytest.raises(InvalidWeightsError, match="expected 7"):
+            small_tree.with_weights(np.ones(3))
+
+
+class TestAdjacency:
+    def test_neighbors(self, small_tree):
+        nbrs, eids = small_tree.neighbors(2)
+        assert sorted(nbrs.tolist()) == [1, 3, 4]
+        assert sorted(eids.tolist()) == [1, 2, 3]
+
+    def test_degrees_sum_to_2m(self, small_tree):
+        assert small_tree.degrees().sum() == 2 * small_tree.m
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=weighted_trees(max_n=30))
+    def test_adjacency_consistent_with_edges(self, tree):
+        offsets, nbr_vertex, nbr_edge = tree.adjacency()
+        seen = set()
+        for v in range(tree.n):
+            for s in range(int(offsets[v]), int(offsets[v + 1])):
+                e = int(nbr_edge[s])
+                w = int(nbr_vertex[s])
+                assert {v, w} == {int(tree.edges[e, 0]), int(tree.edges[e, 1])}
+                seen.add((v, e))
+        assert len(seen) == 2 * tree.m  # each edge appears from both sides
+
+    def test_adjacency_lists_match_csr(self, small_tree):
+        lists = small_tree.adjacency_lists()
+        for v in range(small_tree.n):
+            nbrs, eids = small_tree.neighbors(v)
+            assert sorted(lists[v]) == sorted(zip(nbrs.tolist(), eids.tolist()))
+
+
+class TestValidation:
+    def test_wrong_edge_count(self):
+        with pytest.raises(InvalidTreeError, match="needs 2 edges"):
+            validate_tree_edges(3, np.array([[0, 1]]))
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidTreeError, match="outside"):
+            validate_tree_edges(3, np.array([[0, 1], [1, 3]]))
+
+    def test_self_loop(self):
+        with pytest.raises(InvalidTreeError, match="self loop"):
+            validate_tree_edges(3, np.array([[0, 1], [2, 2]]))
+
+    def test_duplicate_edge(self):
+        with pytest.raises(InvalidTreeError, match="duplicate"):
+            validate_tree_edges(3, np.array([[0, 1], [1, 0]]))
+
+    def test_cycle(self):
+        with pytest.raises(InvalidTreeError, match="cycle"):
+            validate_tree_edges(4, np.array([[0, 1], [1, 2], [2, 0]]))
+
+    def test_nonpositive_n(self):
+        with pytest.raises(InvalidTreeError, match="positive"):
+            validate_tree_edges(0, np.zeros((0, 2), dtype=np.int64))
+
+    def test_valid_tree_passes(self, small_tree):
+        validate_tree_edges(small_tree.n, small_tree.edges)
+
+    def test_nan_weight(self):
+        with pytest.raises(InvalidWeightsError, match="not finite"):
+            validate_weights(np.array([1.0, np.nan]))
+
+    def test_inf_weight(self):
+        with pytest.raises(InvalidWeightsError, match="not finite"):
+            validate_weights(np.array([np.inf]))
+
+    def test_non_numeric_weights(self):
+        with pytest.raises(InvalidWeightsError, match="numeric"):
+            validate_weights(np.array(["a", "b"]))
+
+    def test_constructor_validates_by_default(self):
+        with pytest.raises(InvalidTreeError):
+            WeightedTree(4, np.array([[0, 1], [1, 2], [2, 0]]), np.ones(3))
+
+
+class TestRanks:
+    def test_ranks_are_permutation(self, small_tree):
+        r = small_tree.ranks
+        assert sorted(r.tolist()) == list(range(7))
+
+    def test_ranks_follow_weights(self):
+        r = ranks_of(np.array([0.5, 0.1, 0.9]))
+        np.testing.assert_array_equal(r, [1, 0, 2])
+
+    def test_ties_broken_by_edge_id(self):
+        r = ranks_of(np.array([1.0, 1.0, 0.5, 1.0]))
+        np.testing.assert_array_equal(r, [1, 2, 0, 3])
+
+    def test_ranks_cached(self, small_tree):
+        assert small_tree.ranks is small_tree.ranks
+
+
+class TestWeightSchemes:
+    @pytest.mark.parametrize("name", ["unit", "perm", "low-par", "uniform", "sorted", "reversed"])
+    def test_scheme_lengths(self, name):
+        w = apply_scheme(name, 17, seed=0)
+        assert w.shape == (17,)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="weight scheme"):
+            apply_scheme("zipf", 5)
+
+    def test_negative_m(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            apply_scheme("unit", -1)
+
+    def test_perm_is_permutation(self):
+        w = apply_scheme("perm", 50, seed=1)
+        assert sorted(w.tolist()) == list(range(50))
+
+    def test_low_par_shape(self):
+        w = apply_scheme("low-par", 10)
+        assert (np.diff(w[:5]) > 0).all()
+        assert (np.diff(w[5:]) < 0).all()
+        # each half is monotone and the maximum sits at the middle
+        assert w.argmax() in (4, 5)
+
+    def test_unit_all_ones(self):
+        assert (apply_scheme("unit", 9) == 1.0).all()
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(
+            apply_scheme("perm", 30, seed=42), apply_scheme("perm", 30, seed=42)
+        )
