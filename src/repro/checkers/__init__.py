@@ -1,0 +1,44 @@
+"""Correctness tooling: round-race sanitizer and repo-invariant lint.
+
+Two layers, both surfaced through ``python -m repro check``:
+
+* **Dynamic round-race detector** (:mod:`repro.checkers.access`,
+  :mod:`repro.checkers.races`) -- a TSan analog for the simulated
+  parallelism runtime.  Instrumented structures record per-task shadow
+  read/write sets during a scheduler round; conflicting accesses raise
+  :class:`~repro.errors.RaceConditionError` with task and cell provenance.
+  Activated by ``Scheduler(race_check=True)``,
+  ``CostTracker(race_check=True)``, or the ``race_check=`` flag of the
+  round-structured core algorithms.
+
+* **Static invariant lint** (:mod:`repro.checkers.lint`) -- AST checks
+  RPR001..RPR005 enforcing repo invariants (no wall clock or unseeded
+  randomness outside the runtime/bench layers, cost-tracker threading in
+  ``repro.core``, :class:`~repro.trees.wtree.WeightedTree` immutability,
+  and annotated round-task closures).
+
+This module must stay import-light: the instrumented structures import
+:mod:`repro.checkers.access` at module load.
+"""
+
+from repro.checkers.access import (
+    RoundRecorder,
+    TaskAccessLog,
+    commit_phase,
+    record_atomic,
+    record_read,
+    record_write,
+)
+from repro.checkers.races import Conflict, check_recorder, find_conflicts
+
+__all__ = [
+    "RoundRecorder",
+    "TaskAccessLog",
+    "commit_phase",
+    "record_read",
+    "record_write",
+    "record_atomic",
+    "Conflict",
+    "find_conflicts",
+    "check_recorder",
+]

@@ -1,0 +1,474 @@
+"""AST-based repo-invariant lint (codes RPR001..RPR005).
+
+These checks encode invariants that generic linters cannot express and
+that the reproduction depends on:
+
+* **RPR001** -- no wall-clock reads (``time.time``/``perf_counter``/
+  ``monotonic``/``process_time``/``sleep``, ``datetime.now``/``utcnow``)
+  outside ``repro/runtime/`` and ``repro/bench/``.  Algorithm results and
+  charged costs must be functions of the input alone.
+* **RPR002** -- no unseeded randomness outside ``repro/runtime/`` and
+  ``repro/bench/``: module-level ``numpy.random.*`` / stdlib ``random.*``
+  draws, and ``default_rng()`` called with no arguments.  Seeds must be
+  threaded explicitly (``repro.util.check_random_state``).
+* **RPR003** -- every public ``repro.core`` algorithm whose first
+  parameter is ``tree`` must accept a cost ``tracker`` (or a ``**kwargs``
+  catch-all that forwards one) and actually reference it.
+* **RPR004** -- no mutation of :class:`~repro.trees.wtree.WeightedTree`
+  payload (``.edges[...] =``, ``.weights[...] =``, ``._ranks``/``._adj*``
+  attributes) outside ``repro/trees/``; trees are frozen inputs.
+* **RPR005** -- a function defined inside a scope that calls
+  ``run_round`` (a round task body) must not store to closed-over shared
+  state unless the body declares its footprint via
+  ``record_write``/``record_atomic``/``commit_phase``.
+
+Suppression: a ``# noqa: RPR00x`` (or bare ``# noqa``) comment on the
+flagged line silences the diagnostic, same convention as flake8/ruff.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintDiagnostic", "lint_source", "lint_file", "lint_paths", "ALL_CODES"]
+
+ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+#: Layers allowed to read clocks and draw unseeded randomness.
+_EXEMPT_LAYERS = ("repro/runtime/", "repro/bench/")
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+_NUMPY_RANDOM_FNS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "normal",
+    "uniform",
+    "exponential",
+}
+
+_STDLIB_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "seed",
+    "betavariate",
+    "expovariate",
+}
+
+_FOOTPRINT_DECLS = {"record_write", "record_atomic", "commit_phase"}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One lint finding, pointing at a source line."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _noqa_lines(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed codes (``None`` means all codes)."""
+    out: dict[int, set[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if not m:
+                continue
+            codes = m.group("codes")
+            if codes is None:
+                out[tok.start[0]] = None
+            else:
+                out[tok.start[0]] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+class _ImportMap:
+    """Resolves local names to dotted module paths from the file's imports."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted name of a called expression, with import aliases expanded."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+class _Scope:
+    """Per-function state for the closure-store check (RPR005)."""
+
+    def __init__(self, node: ast.AST, parent: "_Scope | None") -> None:
+        self.node = node
+        self.parent = parent
+        self.local_names: set[str] = set()
+        self.calls_run_round = False
+        self.declares_footprint = False
+        self.shared_stores: list[tuple[int, int, str]] = []
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, exempt_dynamic: bool) -> None:
+        self.path = path
+        self.exempt_dynamic = exempt_dynamic
+        self.in_core = "repro/core/" in path.replace("\\", "/")
+        self.in_trees = "repro/trees/" in path.replace("\\", "/")
+        self.imports = _ImportMap()
+        self.diagnostics: list[LintDiagnostic] = []
+        self.scope: _Scope | None = None
+        #: Closed nested scopes with undeclared shared stores; judged at
+        #: module end, once every enclosing scope has seen all its calls.
+        self._rpr005_pending: list[_Scope] = []
+
+    # -- helpers ----------------------------------------------------------
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(
+            LintDiagnostic(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                code,
+                message,
+            )
+        )
+
+    # -- imports ----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- RPR001 / RPR002: calls -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.imports.resolve_call(node.func)
+        if dotted is not None:
+            if self.scope is not None and dotted.rsplit(".", 1)[-1] == "run_round":
+                self.scope.calls_run_round = True
+            if self.scope is not None and dotted.rsplit(".", 1)[-1] in _FOOTPRINT_DECLS:
+                self.scope.declares_footprint = True
+            if not self.exempt_dynamic:
+                self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _WALL_CLOCK or dotted in {"datetime.now", "datetime.utcnow"}:
+            self.report(
+                node,
+                "RPR001",
+                f"wall-clock call {dotted}() outside repro/runtime or repro/bench",
+            )
+            return
+        tail = dotted.rsplit(".", 1)[-1]
+        if dotted.startswith("numpy.random.") and tail in _NUMPY_RANDOM_FNS:
+            self.report(
+                node,
+                "RPR002",
+                f"unseeded global-state randomness {dotted}(); "
+                "thread a seeded Generator instead",
+            )
+            return
+        if dotted.startswith("random.") and tail in _STDLIB_RANDOM_FNS:
+            self.report(
+                node,
+                "RPR002",
+                f"stdlib global-state randomness {dotted}(); "
+                "thread a seeded numpy Generator instead",
+            )
+            return
+        if tail == "default_rng" and not node.args and not node.keywords:
+            self.report(
+                node,
+                "RPR002",
+                "default_rng() with no seed; pass an explicit seed or Generator",
+            )
+
+    # -- scopes: RPR003 + RPR005 ------------------------------------------
+    def _function_scope(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        parent = self.scope
+        scope = _Scope(node, parent)
+        args = node.args
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            scope.local_names.add(a.arg)
+        if args.vararg:
+            scope.local_names.add(args.vararg.arg)
+        if args.kwarg:
+            scope.local_names.add(args.kwarg.arg)
+        self.scope = scope
+        self.generic_visit(node)
+        self.scope = parent
+
+        # RPR005 candidates: a task body nested in a run_round-calling
+        # scope must declare its shared-store footprint.  The run_round
+        # call often appears *after* the nested def, so judgement is
+        # deferred to module end via finalize().
+        if parent is not None and not scope.declares_footprint and scope.shared_stores:
+            self._rpr005_pending.append(scope)
+
+        if self.in_core and parent is None:
+            self._check_tracker_threading(node)
+
+    @staticmethod
+    def _any_enclosing_calls_run_round(scope: _Scope) -> bool:
+        s: _Scope | None = scope
+        while s is not None:
+            if s.calls_run_round:
+                return True
+            s = s.parent
+        return False
+
+    def finalize(self) -> None:
+        """Judge deferred RPR005 candidates after the whole module is seen."""
+        for scope in self._rpr005_pending:
+            if scope.parent is None or not self._any_enclosing_calls_run_round(
+                scope.parent
+            ):
+                continue
+            line, col, name = scope.shared_stores[0]
+            self.diagnostics.append(
+                LintDiagnostic(
+                    self.path,
+                    line,
+                    col + 1,
+                    "RPR005",
+                    f"round task body stores to closed-over {name!r} without "
+                    "record_write/record_atomic/commit_phase declaration",
+                )
+            )
+
+    def _check_tracker_threading(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if not positional or positional[0].arg != "tree":
+            return
+        names = {a.arg for a in positional} | {a.arg for a in args.kwonlyargs}
+        if args.kwarg is not None:
+            return  # **kwargs catch-all forwards tracker= through
+        if "tracker" not in names:
+            self.report(
+                node,
+                "RPR003",
+                f"public repro.core algorithm {node.name}() takes 'tree' but "
+                "no 'tracker' cost accumulator",
+            )
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id == "tracker" and sub is not node:
+                if isinstance(sub.ctx, ast.Load):
+                    return
+            if isinstance(sub, ast.keyword) and sub.arg == "tracker":
+                return
+        self.report(
+            node,
+            "RPR003",
+            f"{node.name}() accepts 'tracker' but never reads or forwards it",
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        parent = self.scope
+        scope = _Scope(node, parent)
+        for a in list(node.args.posonlyargs) + list(node.args.args):
+            scope.local_names.add(a.arg)
+        self.scope = scope
+        self.generic_visit(node)
+        self.scope = parent
+
+    # -- assignments: RPR004 + local-name tracking -------------------------
+    def _handle_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if self.scope is not None:
+                self.scope.local_names.add(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._handle_target(elt)
+            return
+        self._check_store(target)
+
+    def _base_name(self, node: ast.expr) -> str | None:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def _check_store(self, target: ast.expr) -> None:
+        # RPR004: WeightedTree payload mutation outside repro/trees/.
+        if not self.in_trees:
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Attribute):
+                attr = target.value
+                base = self._base_name(attr.value)
+                if attr.attr in ("edges", "weights") and base != "self":
+                    self.report(
+                        target,
+                        "RPR004",
+                        f"mutation of WeightedTree payload '.{attr.attr}[...]' "
+                        "outside repro/trees (trees are frozen inputs)",
+                    )
+            if isinstance(target, ast.Attribute):
+                base = self._base_name(target.value)
+                if (
+                    target.attr == "_ranks" or target.attr.startswith("_adj")
+                ) and base != "self":
+                    self.report(
+                        target,
+                        "RPR004",
+                        f"mutation of WeightedTree cache '.{target.attr}' "
+                        "outside repro/trees",
+                    )
+        # RPR005 bookkeeping: store through a name not local to this scope.
+        if self.scope is not None:
+            base = self._base_name(target)
+            if base is not None and base not in self.scope.local_names:
+                self.scope.shared_stores.append(
+                    (target.lineno, target.col_offset, base)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._handle_target(t)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if self.scope is not None and node.target.id not in self.scope.local_names:
+                self.scope.shared_stores.append(
+                    (node.target.lineno, node.target.col_offset, node.target.id)
+                )
+        else:
+            self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        if self.scope is not None:
+            for name in node.names:
+                self.scope.shared_stores.append((node.lineno, node.col_offset, name))
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
+    """Lint one source string; returns the surviving (non-noqa) findings."""
+    norm = path.replace("\\", "/")
+    exempt_dynamic = any(layer in norm for layer in _EXEMPT_LAYERS)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                path, exc.lineno or 0, (exc.offset or 0), "RPR000", f"syntax error: {exc.msg}"
+            )
+        ]
+    checker = _Checker(norm, exempt_dynamic)
+    checker.visit(tree)
+    checker.finalize()
+    suppressed = _noqa_lines(source)
+    out = []
+    for d in checker.diagnostics:
+        codes = suppressed.get(d.line, ...)
+        if codes is None:  # bare noqa
+            continue
+        if codes is not ... and d.code in codes:
+            continue
+        out.append(d)
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return out
+
+
+def lint_file(path: str | Path) -> list[LintDiagnostic]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: list[str | Path] | list[Path]) -> list[LintDiagnostic]:
+    """Lint files and directory trees (``*.py``, recursively)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[LintDiagnostic] = []
+    for f in files:
+        out.extend(lint_file(f))
+    return out

@@ -1,0 +1,178 @@
+"""Driver behind ``python -m repro check``.
+
+Composes the two checker layers into one pass/fail gate:
+
+* **Lint pass** -- :func:`repro.checkers.lint.lint_paths` over the given
+  paths (default: the installed ``repro`` package source).
+* **Race battery** (default run only) -- dynamic round-race checks:
+
+  1. a detector self-test: a deliberately conflicting in-memory round
+     must be caught (guards against a silently broken recorder);
+  2. ``paruf_sync`` with ``race_check=True, shuffle=True`` against the
+     brute-force oracle on seeded trees -- the machine check of the
+     Lemma 4.1 disjointness argument;
+  3. ``rctt`` (reference contraction builder) with ``race_check=True``
+     against the oracle;
+  4. the ``CostTracker.parallel_round`` race hook, clean and racy.
+
+* **Dynamic fixtures** -- a given ``.py`` path whose module defines a
+  top-level ``build_round()`` (returning scheduler tasks) is executed
+  under ``Scheduler(race_check=True, shuffle=True, seed=0)``; a detected
+  race fails the check.
+
+Exit status is 0 iff every selected layer is clean.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+from repro.checkers.lint import LintDiagnostic, lint_paths
+from repro.errors import RaceConditionError
+
+__all__ = ["run_check", "run_race_battery", "run_dynamic_fixture"]
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def run_race_battery() -> list[str]:
+    """Run the built-in dynamic race checks; return failure descriptions."""
+    import numpy as np
+
+    from repro.checkers.access import RoundRecorder, install, record_write, uninstall
+    from repro.checkers.races import check_recorder
+    from repro.core.brute import brute_force_sld
+    from repro.core.paruf_sync import paruf_sync
+    from repro.core.rctt import rctt
+    from repro.runtime.cost_model import CostTracker
+    from repro.trees.generators import caterpillar, path_tree, random_tree
+
+    failures: list[str] = []
+
+    # 1. Self-test: two tasks writing the same cell MUST be caught.
+    recorder = RoundRecorder(where="self-test round")
+    install(recorder)
+    try:
+        recorder.begin_task(0)
+        record_write("shared", 0)
+        recorder.begin_task(1)
+        record_write("shared", 0)
+        recorder.end_task()
+    finally:
+        uninstall(recorder)
+    try:
+        check_recorder(recorder)
+        failures.append(
+            "race detector self-test: conflicting writes were NOT detected"
+        )
+    except RaceConditionError:
+        pass
+
+    # 2./3. Race-checked algorithms against the definition-level oracle.
+    trees = [random_tree(48, seed=s) for s in range(3)]
+    trees += [path_tree(33), caterpillar(9, 3), path_tree(2)]
+    for i, tree in enumerate(trees):
+        expected = brute_force_sld(tree)
+        try:
+            got = paruf_sync(tree, race_check=True, shuffle=True, seed=i)
+        except RaceConditionError as exc:
+            failures.append(f"paruf_sync race on battery tree {i}: {exc}")
+            continue
+        if not np.array_equal(got, expected):
+            failures.append(f"paruf_sync disagrees with oracle on battery tree {i}")
+        try:
+            got = rctt(tree, seed=i, race_check=True)
+        except RaceConditionError as exc:
+            failures.append(f"rctt race on battery tree {i}: {exc}")
+            continue
+        if not np.array_equal(got, expected):
+            failures.append(f"rctt disagrees with oracle on battery tree {i}")
+
+    # 4. CostTracker.parallel_round hook: clean round passes, racy raises.
+    tracker = CostTracker(race_check=True)
+    with tracker.parallel_round() as rnd:
+        record_write("cell", 0)
+        rnd.task(1.0)
+        record_write("cell", 1)
+        rnd.task(1.0)
+    caught = False
+    try:
+        tracker = CostTracker(race_check=True)
+        with tracker.parallel_round() as rnd:
+            record_write("cell", 7)
+            rnd.task(1.0)
+            record_write("cell", 7)
+            rnd.task(1.0)
+    except RaceConditionError:
+        caught = True
+    if not caught:
+        failures.append(
+            "CostTracker.parallel_round race hook did not catch a same-cell write"
+        )
+    return failures
+
+
+def run_dynamic_fixture(path: Path) -> list[str]:
+    """Execute a ``build_round()`` fixture under the race-checked scheduler."""
+    from repro.runtime.scheduler import Scheduler
+
+    ns = runpy.run_path(str(path))
+    build_round = ns.get("build_round")
+    if build_round is None:
+        return []
+    failures: list[str] = []
+    try:
+        tasks = build_round()
+        Scheduler(race_check=True, shuffle=True, seed=0).run_round(
+            list(tasks), where=f"fixture {path.name}"
+        )
+    except RaceConditionError as exc:
+        failures.append(f"{path}: {exc}")
+    except Exception as exc:  # fixture bugs are failures too, not crashes
+        failures.append(f"{path}: fixture error: {type(exc).__name__}: {exc}")
+    return failures
+
+
+def run_check(
+    paths: list[str] | None = None,
+    lint: bool = True,
+    races: bool = True,
+) -> int:
+    """Run the selected checker layers; print a report; return exit status."""
+    explicit = bool(paths)
+    targets = [Path(p) for p in paths] if paths else [_package_root()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for t in missing:
+            print(f"repro check: no such file or directory: {t}")
+        return 2
+
+    diagnostics: list[LintDiagnostic] = []
+    if lint:
+        diagnostics = lint_paths(list(targets))
+        for d in diagnostics:
+            print(d.format())
+
+    race_failures: list[str] = []
+    if races:
+        if explicit:
+            for t in targets:
+                if t.is_file() and t.suffix == ".py":
+                    race_failures.extend(run_dynamic_fixture(t))
+        else:
+            race_failures = run_race_battery()
+        for f in race_failures:
+            print(f"RACE {f}")
+
+    n_lint = len(diagnostics)
+    n_race = len(race_failures)
+    if n_lint == 0 and n_race == 0:
+        print("repro check: OK")
+        return 0
+    print(f"repro check: {n_lint} lint finding(s), {n_race} race failure(s)")
+    return 1

@@ -13,6 +13,8 @@ Commands
     Run one of the paper-reproduction experiment harnesses.
 ``info``
     Describe a saved tree or dendrogram archive.
+``check``
+    Run the repo invariant lint (RPR codes) and the round-race battery.
 """
 
 from __future__ import annotations
@@ -87,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="describe a saved archive")
     info.add_argument("path")
+
+    check = sub.add_parser(
+        "check", help="run the repo invariant lint and the round-race battery"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (and .py build_round() fixtures to "
+        "race-check); default: the repro package source + built-in battery",
+    )
+    check.add_argument("--no-lint", action="store_true", help="skip the RPR lint pass")
+    check.add_argument(
+        "--no-races", action="store_true", help="skip the dynamic race checks"
+    )
     return parser
 
 
@@ -135,9 +151,9 @@ def _cmd_compute(args) -> int:
         kind = args.kind or "knuth"
         tree = _make_tree(kind, args.n, args.scheme, args.seed)
         source = f"generated {kind}/{args.scheme} n={args.n}"
-    start = time.perf_counter()
+    start = time.perf_counter()  # noqa: RPR001 -- user-facing timing report
     dend = single_linkage_dendrogram(tree, algorithm=args.algorithm, validate=args.validate)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # noqa: RPR001
     print(f"input:      {source}")
     print(f"algorithm:  {args.algorithm}")
     print(f"time:       {elapsed * 1e3:.1f} ms")
@@ -261,6 +277,16 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.checkers.runner import run_check
+
+    return run_check(
+        paths=list(args.paths) or None,
+        lint=not args.no_lint,
+        races=not args.no_races,
+    )
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compute": _cmd_compute,
@@ -269,6 +295,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "info": _cmd_info,
+    "check": _cmd_check,
 }
 
 

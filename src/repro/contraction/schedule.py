@@ -17,16 +17,25 @@ adjacency.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TypeVar
 
 import numpy as np
 
+from repro.checkers import access as _access
+from repro.checkers.races import check_recorder
 from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
 from repro.runtime.cost_model import CostTracker, WorkDepth
 from repro.trees.wtree import WeightedTree
 from repro.util import check_random_state, log2ceil
 
 __all__ = ["RakeEvent", "CompressEvent", "build_rc_tree"]
+
+
+def _pair(a: int, b: int) -> tuple[int, int]:
+    """Unordered adjacency-pair cell key (both directions are one slot)."""
+    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -54,11 +63,48 @@ class CompressEvent:
     e2: int
 
 
+_E = TypeVar("_E")
+
+
+def _run_commit_round(
+    events: Sequence[_E],
+    commit: Callable[[_E], None],
+    annotate: Callable[[_E], None],
+    race_check: bool,
+    where: str,
+) -> None:
+    """Apply ``commit`` to each event, optionally under the race recorder.
+
+    With ``race_check`` every event becomes one shadow task: ``annotate``
+    reports the cells the event's commit touches (adjacency at unordered
+    pair granularity; per-vertex contraction state; degree counters and
+    candidate-set membership as commutative atomics), and conflicting
+    events raise :class:`~repro.errors.RaceConditionError`.  Without it
+    the loop is the plain uninstrumented commit.
+    """
+    if not race_check:
+        for ev in events:
+            commit(ev)
+        return
+    recorder = _access.RoundRecorder(where=where)
+    _access.install(recorder)
+    try:
+        for i, ev in enumerate(events):
+            recorder.begin_task(i, label=f"task {i}")
+            annotate(ev)
+            commit(ev)
+        recorder.end_task()
+    finally:
+        _access.uninstall(recorder)
+    check_recorder(recorder)
+
+
 def build_rc_tree(
     tree: WeightedTree,
     seed: int | np.random.Generator | None = 0,
     tracker: CostTracker | None = None,
     priorities: str = "random",
+    race_check: bool = False,
 ) -> RCTree:
     """Contract ``tree`` to a single vertex; return the resulting RC-tree.
 
@@ -70,6 +116,11 @@ def build_rc_tree(
     * ``"id"`` -- vertex ids as priorities.  Correct but *pathological* on
       monotone-id chains (one local maximum per chain, ``Theta(n)``
       rounds); exposed for the symmetry-breaking ablation.
+
+    With ``race_check=True`` each rake/compress commit round runs under
+    the shadow round-race detector: the per-event commits are treated as
+    parallel tasks and their adjacency/state accesses are intersected,
+    machine-checking the independence argument for the decided event sets.
     """
     if priorities not in ("random", "id"):
         raise ValueError(f"unknown priority rule {priorities!r}; expected 'random' or 'id'")
@@ -114,7 +165,8 @@ def build_rc_tree(
                 continue  # isolated edge: the lower-priority endpoint rakes
             rake_events.append(RakeEvent(v, u, e))
         scanned = len(candidates)
-        for ev in rake_events:
+
+        def commit_rake(ev: RakeEvent) -> None:
             del adj[ev.u][ev.v]
             adj[ev.v].clear()
             alive[ev.v] = False
@@ -125,6 +177,25 @@ def build_rc_tree(
             candidates.discard(ev.v)
             if len(adj[ev.u]) <= 2:
                 candidates.add(ev.u)
+
+        def annotate_rake(ev: RakeEvent) -> None:
+            # The raked adjacency slot and v's contraction state are plain
+            # writes; u's degree counter (decremented by the delete, fetched
+            # for the candidate test) and the candidate-set memberships are
+            # commutative RMWs, hence atomic.
+            _access.record_write("adj", _pair(ev.u, ev.v))
+            _access.record_write("vertex", ev.v)
+            _access.record_atomic("deg", ev.u)
+            _access.record_atomic("candidates", ev.v)
+            _access.record_atomic("candidates", ev.u)
+
+        _run_commit_round(
+            rake_events,
+            commit_rake,
+            annotate_rake,
+            race_check,
+            where=f"rake round {round_index}",
+        )
         alive_count -= len(rake_events)
         if rake_events:
             rounds.append(("rake", rake_events))
@@ -147,7 +218,7 @@ def build_rc_tree(
             if ranks[ea] > ranks[eb]:
                 a, ea, b, eb = b, eb, a, ea
             compress_events.append(CompressEvent(v, a, int(ea), b, int(eb)))
-        for ev in compress_events:
+        def commit_compress(ev: CompressEvent) -> None:
             del adj[ev.u][ev.v]
             del adj[ev.w][ev.v]
             adj[ev.v].clear()
@@ -159,6 +230,26 @@ def build_rc_tree(
             rc_round[ev.v] = round_index
             rc_kind[ev.v] = KIND_COMPRESS
             candidates.discard(ev.v)
+
+        def annotate_compress(ev: CompressEvent) -> None:
+            # Both removed slots and the surviving spliced slot are plain
+            # pair writes; u's and w's degrees are net-unchanged but still
+            # pass through the shared counters, hence atomic.
+            _access.record_write("adj", _pair(ev.u, ev.v))
+            _access.record_write("adj", _pair(ev.v, ev.w))
+            _access.record_write("adj", _pair(ev.u, ev.w))
+            _access.record_write("vertex", ev.v)
+            _access.record_atomic("deg", ev.u)
+            _access.record_atomic("deg", ev.w)
+            _access.record_atomic("candidates", ev.v)
+
+        _run_commit_round(
+            compress_events,
+            commit_compress,
+            annotate_compress,
+            race_check,
+            where=f"compress round {round_index}",
+        )
         alive_count -= len(compress_events)
         if compress_events:
             rounds.append(("compress", compress_events))

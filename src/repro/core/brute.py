@@ -15,17 +15,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.cost_model import CostTracker
 from repro.trees.wtree import WeightedTree
 
 __all__ = ["brute_force_sld"]
 
 
-def brute_force_sld(tree: WeightedTree) -> np.ndarray:
-    """Parent array of the SLD, computed from the definition."""
+def brute_force_sld(tree: WeightedTree, tracker: CostTracker | None = None) -> np.ndarray:
+    """Parent array of the SLD, computed from the definition.
+
+    The oracle is sequential, so the charged cost is one flat segment:
+    work = depth = total adjacency slots scanned across all floods.
+    """
     m = tree.m
     ranks = tree.ranks
     parents = np.arange(m, dtype=np.int64)
     offsets, nbr_vertex, nbr_edge = tree.adjacency()
+    scanned = 0
 
     for e in range(m):
         re = int(ranks[e])
@@ -36,6 +42,7 @@ def brute_force_sld(tree: WeightedTree) -> np.ndarray:
         while stack:
             v = stack.pop()
             lo, hi = int(offsets[v]), int(offsets[v + 1])
+            scanned += hi - lo
             for s in range(lo, hi):
                 f = int(nbr_edge[s])
                 if f == e:
@@ -51,4 +58,6 @@ def brute_force_sld(tree: WeightedTree) -> np.ndarray:
                         best = f
         if best != -1:
             parents[e] = best
+    if tracker is not None:
+        tracker.sequential(float(scanned))
     return parents

@@ -13,16 +13,29 @@ top), so a round's merges commute.  The difference is purely scheduling:
 a synchronous round pays a barrier (charged ``O(log n)`` depth) even when
 only one edge is ready, which is exactly the overhead the asynchronous
 design avoids.
+
+Each round's merges are executed as independent tasks on a
+:class:`~repro.runtime.scheduler.Scheduler`: the per-edge task claims its
+edge, performs the two ``delete_min``s, the union and the meld, and
+returns the activation it discovered; the sequential *commit phase*
+between rounds then applies the activations (``status`` increments and
+``parents`` writes) and builds the next frontier.  With
+``race_check=True`` the scheduler intersects the tasks' shadow access
+sets after every round, machine-checking the Lemma 4.1 disjointness claim
+-- and with ``shuffle=True`` the round's execution order is permuted,
+which by that same claim cannot change the result.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers import access as _access
 from repro.core.paruf import ParUFStats
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
 from repro.runtime.instrumentation import PhaseTimer
+from repro.runtime.scheduler import Scheduler
 from repro.structures import make_heap
 from repro.structures.unionfind import UnionFind
 from repro.trees.wtree import WeightedTree
@@ -38,8 +51,22 @@ def paruf_sync(
     tracker: CostTracker | None = None,
     timer: PhaseTimer | None = None,
     stats: ParUFStats | None = None,
+    race_check: bool = False,
+    shuffle: bool = False,
+    seed: int | np.random.Generator | None = None,
 ) -> np.ndarray:
-    """Parent array of the SLD, by round-synchronous local-minima merging."""
+    """Parent array of the SLD, by round-synchronous local-minima merging.
+
+    Parameters
+    ----------
+    race_check:
+        Run every round under the shadow round-race detector; conflicting
+        task accesses raise :class:`~repro.errors.RaceConditionError`.
+    shuffle / seed:
+        Permute each round's task execution order (seeded).  Legal by
+        Lemma 4.1; combined with ``race_check`` this machine-checks the
+        order-insensitivity claim.
+    """
     m = tree.m
     parents = np.arange(m, dtype=np.int64)
     if m == 0:
@@ -74,6 +101,32 @@ def paruf_sync(
     edges = tree.edges
     remaining: list[int] | None = None
     rounds = 0
+    # The scheduler carries the round-race recorder and the (seeded)
+    # shuffle; cost charging stays with the explicit per-round formula
+    # below, which matches the paper's barrier accounting.
+    sched = Scheduler(shuffle=shuffle, seed=seed, race_check=race_check)
+
+    def make_task(cur: int):
+        def task() -> tuple[tuple[int, int, float], WorkDepth]:
+            # CAS(status[cur], 2, -1): the claiming task owns the edge.
+            _access.record_write("status", cur)
+            status[cur] = -1
+            u, v = int(edges[cur, 0]), int(edges[cur, 1])
+            ru, rv = uf.find(u), uf.find(v)
+            cost = log_cost(len(heaps[ru])) + log_cost(len(heaps[rv]))
+            heaps[ru].delete_min()
+            heaps[rv].delete_min()
+            w = uf.union(ru, rv)
+            other = rv if w == ru else ru
+            heaps[w].meld(heaps[other])
+            cost += log_cost(max(len(heaps[w]), 2)) + 1.0
+            if heaps[w].is_empty:
+                # cur was the last edge: it is the dendrogram root.
+                return (cur, -1, cost), WorkDepth(cost, cost)
+            _, new_cur = heaps[w].find_min()
+            return (cur, int(new_cur), cost), WorkDepth(cost, cost)
+
+        return task
 
     with timer.phase("rounds"):
         while frontier:
@@ -85,28 +138,21 @@ def paruf_sync(
                 ]
                 stats.used_postprocess = True
                 break
+            results = sched.run_round(
+                [make_task(cur) for cur in frontier], where=f"merge round {rounds}"
+            )
+            # Commit phase (sequential barrier): apply the activations the
+            # round's merges discovered and build the next frontier.
             next_frontier: list[int] = []
             round_work = 0.0
             round_max = 0.0
-            for cur in frontier:
-                status[cur] = -1
-                u, v = int(edges[cur, 0]), int(edges[cur, 1])
-                ru, rv = uf.find(u), uf.find(v)
-                cost = log_cost(len(heaps[ru])) + log_cost(len(heaps[rv]))
-                heaps[ru].delete_min()
-                heaps[rv].delete_min()
-                w = uf.union(ru, rv)
-                other = rv if w == ru else ru
-                heaps[w].meld(heaps[other])
-                cost += log_cost(max(len(heaps[w]), 2)) + 1.0
+            for cur, new_cur, cost in results:
                 stats.processed_async += 1
                 round_work += cost
                 if cost > round_max:
                     round_max = cost
-                if heaps[w].is_empty:
+                if new_cur < 0:
                     continue
-                _, new_cur = heaps[w].find_min()
-                new_cur = int(new_cur)
                 parents[cur] = new_cur
                 status[new_cur] += 1
                 if status[new_cur] == 2:

@@ -36,7 +36,7 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["paruf_threaded"]
 
 
-def paruf_threaded(
+def paruf_threaded(  # noqa: RPR003 -- work depends on the OS thread schedule
     tree: WeightedTree,
     num_threads: int = 4,
     heap_kind: str = "pairing",
@@ -118,7 +118,7 @@ def paruf_threaded(
                         return
                 cur = pop_ready()
                 if cur is None:
-                    time.sleep(0)  # yield; another thread may activate work
+                    time.sleep(0)  # noqa: RPR001 -- real-thread yield is the point here
                     continue
                 if not try_claim(cur):
                     continue

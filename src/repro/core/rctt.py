@@ -43,6 +43,7 @@ def rctt(
     tracker: CostTracker | None = None,
     timer: PhaseTimer | None = None,
     builder: str = "fast",
+    race_check: bool = False,
 ) -> np.ndarray:
     """Parent array of the SLD, by RC-tree tracing.
 
@@ -51,6 +52,10 @@ def rctt(
     (the adjacency-list scheduler whose cost profile mirrors the paper's
     implementation -- used by the Figure 7 breakdown experiment).  Both
     produce the identical schedule for the same seed.
+
+    ``race_check=True`` runs the contraction commit rounds under the
+    shadow round-race detector; only the ``"reference"`` builder carries
+    per-event commits, so the flag forces that builder.
     """
     m = tree.m
     parents = np.arange(m, dtype=np.int64)
@@ -60,6 +65,10 @@ def rctt(
     ranks = tree.ranks
 
     with timer.phase("build"):
+        if race_check:
+            # The vectorized builder has no per-event commit loop to
+            # instrument; the reference builder yields the same schedule.
+            builder = "reference"
         if builder == "fast":
             from repro.contraction.fast import build_rc_tree_fast
 
@@ -67,7 +76,7 @@ def rctt(
                 tree, seed=seed, tracker=tracker, record_events=False
             )
         elif builder == "reference":
-            rct = build_rc_tree(tree, seed=seed, tracker=tracker)
+            rct = build_rc_tree(tree, seed=seed, tracker=tracker, race_check=race_check)
         else:
             raise ValueError(
                 f"unknown builder {builder!r}; expected 'fast' or 'reference'"

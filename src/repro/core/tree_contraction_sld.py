@@ -28,7 +28,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.contraction.rctree import RCTree
-from repro.contraction.schedule import CompressEvent, RakeEvent, build_rc_tree
+from repro.contraction.schedule import RakeEvent, build_rc_tree
 from repro.errors import AlgorithmError
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost

@@ -47,3 +47,29 @@ class SchedulerError(ReproError):
 
 class AlgorithmError(ReproError):
     """An unknown algorithm name or invalid algorithm option was requested."""
+
+
+class RaceCheckError(ReproError):
+    """Misuse of the race-checking API (e.g. nested recorder installs)."""
+
+
+class RaceConditionError(ReproError):
+    """The round-race detector found conflicting accesses within one round.
+
+    Two tasks of the same parallel round touched the same shadow cell and
+    at least one access was a plain (non-atomic) write.  Under the round
+    model this means the round's tasks are *not* independent, so the
+    simulated execution does not correspond to a race-free parallel one.
+
+    ``conflicts`` holds the :class:`~repro.checkers.races.Conflict` records
+    with task indices and object/field provenance.
+    """
+
+    def __init__(self, conflicts, where: str | None = None) -> None:
+        self.conflicts = list(conflicts)
+        self.where = where
+        head = f"{len(self.conflicts)} round-race conflict(s)"
+        if where:
+            head += f" in {where}"
+        lines = [head] + [f"  - {c.describe()}" for c in self.conflicts]
+        super().__init__("\n".join(lines))

@@ -7,7 +7,8 @@ check associativity-order independence.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from repro.runtime.cost_model import CostTracker, WorkDepth
 from repro.util import log2ceil

@@ -20,7 +20,7 @@ measured 1-thread runs only.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.util import geomean
 

@@ -33,11 +33,15 @@ analysis in Sections 3-4):
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import SchedulerError
 from repro.util import log2ceil
+
+if TYPE_CHECKING:
+    from repro.checkers.access import RoundRecorder
 
 __all__ = [
     "WorkDepth",
@@ -99,17 +103,21 @@ def combine_parallel(parts: Sequence[WorkDepth]) -> WorkDepth:
 class _Round:
     """Accumulator handed out by :meth:`CostTracker.parallel_round`."""
 
-    __slots__ = ("_work", "_depth", "_count")
+    __slots__ = ("_work", "_depth", "_count", "_recorder")
 
-    def __init__(self) -> None:
+    def __init__(self, recorder: "RoundRecorder | None" = None) -> None:
         self._work = 0.0
         self._depth = 0.0
         self._count = 0
+        self._recorder = recorder
 
     def task(self, work: float, depth: float | None = None) -> None:
         """Record one parallel task of the round.
 
-        ``depth`` defaults to ``work`` (a sequential task body).
+        ``depth`` defaults to ``work`` (a sequential task body).  Under a
+        race-checking tracker each ``task()`` call also closes the current
+        shadow-access segment: the accesses made since the previous call
+        belong to the task whose cost is charged here.
         """
         if depth is None:
             depth = work
@@ -117,6 +125,10 @@ class _Round:
         if depth > self._depth:
             self._depth = depth
         self._count += 1
+        rec = self._recorder
+        if rec is not None:
+            rec.end_task()
+            rec.begin_task(self._count, label=f"task {self._count}")
 
     def as_workdepth(self) -> WorkDepth:
         if self._count == 0:
@@ -129,12 +141,21 @@ class CostTracker:
 
     A disabled tracker (``CostTracker(enabled=False)``) accepts all calls as
     cheap no-ops so production paths can keep their instrumentation calls.
+
+    With ``race_check=True`` every :meth:`parallel_round` additionally runs
+    under the shadow access recorder of :mod:`repro.checkers.access`.  The
+    round's ``task(cost)`` calls double as task boundaries: the accesses
+    made since the previous ``task()`` call form the shadow set of the task
+    whose cost is being charged, accesses after the final ``task()`` call
+    are the round's (exempt) commit tail, and conflicting sets raise
+    :class:`~repro.errors.RaceConditionError` when the round closes.
     """
 
-    __slots__ = ("enabled", "_work", "_depth", "_open_rounds")
+    __slots__ = ("enabled", "race_check", "_work", "_depth", "_open_rounds")
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, race_check: bool = False) -> None:
         self.enabled = enabled
+        self.race_check = race_check
         self._work = 0.0
         self._depth = 0.0
         self._open_rounds = 0
@@ -181,22 +202,45 @@ class CostTracker:
 
 
 class _RoundContext:
-    __slots__ = ("_tracker", "_round")
+    __slots__ = ("_tracker", "_round", "_recorder")
 
     def __init__(self, tracker: CostTracker) -> None:
         self._tracker = tracker
         self._round: _Round | None = None
+        self._recorder: "RoundRecorder | None" = None
 
     def __enter__(self) -> _Round:
-        self._round = _Round()
+        recorder = None
+        if self._tracker.race_check:
+            from repro.checkers import access as _access
+
+            # A recorder already installed (nested round) keeps recording
+            # into the outer round's open task.
+            if _access.RECORDER is None:
+                recorder = _access.RoundRecorder(where="parallel_round")
+                _access.install(recorder)
+                recorder.begin_task(0, label="task 0")
+        self._recorder = recorder
+        self._round = _Round(recorder)
         self._tracker._open_rounds += 1
         return self._round
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         assert self._round is not None
         self._tracker._open_rounds -= 1
+        recorder = self._recorder
+        if recorder is not None:
+            from repro.checkers import access as _access
+            from repro.checkers.races import check_recorder
+
+            # The segment opened after the final task() charge is the
+            # round's commit tail: exempt by the round model.
+            recorder.drop_open_task()
+            _access.uninstall(recorder)
         if exc_type is None:
             self._tracker.add(self._round.as_workdepth())
+            if recorder is not None:
+                check_recorder(recorder)
 
 
 #: A shared always-disabled tracker for hot paths that want zero accounting.

@@ -20,8 +20,9 @@ degree + pairwise linking).
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
+from repro.checkers import access as _access
 from repro.errors import EmptyHeapError
 
 __all__ = ["BinomialHeap"]
@@ -60,10 +61,12 @@ class BinomialHeap:
 
     # -- basics -------------------------------------------------------------
     def __len__(self) -> int:
+        _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
+        _access.record_read(self, "heap")
         return self._size == 0
 
     @classmethod
@@ -76,17 +79,20 @@ class BinomialHeap:
         return heap
 
     def insert(self, key: int, item: object) -> None:
+        _access.record_write(self, "heap")
         node = _Node(key, item)
         self._roots = _merge_root_lists(self._roots, [node])
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
         """``(key, item)`` of the minimum element, without removing it."""
+        _access.record_read(self, "heap")
         node = self._min_root()
         return node.key, node.item
 
     def delete_min(self) -> tuple[int, object]:
         """Remove and return the minimum ``(key, item)``."""
+        _access.record_write(self, "heap")
         node = self._min_root()
         self._roots.remove(node)
         # Child chain is ordered by decreasing degree; reversing yields a
@@ -110,6 +116,8 @@ class BinomialHeap:
         """
         if other is self:
             raise ValueError("cannot meld a heap with itself")
+        _access.record_write(self, "heap")
+        _access.record_write(other, "heap")
         self._roots = _merge_root_lists(self._roots, other._roots)
         self._size += other._size
         other._roots = []
@@ -122,6 +130,7 @@ class BinomialHeap:
         The returned list is unsorted (callers sort by rank, as in the
         update-output step of Algs. 3-4).
         """
+        _access.record_write(self, "heap")
         removed: list[tuple[int, object]] = []
         survivors: list[_Node] = []
         for root in self._roots:
@@ -159,6 +168,7 @@ class BinomialHeap:
 
     def items(self) -> Iterator[tuple[int, object]]:
         """Iterate all ``(key, item)`` pairs in arbitrary order."""
+        _access.record_read(self, "heap")
         stack = list(self._roots)
         while stack:
             node = stack.pop()

@@ -12,8 +12,9 @@ paths cannot hit Python's recursion limit.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
+from repro.checkers import access as _access
 from repro.errors import EmptyHeapError
 
 __all__ = ["PairingHeap"]
@@ -51,10 +52,12 @@ class PairingHeap:
         self._size = 0
 
     def __len__(self) -> int:
+        _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
+        _access.record_read(self, "heap")
         return self._root is None
 
     @classmethod
@@ -65,15 +68,18 @@ class PairingHeap:
         return heap
 
     def insert(self, key: int, item: object) -> None:
+        _access.record_write(self, "heap")
         self._root = _meld_nodes(self._root, _PNode(key, item))
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
+        _access.record_read(self, "heap")
         if self._root is None:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
 
     def delete_min(self) -> tuple[int, object]:
+        _access.record_write(self, "heap")
         root = self._root
         if root is None:
             raise EmptyHeapError("heap is empty")
@@ -104,6 +110,8 @@ class PairingHeap:
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:
             raise ValueError("cannot meld a heap with itself")
+        _access.record_write(self, "heap")
+        _access.record_write(other, "heap")
         self._root = _meld_nodes(self._root, other._root)
         self._size += other._size
         other._root = None
@@ -111,6 +119,7 @@ class PairingHeap:
         return self
 
     def items(self) -> Iterator[tuple[int, object]]:
+        _access.record_read(self, "heap")
         if self._root is None:
             return
         stack = [self._root]

@@ -8,8 +8,9 @@ is the classic top-down skew-heap merge.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
+from repro.checkers import access as _access
 from repro.errors import EmptyHeapError
 
 __all__ = ["SkewHeap"]
@@ -57,10 +58,12 @@ class SkewHeap:
         self._size = 0
 
     def __len__(self) -> int:
+        _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
+        _access.record_read(self, "heap")
         return self._root is None
 
     @classmethod
@@ -71,15 +74,18 @@ class SkewHeap:
         return heap
 
     def insert(self, key: int, item: object) -> None:
+        _access.record_write(self, "heap")
         self._root = _merge(self._root, _SNode(key, item))
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
+        _access.record_read(self, "heap")
         if self._root is None:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
 
     def delete_min(self) -> tuple[int, object]:
+        _access.record_write(self, "heap")
         root = self._root
         if root is None:
             raise EmptyHeapError("heap is empty")
@@ -91,6 +97,8 @@ class SkewHeap:
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:
             raise ValueError("cannot meld a heap with itself")
+        _access.record_write(self, "heap")
+        _access.record_write(other, "heap")
         self._root = _merge(self._root, other._root)
         self._size += other._size
         other._root = None
@@ -98,6 +106,7 @@ class SkewHeap:
         return self
 
     def items(self) -> Iterator[tuple[int, object]]:
+        _access.record_read(self, "heap")
         if self._root is None:
             return
         stack = [self._root]

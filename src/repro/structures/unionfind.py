@@ -3,11 +3,20 @@
 Used by SeqUF (Kruskal-style merging), ParUF (Alg. 5's ``F``), the MST
 algorithms, and the brute-force test oracle.  Operation counters feed the
 work accounting (each find charges its true traversal length).
+
+Race instrumentation: when a :mod:`repro.checkers.access` recorder is
+installed, every ``parent``/``size`` cell touched is reported to the open
+task's shadow sets -- including the ``parent`` writes of path halving, so
+two same-round tasks whose finds overlap are detected.  The statistics
+counters (``finds``/``find_steps``/``unions``) are exempt by design: a
+real implementation keeps them in per-thread or atomic counters.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.checkers import access as _access
 
 __all__ = ["UnionFind"]
 
@@ -38,10 +47,25 @@ class UnionFind:
         parent = self._parent
         self.finds += 1
         steps = 0
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-            steps += 1
+        if _access.RECORDER is None:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+                steps += 1
+        else:
+            # Shadow-recorded variant: identical traversal and compression,
+            # with every parent-cell read/write reported.
+            while True:
+                p = int(parent[x])
+                _access.record_read(self, ("parent", int(x)))
+                if p == x:
+                    break
+                gp = int(parent[p])
+                _access.record_read(self, ("parent", p))
+                parent[x] = gp
+                _access.record_write(self, ("parent", int(x)))
+                x = gp
+                steps += 1
         self.find_steps += steps
         return int(x)
 
@@ -58,6 +82,11 @@ class UnionFind:
         size = self._size
         if size[ra] < size[rb]:
             ra, rb = rb, ra
+        if _access.RECORDER is not None:
+            _access.record_read(self, ("size", ra))
+            _access.record_read(self, ("size", rb))
+            _access.record_write(self, ("parent", rb))
+            _access.record_write(self, ("size", ra))
         self._parent[rb] = ra
         size[ra] += size[rb]
         self.unions += 1
@@ -69,7 +98,10 @@ class UnionFind:
 
     def set_size(self, x: int) -> int:
         """Number of elements in ``x``'s set."""
-        return int(self._size[self.find(x)])
+        root = self.find(x)
+        if _access.RECORDER is not None:
+            _access.record_read(self, ("size", root))
+        return int(self._size[root])
 
     def roots(self) -> np.ndarray:
         """Array of current set representatives (one per set)."""

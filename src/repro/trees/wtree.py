@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers import access as _access
 from repro.errors import InvalidTreeError, InvalidWeightsError
 from repro.trees.validation import validate_tree_edges, validate_weights
 from repro.trees.weights import ranks_of
@@ -108,7 +109,11 @@ class WeightedTree:
         All algorithms in this package compare edges by rank, matching the
         paper's deterministic tie-breaking assumption.
         """
+        _access.record_read(self, "ranks")
         if self._ranks is None:
+            # Idempotent lazy fill: same-value construction is benign under
+            # the round model (a real implementation guards it with a
+            # once-flag), so it is deliberately not recorded as a write.
             self._ranks = ranks_of(self.weights)
         return self._ranks
 
@@ -124,6 +129,7 @@ class WeightedTree:
         Vertex ``v``'s incident slots are ``offsets[v]:offsets[v+1]``;
         ``nbr_vertex[s]`` is the neighbor and ``nbr_edge[s]`` the edge id.
         """
+        _access.record_read(self, "adjacency")
         if self._adj_offsets is None:
             m = self.m
             endpoints = self.edges.reshape(-1)  # u0,v0,u1,v1,...

@@ -78,6 +78,20 @@ def arbitrary_weighted_trees(draw, min_n: int = 2, max_n: int = 24):
     return WeightedTree(n, edges, np.asarray(weights, dtype=np.float64))
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_race_recorder():
+    """Every test starts and ends with no shadow access recorder installed.
+
+    A leaked recorder would silently attribute one test's accesses to
+    another's round; failing here pinpoints the leaking test.
+    """
+    from repro.checkers import access
+
+    assert access.RECORDER is None, "a race recorder leaked into this test"
+    yield
+    assert access.RECORDER is None, "test leaked an installed race recorder"
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,26 @@
+"""Deliberately racy round fixture.
+
+``python -m repro check tests/fixtures/racy_round.py`` must exit nonzero:
+the two tasks union overlapping elements of a shared
+:class:`~repro.structures.unionfind.UnionFind`, so their shadow access
+sets collide on element 1's parent cell regardless of execution order
+(the round *completes* either way -- the bug is invisible without the
+detector, which is the point of the fixture).
+"""
+
+from repro.runtime.cost_model import WorkDepth
+from repro.structures.unionfind import UnionFind
+
+_UF = UnionFind(4)
+
+
+def _merge(a: int, b: int):
+    def task():
+        _UF.union(a, b)
+        return None, WorkDepth(1.0, 1.0)
+
+    return task
+
+
+def build_round():
+    return [_merge(0, 1), _merge(1, 2)]

@@ -1,0 +1,22 @@
+"""Deliberate RPR lint violations.
+
+``python -m repro check tests/fixtures/rpr_violations.py`` must exit
+nonzero: this file reads the wall clock (RPR001), draws unseeded global
+randomness (RPR002), and mutates WeightedTree payload (RPR004).
+"""
+
+import time
+
+import numpy as np
+
+
+def wall_clock_and_randomness():
+    t = time.time()
+    noise = np.random.rand(3)
+    rng = np.random.default_rng()
+    return t, noise, rng
+
+
+def mutate_tree(tree):
+    tree.weights[0] = 0.0
+    return tree

@@ -1,0 +1,449 @@
+"""Tests for repro.checkers: the round-race detector and the RPR lint."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.checkers import access
+from repro.checkers.access import RoundRecorder, commit_phase
+from repro.checkers.lint import lint_file, lint_paths, lint_source
+from repro.checkers.races import find_conflicts
+from repro.core.brute import brute_force_sld
+from repro.core.paruf_sync import paruf_sync
+from repro.core.rctt import rctt
+from repro.errors import RaceCheckError, RaceConditionError
+from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.runtime.scheduler import Scheduler
+from repro.structures.unionfind import UnionFind
+from repro.trees.weights import apply_scheme
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+# ---------------------------------------------------------------------------
+# Recorder semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_conflict_classification(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            rec.begin_task(0)
+            access.record_write("x", 0)
+            access.record_read("y", 1)
+            access.record_atomic("ctr", 0)
+            rec.begin_task(1)
+            access.record_write("x", 0)  # write-write with task 0
+            access.record_write("y", 1)  # read-write with task 0
+            access.record_read("ctr", 0)  # atomic-plain with task 0
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        kinds = {(c.kind, c.obj) for c in find_conflicts(rec.logs)}
+        assert ("write-write", "x") in kinds
+        assert ("read-write", "y") in kinds
+        assert ("atomic-plain", "ctr") in kinds
+
+    def test_atomic_atomic_never_conflicts(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            rec.begin_task(0)
+            access.record_atomic("ctr", 0)
+            rec.begin_task(1)
+            access.record_atomic("ctr", 0)
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        assert find_conflicts(rec.logs) == []
+
+    def test_reads_never_conflict(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            rec.begin_task(0)
+            access.record_read("x", 0)
+            rec.begin_task(1)
+            access.record_read("x", 0)
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        assert find_conflicts(rec.logs) == []
+
+    def test_same_task_never_conflicts_with_itself(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            rec.begin_task(0)
+            access.record_read("x", 0)
+            access.record_write("x", 0)
+            access.record_write("x", 0)
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        assert find_conflicts(rec.logs) == []
+
+    def test_commit_phase_exempts_accesses(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            rec.begin_task(0)
+            access.record_write("x", 0)
+            rec.begin_task(1)
+            with commit_phase():
+                access.record_write("x", 0)  # exempt: declared commit
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        assert find_conflicts(rec.logs) == []
+
+    def test_accesses_outside_any_task_are_exempt(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            access.record_write("x", 0)  # no open task: setup, exempt
+            rec.begin_task(0)
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        assert find_conflicts(rec.logs) == []
+
+    def test_nested_install_raises(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            with pytest.raises(RaceCheckError):
+                access.install(RoundRecorder())
+        finally:
+            access.uninstall(rec)
+
+    def test_uninstall_wrong_recorder_raises(self):
+        rec = RoundRecorder()
+        access.install(rec)
+        try:
+            with pytest.raises(RaceCheckError):
+                access.uninstall(RoundRecorder())
+        finally:
+            access.uninstall(rec)
+
+    def test_provenance_labels_in_report(self):
+        uf = UnionFind(4)
+        rec = RoundRecorder(where="unit round")
+        access.install(rec)
+        try:
+            rec.begin_task(0, label="task 0")
+            uf.union(0, 1)
+            rec.begin_task(1, label="task 1")
+            uf.union(1, 2)
+            rec.end_task()
+        finally:
+            access.uninstall(rec)
+        conflicts = find_conflicts(rec.logs)
+        assert conflicts
+        msg = str(RaceConditionError(conflicts, where="unit round"))
+        assert "unit round" in msg
+        assert "UnionFind" in msg
+        assert "task 0" in msg and "task 1" in msg
+
+
+# ---------------------------------------------------------------------------
+# Scheduler integration
+# ---------------------------------------------------------------------------
+
+
+def _noop_task(value):
+    def task():
+        return value, WorkDepth(1.0, 1.0)
+
+    return task
+
+
+class TestSchedulerRaceCheck:
+    def test_racy_round_is_caught(self):
+        uf = UnionFind(4)
+
+        def merge(a, b):
+            def task():
+                uf.union(a, b)
+                return None, WorkDepth(1.0, 1.0)
+
+            return task
+
+        sched = Scheduler(race_check=True)
+        with pytest.raises(RaceConditionError) as excinfo:
+            sched.run_round([merge(0, 1), merge(1, 2)], where="unit racy round")
+        assert "unit racy round" in str(excinfo.value)
+        assert access.RECORDER is None  # uninstalled even on raise
+
+    def test_disjoint_round_is_clean(self):
+        uf = UnionFind(4)
+
+        def merge(a, b):
+            def task():
+                uf.union(a, b)
+                return None, WorkDepth(1.0, 1.0)
+
+            return task
+
+        results = Scheduler(race_check=True).run_round([merge(0, 1), merge(2, 3)])
+        assert results == [None, None]
+
+    def test_recorder_uninstalled_when_task_raises(self):
+        def boom():
+            raise RuntimeError("task failure")
+
+        sched = Scheduler(race_check=True)
+        with pytest.raises(RuntimeError):
+            sched.run_round([boom])
+        assert access.RECORDER is None
+
+    def test_seeded_shuffle_reproducibility(self):
+        """Same seed => identical permutations AND identical charged cost."""
+
+        def orders_and_cost(seed):
+            tracker = CostTracker()
+            sched = Scheduler(tracker=tracker, shuffle=True, seed=seed)
+            orders = []
+            for _ in range(5):
+                sched.run_round([_noop_task(i) for i in range(8)])
+                orders.append(sched.last_order.copy())
+            return orders, (tracker.work, tracker.depth)
+
+        orders_a, cost_a = orders_and_cost(42)
+        orders_b, cost_b = orders_and_cost(42)
+        orders_c, _ = orders_and_cost(43)
+        for oa, ob in zip(orders_a, orders_b):
+            np.testing.assert_array_equal(oa, ob)
+        assert cost_a == cost_b
+        assert any(
+            not np.array_equal(oa, oc) for oa, oc in zip(orders_a, orders_c)
+        ), "different seeds should (generically) shuffle differently"
+
+    def test_shuffle_preserves_result_order(self):
+        sched = Scheduler(shuffle=True, seed=0)
+        results = sched.run_round([_noop_task(i) for i in range(16)])
+        assert results == list(range(16))
+        assert not np.array_equal(sched.last_order, np.arange(16))
+
+    def test_unshuffled_order_is_identity(self):
+        sched = Scheduler()
+        sched.run_round([_noop_task(i) for i in range(4)])
+        np.testing.assert_array_equal(sched.last_order, np.arange(4))
+
+
+class TestCostTrackerRaceHook:
+    def test_clean_round_passes_and_charges(self):
+        tracker = CostTracker(race_check=True)
+        with tracker.parallel_round() as rnd:
+            access.record_write("cell", 0)
+            rnd.task(3.0)
+            access.record_write("cell", 1)
+            rnd.task(2.0)
+        assert tracker.work == 5.0
+        assert tracker.depth == 4.0  # max(3,2) + log2ceil(2)
+        assert access.RECORDER is None
+
+    def test_racy_round_raises(self):
+        tracker = CostTracker(race_check=True)
+        with pytest.raises(RaceConditionError):
+            with tracker.parallel_round() as rnd:
+                access.record_write("cell", 7)
+                rnd.task(1.0)
+                access.record_write("cell", 7)
+                rnd.task(1.0)
+        assert access.RECORDER is None
+
+    def test_commit_tail_is_exempt(self):
+        tracker = CostTracker(race_check=True)
+        with tracker.parallel_round() as rnd:
+            access.record_write("cell", 0)
+            rnd.task(1.0)
+            access.record_write("cell", 1)
+            rnd.task(1.0)
+            # after the last task() charge: commit tail, exempt
+            access.record_write("cell", 0)
+            access.record_write("cell", 1)
+        assert access.RECORDER is None
+
+    def test_plain_tracker_has_no_recorder(self):
+        tracker = CostTracker()
+        with tracker.parallel_round() as rnd:
+            assert access.RECORDER is None
+            rnd.task(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Race-checked algorithms (regression: detector silent on correct code,
+# loud on a deliberately racy round)
+# ---------------------------------------------------------------------------
+
+
+class TestAlgorithmsUnderRaceCheck:
+    def test_paruf_sync_race_checked_and_cost_identical(self):
+        tree = make_tree("random", 40, seed=5).with_weights(
+            apply_scheme("perm", 39, seed=6)
+        )
+        t_plain, t_checked = CostTracker(), CostTracker()
+        plain = paruf_sync(tree, tracker=t_plain)
+        checked = paruf_sync(
+            tree, tracker=t_checked, race_check=True, shuffle=True, seed=9
+        )
+        np.testing.assert_array_equal(plain, checked)
+        np.testing.assert_array_equal(plain, brute_force_sld(tree))
+        assert (t_plain.work, t_plain.depth) == (t_checked.work, t_checked.depth)
+
+    def test_rctt_race_checked(self):
+        tree = make_tree("caterpillar", 30, seed=2).with_weights(
+            apply_scheme("perm", 29, seed=3)
+        )
+        np.testing.assert_array_equal(
+            rctt(tree, seed=1, race_check=True), brute_force_sld(tree)
+        )
+
+    def test_racy_fixture_is_caught(self):
+        from repro.checkers.runner import run_dynamic_fixture
+
+        failures = run_dynamic_fixture(FIXTURES / "racy_round.py")
+        assert len(failures) == 1
+        assert "conflict" in failures[0]
+
+
+# ---------------------------------------------------------------------------
+# RPR lint
+# ---------------------------------------------------------------------------
+
+
+class TestLint:
+    def codes(self, source, path):
+        return [d.code for d in lint_source(source, path)]
+
+    def test_rpr001_wall_clock(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert self.codes(src, "src/repro/core/x.py") == ["RPR001"]
+        assert self.codes(src, "src/repro/runtime/x.py") == []
+        assert self.codes(src, "src/repro/bench/x.py") == []
+
+    def test_rpr002_unseeded_randomness(self):
+        src = (
+            "import numpy as np\n"
+            "from numpy.random import default_rng\n\n"
+            "def f():\n"
+            "    a = np.random.rand(3)\n"
+            "    b = default_rng()\n"
+            "    c = default_rng(42)\n"
+            "    return a, b, c\n"
+        )
+        assert self.codes(src, "src/repro/core/x.py") == ["RPR002", "RPR002"]
+
+    def test_rpr002_stdlib_random(self):
+        src = "import random\n\ndef f():\n    return random.random()\n"
+        assert self.codes(src, "src/repro/core/x.py") == ["RPR002"]
+
+    def test_rpr003_tracker_threading(self):
+        missing = "def algo(tree):\n    return tree\n"
+        unused = "def algo(tree, tracker=None):\n    return tree\n"
+        used = (
+            "def algo(tree, tracker=None):\n"
+            "    if tracker is not None:\n"
+            "        tracker.sequential(1.0)\n"
+            "    return tree\n"
+        )
+        kwargs = "def algo(tree, **options):\n    return helper(tree, **options)\n"
+        private = "def _algo(tree):\n    return tree\n"
+        assert self.codes(missing, "src/repro/core/x.py") == ["RPR003"]
+        assert self.codes(unused, "src/repro/core/x.py") == ["RPR003"]
+        assert self.codes(used, "src/repro/core/x.py") == []
+        assert self.codes(kwargs, "src/repro/core/x.py") == []
+        assert self.codes(private, "src/repro/core/x.py") == []
+        # outside repro/core the rule does not apply
+        assert self.codes(missing, "src/repro/cluster/x.py") == []
+
+    def test_rpr004_tree_mutation(self):
+        src = "def f(tree):\n    tree.weights[0] = 1.0\n"
+        assert self.codes(src, "src/repro/dendrogram/x.py") == ["RPR004"]
+        assert self.codes(src, "src/repro/trees/x.py") == []
+        self_ok = "def f(self):\n    self.weights[0] = 1.0\n"
+        assert self.codes(self_ok, "src/repro/dendrogram/x.py") == []
+
+    def test_rpr005_undeclared_closure_store(self):
+        racy = (
+            "def outer(sched, xs):\n"
+            "    def task():\n"
+            "        xs[0] = 2\n"
+            "        return None\n"
+            "    sched.run_round([task])\n"
+        )
+        declared = (
+            "from repro.checkers.access import record_write\n\n"
+            "def outer(sched, xs):\n"
+            "    def task():\n"
+            "        record_write('xs', 0)\n"
+            "        xs[0] = 2\n"
+            "        return None\n"
+            "    sched.run_round([task])\n"
+        )
+        no_round = (
+            "def outer(xs):\n"
+            "    def helper():\n"
+            "        xs[0] = 2\n"
+            "    helper()\n"
+        )
+        assert self.codes(racy, "src/repro/core/x.py") == ["RPR005"]
+        assert self.codes(declared, "src/repro/core/x.py") == []
+        assert self.codes(no_round, "src/repro/core/x.py") == []
+
+    def test_noqa_suppression(self):
+        src = "import time\n\ndef f():\n    return time.time()  # noqa: RPR001\n"
+        assert self.codes(src, "src/repro/core/x.py") == []
+        bare = "import time\n\ndef f():\n    return time.time()  # noqa\n"
+        assert self.codes(bare, "src/repro/core/x.py") == []
+        wrong = "import time\n\ndef f():\n    return time.time()  # noqa: RPR002\n"
+        assert self.codes(wrong, "src/repro/core/x.py") == ["RPR001"]
+
+    def test_package_source_is_clean(self):
+        assert lint_paths([SRC]) == []
+
+    def test_violation_fixture_is_flagged(self):
+        codes = {d.code for d in lint_file(FIXTURES / "rpr_violations.py")}
+        assert "RPR001" in codes
+        assert "RPR002" in codes
+        assert "RPR004" in codes
+
+
+# ---------------------------------------------------------------------------
+# CLI / runner
+# ---------------------------------------------------------------------------
+
+
+class TestCheckCommand:
+    def test_default_check_passes(self, capsys):
+        from repro.checkers.runner import run_check
+
+        assert run_check() == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_racy_fixture_fails(self, capsys):
+        from repro.checkers.runner import run_check
+
+        assert run_check(paths=[str(FIXTURES / "racy_round.py")]) == 1
+        assert "conflict" in capsys.readouterr().out
+
+    def test_lint_fixture_fails(self, capsys):
+        from repro.checkers.runner import run_check
+
+        assert run_check(paths=[str(FIXTURES / "rpr_violations.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+
+    def test_cli_wiring(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", str(FIXTURES / "rpr_violations.py")]) == 1
+        capsys.readouterr()

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 from repro.cluster.graph_linkage import graph_single_linkage
 from repro.cluster.hac import LINKAGE_METHODS, nn_chain_linkage
 from repro.cluster.image import alpha_tree, grid_graph
-from repro.cluster.knn import pairwise_distances
 from repro.cluster.single_linkage import single_linkage
 from repro.dendrogram.cophenet import cophenetic_matrix
 from repro.dendrogram.lca import DendrogramIndex

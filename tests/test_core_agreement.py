@@ -88,6 +88,27 @@ def test_three_vertex_trees_exhaustive(algorithm):
         )
 
 
+RACE_CHECKED = ("paruf-sync", "rctt")
+
+
+@pytest.mark.parametrize("algorithm", RACE_CHECKED)
+@pytest.mark.parametrize("kind", sorted(TREE_KINDS))
+def test_race_checked_algorithms_match_oracle(algorithm, kind):
+    """The round-race detector stays silent on the real algorithms AND the
+    results still equal the oracle -- the machine check of the Lemma 4.1
+    round-independence argument."""
+    from repro.core.paruf_sync import paruf_sync
+    from repro.core.rctt import rctt
+
+    tree = make_tree(kind, 23, seed=7).with_weights(apply_scheme("perm", 22, seed=11))
+    expected = brute_force_sld(tree)
+    if algorithm == "paruf-sync":
+        got = paruf_sync(tree, race_check=True, shuffle=True, seed=3)
+    else:
+        got = rctt(tree, seed=3, race_check=True)
+    np.testing.assert_array_equal(got, expected)
+
+
 def test_api_returns_validated_dendrogram():
     tree = make_tree("knuth", 30, seed=3).with_weights(apply_scheme("perm", 29, seed=4))
     dend = single_linkage_dendrogram(tree, algorithm="rctt", validate=True)

@@ -9,7 +9,6 @@ directly -- a much sharper check than output agreement alone.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
