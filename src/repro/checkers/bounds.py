@@ -1,0 +1,274 @@
+"""Declared asymptotic cost bounds: the ``@cost_bound`` contract layer.
+
+The paper's results are *asymptotic* -- Theorem 3.7 (SLD-TreeContraction:
+``O(n log h)`` work, polylog depth), Theorem 4.3 (ParUF), Section 4.2
+(RCTT), Lemma 3.6 (the ``Omega(n log h)`` lower bound).  This module lets
+every implementation *declare* the bound it claims, in a tiny closed
+expression grammar, so that two independent verifiers can hold it to the
+claim:
+
+* the static lint (:mod:`repro.checkers.lint`, codes RPR101..RPR105)
+  checks declarations structurally -- presence, parseability, loop shape,
+  recursion shape;
+* the empirical fit gate (:mod:`repro.checkers.fit`) runs the algorithm
+  over a size ladder and rejects measured work/depth that grows faster
+  than the declared bound.
+
+Grammar
+-------
+A bound expression is arithmetic (``+ - * / **``, numeric literals,
+parentheses) over the declared variables and the functions ``log``/
+``log2`` (both base-2), ``sqrt``, ``min`` and ``max``.  Conventional
+variables: ``n`` (vertices), ``m`` (edges), ``h`` (dendrogram height),
+``s`` (container size), ``k`` (filtered/removed count).
+
+Evaluation clamps every ``log`` to at least ``1`` (``log(x) :=
+log2(x) if x >= 2 else 1``), so a declared ``n * log(h)`` is well-defined
+-- and nonzero -- on degenerate inputs with ``h <= 1``; the fit layer
+never divides by ``log(1) = 0``.
+
+The decorator stores the parsed bound on the function
+(``fn.__cost_bound__``) and in the central :data:`REGISTRY`; it does
+**not** wrap the function -- zero call-time overhead, signatures and
+introspection untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+__all__ = [
+    "BoundParseError",
+    "BoundExpr",
+    "CostBound",
+    "cost_bound",
+    "parse_bound_expr",
+    "get_bound",
+    "registered_bounds",
+    "safe_log2",
+    "REGISTRY",
+    "BOUND_KINDS",
+]
+
+#: Recognized declaration kinds.  ``"algorithm"`` entries are eligible for
+#: the empirical fit gate and the structural loop/recursion lint;
+#: ``"structure_op"`` marks per-operation data-structure bounds (heap ops),
+#: ``"helper"`` marks internal subroutines declared for RPR105, and
+#: ``"dispatcher"`` marks entry points whose bound is the sup over the
+#: algorithms they can select.
+BOUND_KINDS = ("algorithm", "structure_op", "helper", "dispatcher")
+
+
+class BoundParseError(ValueError):
+    """A declared bound expression failed to parse or used unknown names."""
+
+
+def safe_log2(x: float) -> float:
+    """Base-2 log clamped to at least 1 (``log(1)`` must never be 0)."""
+    return math.log2(x) if x >= 2.0 else 1.0
+
+
+def _safe_sqrt(x: float) -> float:
+    return math.sqrt(x) if x > 0.0 else 0.0
+
+
+_ALLOWED_FUNCS: dict[str, Callable[..., float]] = {
+    "log": safe_log2,
+    "log2": safe_log2,
+    "sqrt": _safe_sqrt,
+    "min": min,
+    "max": max,
+}
+
+_ALLOWED_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Pow)
+_ALLOWED_UNARYOPS = (ast.USub, ast.UAdd)
+
+
+def _validate_node(node: ast.expr, variables: tuple[str, ...], src: str) -> None:
+    """Recursively whitelist-check one expression node."""
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, (int, float)):
+            raise BoundParseError(f"non-numeric constant {node.value!r} in bound {src!r}")
+        return
+    if isinstance(node, ast.Name):
+        if node.id not in variables:
+            raise BoundParseError(
+                f"bound {src!r} references {node.id!r}, not among declared vars {variables}"
+            )
+        return
+    if isinstance(node, ast.BinOp):
+        if not isinstance(node.op, _ALLOWED_BINOPS):
+            raise BoundParseError(f"operator {type(node.op).__name__} not allowed in bound {src!r}")
+        _validate_node(node.left, variables, src)
+        _validate_node(node.right, variables, src)
+        return
+    if isinstance(node, ast.UnaryOp):
+        if not isinstance(node.op, _ALLOWED_UNARYOPS):
+            raise BoundParseError(f"operator {type(node.op).__name__} not allowed in bound {src!r}")
+        _validate_node(node.operand, variables, src)
+        return
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_FUNCS:
+            raise BoundParseError(
+                f"bound {src!r} calls a function other than {sorted(_ALLOWED_FUNCS)}"
+            )
+        if node.keywords:
+            raise BoundParseError(f"keyword arguments not allowed in bound {src!r}")
+        if not node.args:
+            raise BoundParseError(f"empty call {node.func.id}() in bound {src!r}")
+        for arg in node.args:
+            _validate_node(arg, variables, src)
+        return
+    raise BoundParseError(f"disallowed syntax {type(node).__name__} in bound {src!r}")
+
+
+def _names_all_logged(node: ast.expr, inside_log: bool) -> bool:
+    """True iff every variable occurrence sits inside a ``log``/``log2`` call."""
+    if isinstance(node, ast.Name):
+        return inside_log
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        entering = inside_log or node.func.id in ("log", "log2")
+        return all(_names_all_logged(a, entering) for a in node.args)
+    return all(
+        _names_all_logged(child, inside_log)
+        for child in ast.iter_child_nodes(node)
+        if isinstance(child, ast.expr)
+    )
+
+
+@dataclass(frozen=True)
+class BoundExpr:
+    """One parsed, validated bound expression."""
+
+    src: str
+    variables: tuple[str, ...]
+    _code: Any = field(repr=False, compare=False, default=None)
+
+    def evaluate(self, **env: float) -> float:
+        """Evaluate at a concrete point; unknown extra vars are ignored."""
+        scope: dict[str, Any] = {name: env[name] for name in self.variables}
+        scope.update(_ALLOWED_FUNCS)
+        return float(eval(self._code, {"__builtins__": {}}, scope))
+
+    @property
+    def is_polylog(self) -> bool:
+        """True iff every variable appears only under a ``log`` call.
+
+        ``log(n)**2`` is polylog; ``n * log(h)`` and ``h`` are not.
+        """
+        node = ast.parse(self.src, mode="eval").body
+        return _names_all_logged(node, False)
+
+
+def parse_bound_expr(src: str, variables: tuple[str, ...]) -> BoundExpr:
+    """Parse and validate one bound expression against its declared vars."""
+    if not isinstance(src, str) or not src.strip():
+        raise BoundParseError(f"bound expression must be a non-empty string, got {src!r}")
+    try:
+        tree = ast.parse(src, mode="eval")
+    except SyntaxError as exc:
+        raise BoundParseError(f"bound {src!r} does not parse: {exc.msg}") from None
+    _validate_node(tree.body, variables, src)
+    code = compile(tree, filename=f"<bound {src!r}>", mode="eval")
+    return BoundExpr(src, tuple(variables), code)
+
+
+@dataclass(frozen=True)
+class CostBound:
+    """A declared work/depth bound attached to one function."""
+
+    name: str  #: registry key, ``module.qualname``
+    work: BoundExpr
+    depth: BoundExpr
+    variables: tuple[str, ...]
+    kind: str = "algorithm"
+    theorem: str = ""  #: paper statement this bound encodes (for reports/docs)
+
+    def evaluate_work(self, **env: float) -> float:
+        return self.work.evaluate(**env)
+
+    def evaluate_depth(self, **env: float) -> float:
+        return self.depth.evaluate(**env)
+
+    def describe(self) -> str:
+        src = f"W = O({self.work.src}), D = O({self.depth.src})"
+        return f"{src} [{self.theorem}]" if self.theorem else src
+
+
+#: Central registry: ``module.qualname`` -> :class:`CostBound`.  Populated
+#: as the annotated modules import; :func:`registered_bounds` imports the
+#: annotated layers first so the view is complete.
+REGISTRY: dict[str, CostBound] = {}
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def cost_bound(
+    *,
+    work: str,
+    depth: str,
+    vars: tuple[str, ...] = ("n",),
+    kind: str = "algorithm",
+    theorem: str = "",
+) -> Callable[[_F], _F]:
+    """Declare the asymptotic work/depth bound of the decorated function.
+
+    Parameters
+    ----------
+    work, depth:
+        Bound expressions in the module grammar (see module docstring),
+        e.g. ``work="n * log(h)", depth="log(n)**2"``.
+    vars:
+        Variable names the expressions may reference.
+    kind:
+        One of :data:`BOUND_KINDS`; only ``"algorithm"`` entries are run
+        by the empirical fit gate.
+    theorem:
+        The paper statement the bound encodes (``"Theorem 3.7"`` ...).
+
+    The decorator validates the expressions eagerly (a bad declaration
+    fails at import, mirroring lint code RPR104), registers the bound,
+    and returns the function unchanged.
+    """
+    if kind not in BOUND_KINDS:
+        raise BoundParseError(f"unknown bound kind {kind!r}; expected one of {BOUND_KINDS}")
+    variables = tuple(vars)
+    work_expr = parse_bound_expr(work, variables)
+    depth_expr = parse_bound_expr(depth, variables)
+
+    def decorate(fn: _F) -> _F:
+        name = f"{fn.__module__}.{fn.__qualname__}"
+        bound = CostBound(name, work_expr, depth_expr, variables, kind, theorem)
+        fn.__cost_bound__ = bound  # type: ignore[attr-defined]
+        REGISTRY[name] = bound
+        return fn
+
+    return decorate
+
+
+def get_bound(target: Callable[..., Any] | str) -> CostBound | None:
+    """Look up the declared bound of a function (or registry key)."""
+    if isinstance(target, str):
+        return REGISTRY.get(target)
+    return getattr(target, "__cost_bound__", None)
+
+
+def registered_bounds(import_annotated: bool = True) -> Mapping[str, CostBound]:
+    """A read-only view of every registered bound.
+
+    With ``import_annotated`` (the default) the annotated layers are
+    imported first, so the registry is fully populated even when the
+    caller has not touched :mod:`repro.core` yet.
+    """
+    if import_annotated:
+        import repro.contraction  # noqa: F401
+        import repro.core  # noqa: F401
+        import repro.structures.binomial_heap  # noqa: F401
+        import repro.structures.pairing_heap  # noqa: F401
+        import repro.structures.skew_heap  # noqa: F401
+        import repro.structures.unionfind  # noqa: F401
+    return dict(REGISTRY)

@@ -22,8 +22,32 @@ that the reproduction depends on:
   state unless the body declares its footprint via
   ``record_write``/``record_atomic``/``commit_phase``.
 
-Suppression: a ``# noqa: RPR00x`` (or bare ``# noqa``) comment on the
-flagged line silences the diagnostic, same convention as flake8/ruff.
+The RPR1xx block enforces the cost-bound contract of
+:mod:`repro.checkers.bounds`:
+
+* **RPR101** -- a public module-level function in ``repro/core/`` or
+  ``repro/contraction/`` whose first parameter is ``tree`` (an exported
+  algorithm) must declare its work/depth via ``@cost_bound``.
+* **RPR102** -- a ``kind="algorithm"`` function whose declared *depth* is
+  polylogarithmic must not contain a bare ``for``/``while`` over
+  input-sized data.  Loops are exempt inside ``with ...parallel_round()``
+  blocks, when iterating contraction ``.rounds``, or when bounded by
+  ``range(...)`` of ``log2ceil``/``bit_length``/constant expressions;
+  only the outermost offending loop is flagged, and anything nested in an
+  exempt region is exempt.
+* **RPR103** -- a self-recursive call inside a ``@cost_bound`` function
+  must syntactically shrink: at least one argument has to be something
+  other than a bare parameter name (or constant) of the function itself.
+* **RPR104** -- ``@cost_bound`` expressions must parse under the bound
+  grammar and reference only the declared ``vars``.
+* **RPR105** -- a ``kind="algorithm"`` function must not call a
+  same-module, module-level helper that contains loops but declares no
+  bound of its own (undeclared cost escape hatch).
+
+Suppression: a ``# noqa: RPR00x`` (or bare ``# noqa``) comment anywhere
+on the flagged *logical* line silences the diagnostic, same convention as
+flake8/ruff.  For a statement spanning several physical lines, a ``noqa``
+on the first line suppresses findings reported on continuation lines too.
 """
 
 from __future__ import annotations
@@ -35,9 +59,22 @@ import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.checkers.bounds import BoundParseError, parse_bound_expr
+
 __all__ = ["LintDiagnostic", "lint_source", "lint_file", "lint_paths", "ALL_CODES"]
 
-ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+ALL_CODES = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR101",
+    "RPR102",
+    "RPR103",
+    "RPR104",
+    "RPR105",
+)
 
 #: Layers allowed to read clocks and draw unseeded randomness.
 _EXEMPT_LAYERS = ("repro/runtime/", "repro/bench/")
@@ -106,22 +143,72 @@ class LintDiagnostic:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
+def _parse_noqa(comment: str) -> tuple[bool, set[str] | None] | None:
+    """``(found, codes)`` for a comment; ``codes is None`` means bare noqa."""
+    m = _NOQA_RE.search(comment)
+    if not m:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return True, None
+    return True, {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
 def _noqa_lines(source: str) -> dict[int, set[str] | None]:
-    """Map line number -> suppressed codes (``None`` means all codes)."""
+    """Map line number -> suppressed codes (``None`` means all codes).
+
+    A noqa applies to every physical line of the *logical* line (the
+    statement) it sits on, so a directive on the first line of a
+    multi-line call suppresses diagnostics reported against the
+    continuation lines.  A noqa on a standalone comment line applies to
+    that line only.
+    """
     out: dict[int, set[str] | None] = {}
+
+    def add(line: int, codes: set[str] | None) -> None:
+        if line in out and codes is not None:
+            prev = out[line]
+            out[line] = None if prev is None else prev | codes
+        elif line in out:
+            out[line] = None
+        else:
+            out[line] = codes
+
+    _skip = (
+        tokenize.NEWLINE,
+        tokenize.NL,
+        tokenize.COMMENT,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    )
+    span_start: int | None = None
+    span_end = 0
+    pending: list[set[str] | None] = []
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                parsed = _parse_noqa(tok.string)
+                if parsed is not None:
+                    if span_start is None:
+                        add(tok.start[0], parsed[1])  # standalone comment line
+                    else:
+                        pending.append(parsed[1])
                 continue
-            m = _NOQA_RE.search(tok.string)
-            if not m:
+            if tok.type == tokenize.NEWLINE:
+                if span_start is not None and pending:
+                    for codes in pending:
+                        for line in range(span_start, max(span_end, tok.start[0]) + 1):
+                            add(line, codes)
+                span_start = None
+                pending = []
                 continue
-            codes = m.group("codes")
-            if codes is None:
-                out[tok.start[0]] = None
-            else:
-                out[tok.start[0]] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+            if tok.type in _skip:
+                continue
+            if span_start is None:
+                span_start = tok.start[0]
+            span_end = tok.end[0]
     except tokenize.TokenError:
         pass
     return out
@@ -426,6 +513,285 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# ---------------------------------------------------------------------------
+# RPR101..RPR105: the cost-bound contract (static side)
+# ---------------------------------------------------------------------------
+
+#: Layers whose exported algorithms must declare bounds (RPR101).
+_BOUND_REQUIRED_LAYERS = ("repro/core/", "repro/contraction/")
+
+#: Call names whose arguments are O(log input) by construction (RPR102).
+_LOG_SIZED_CALLS = {"log2ceil", "bit_length", "log", "log2"}
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _find_cost_bound(node: _FunctionNode) -> tuple[bool, ast.Call | None]:
+    """Whether ``node`` carries ``@cost_bound`` and the decorator Call."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id
+        else:
+            continue
+        if name == "cost_bound":
+            return True, dec if isinstance(dec, ast.Call) else None
+    return False, None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _literal_vars(call: ast.Call) -> tuple[str, ...] | None:
+    """The ``vars=`` tuple if it is a literal; ``("n",)`` if omitted."""
+    node = _keyword(call, "vars")
+    if node is None:
+        return ("n",)
+    if isinstance(node, (ast.Tuple, ast.List)) and all(
+        isinstance(e, ast.Constant) and isinstance(e.value, str) for e in node.elts
+    ):
+        return tuple(e.value for e in node.elts)
+    return None
+
+
+def _bound_kind(call: ast.Call) -> str:
+    node = _keyword(call, "kind")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return "algorithm"
+
+
+def _is_parallel_round_ctx(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "parallel_round"
+    )
+
+
+def _log_bounded(expr: ast.expr) -> bool:
+    """True if every name in ``expr`` feeds a log-sized call (RPR102)."""
+    permitted: set[int] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            func = node.func
+            fname = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if fname in _LOG_SIZED_CALLS:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        permitted.add(id(sub))
+    return all(
+        id(node) in permitted
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name)
+    )
+
+
+def _exempt_for_iter(expr: ast.expr) -> bool:
+    """Iterables a polylog-depth loop may traverse without a finding."""
+    if isinstance(expr, ast.Attribute) and expr.attr == "rounds":
+        return True  # contraction round list: O(log n) entries whp
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id == "range":
+            return all(_log_bounded(a) for a in expr.args)
+        if expr.func.id in ("enumerate", "reversed") and expr.args:
+            return _exempt_for_iter(expr.args[0])
+    return False
+
+
+def _stmt_lists(node: ast.stmt):
+    for field in ("body", "orelse", "finalbody"):
+        val = getattr(node, field, None)
+        if val:
+            yield val
+    for handler in getattr(node, "handlers", []) or []:
+        yield handler.body
+    for case in getattr(node, "cases", []) or []:
+        yield case.body
+
+
+def _flag_sequential_loops(stmts: list[ast.stmt], flag) -> None:
+    """Report outermost un-combinator-wrapped loops (RPR102 core walk)."""
+    for node in stmts:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested defs are charged at their call sites
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_is_parallel_round_ctx(item.context_expr) for item in node.items):
+                continue  # combinator-charged region: everything inside exempt
+            _flag_sequential_loops(node.body, flag)
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if not _exempt_for_iter(node.iter):
+                flag(node)  # outermost only: nested loops share the finding
+            continue
+        if isinstance(node, ast.While):
+            flag(node)
+            continue
+        for sub in _stmt_lists(node):
+            _flag_sequential_loops(sub, flag)
+
+
+def _check_bound_contracts(module: ast.Module, path: str) -> list[LintDiagnostic]:
+    """The RPR101..RPR105 pass over one parsed module."""
+    diags: list[LintDiagnostic] = []
+    norm = path.replace("\\", "/")
+
+    def report(node: ast.AST, code: str, message: str) -> None:
+        diags.append(
+            LintDiagnostic(
+                path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                code,
+                message,
+            )
+        )
+
+    module_fns: dict[str, _FunctionNode] = {
+        stmt.name: stmt
+        for stmt in module.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    all_fns = [
+        n for n in ast.walk(module) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+    # -- RPR104 + bound metadata collection --------------------------------
+    bounded: dict[int, tuple[_FunctionNode, str, bool]] = {}  # id -> (fn, kind, polylog depth)
+    for fn in all_fns:
+        has_bound, call = _find_cost_bound(fn)
+        if not has_bound:
+            continue
+        if call is None:
+            report(fn, "RPR104", f"@cost_bound on {fn.name}() must be called with work=/depth=")
+            continue
+        variables = _literal_vars(call)
+        kind = _bound_kind(call)
+        polylog_depth = False
+        for field in ("work", "depth"):
+            node = _keyword(call, field)
+            if node is None:
+                report(call, "RPR104", f"@cost_bound on {fn.name}() is missing {field}=")
+                continue
+            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                continue  # computed expression: checked at import time instead
+            if variables is None:
+                continue  # non-literal vars=: cannot validate statically
+            try:
+                expr = parse_bound_expr(node.value, variables)
+            except BoundParseError as exc:
+                report(node, "RPR104", f"invalid {field} bound on {fn.name}(): {exc}")
+                continue
+            if field == "depth":
+                polylog_depth = expr.is_polylog
+        bounded[id(fn)] = (fn, kind, polylog_depth)
+
+    # -- RPR101: exported algorithms must declare --------------------------
+    if any(layer in norm for layer in _BOUND_REQUIRED_LAYERS):
+        for name, fn in module_fns.items():
+            if name.startswith("_"):
+                continue
+            positional = list(fn.args.posonlyargs) + list(fn.args.args)
+            if not positional or positional[0].arg != "tree":
+                continue
+            if id(fn) not in bounded and not _find_cost_bound(fn)[0]:
+                report(
+                    fn,
+                    "RPR101",
+                    f"public algorithm {name}() declares no @cost_bound "
+                    "(work/depth contract required in repro/core and repro/contraction)",
+                )
+
+    # -- RPR102: polylog depth forbids bare sequential loops ---------------
+    for fn, kind, polylog_depth in bounded.values():
+        if kind != "algorithm" or not polylog_depth:
+            continue
+
+        def flag(loop: ast.stmt, fn: _FunctionNode = fn) -> None:
+            word = "while" if isinstance(loop, ast.While) else "for"
+            report(
+                loop,
+                "RPR102",
+                f"{fn.name}() declares polylog depth but runs a bare {word} "
+                "loop; wrap it in a charged combinator (parallel_round, "
+                ".rounds, log-bounded range) or noqa with a justification",
+            )
+
+        _flag_sequential_loops(fn.body, flag)
+
+    # -- RPR103: recursion must syntactically shrink -----------------------
+    for fn, _kind, _ in bounded.values():
+        params = {
+            a.arg
+            for a in (
+                list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+            )
+        }
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_self_call = (isinstance(func, ast.Name) and func.id == fn.name) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == fn.name
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            )
+            if not is_self_call:
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            shrinks = any(
+                not (
+                    (isinstance(v, ast.Name) and v.id in params)
+                    or isinstance(v, ast.Constant)
+                )
+                for v in values
+            )
+            if not shrinks:
+                report(
+                    node,
+                    "RPR103",
+                    f"recursive call to {fn.name}() passes only unmodified "
+                    "parameters; recursion in a bounded function must shrink "
+                    "its argument",
+                )
+
+    # -- RPR105: no cost escape through undeclared loopy helpers -----------
+    loopy_unbound = {
+        name
+        for name, helper in module_fns.items()
+        if not _find_cost_bound(helper)[0]
+        and any(
+            isinstance(x, (ast.For, ast.AsyncFor, ast.While)) for x in ast.walk(helper)
+        )
+    }
+    for fn, kind, _ in bounded.values():
+        if kind != "algorithm":
+            continue
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in loopy_unbound
+            ):
+                report(
+                    node,
+                    "RPR105",
+                    f"{fn.name}() calls {node.func.id}(), a loopy module "
+                    "helper with no declared bound; annotate the helper with "
+                    "@cost_bound or charge the cost inline",
+                )
+    return diags
+
+
 def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
     """Lint one source string; returns the surviving (non-noqa) findings."""
     norm = path.replace("\\", "/")
@@ -441,6 +807,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
     checker = _Checker(norm, exempt_dynamic)
     checker.visit(tree)
     checker.finalize()
+    checker.diagnostics.extend(_check_bound_contracts(tree, norm))
     suppressed = _noqa_lines(source)
     out = []
     for d in checker.diagnostics:

@@ -20,18 +20,36 @@ Composes the two checker layers into one pass/fail gate:
   under ``Scheduler(race_check=True, shuffle=True, seed=0)``; a detected
   race fails the check.
 
-Exit status is 0 iff every selected layer is clean.
+* **Bounds fit gate** (``--bounds``) -- :func:`repro.checkers.fit.run_fit`
+  over every registered ``kind="algorithm"`` cost bound; the full report
+  is written to ``results/bounds_report.json`` for the CI artifact.
+
+Exit-code contract (stable; CI and the tests rely on it):
+
+* ``0`` -- every selected layer is clean;
+* ``1`` -- at least one finding: lint diagnostics, race failures, or
+  bound fits over tolerance;
+* ``2`` -- usage error (a given path does not exist); no checks ran.
+
+``--json`` replaces the line-oriented output with one JSON object
+(``{"lint": ..., "races": ..., "bounds": ..., "ok": ..., "exit_code": ...}``)
+on stdout; the exit code is unchanged.
 """
 
 from __future__ import annotations
 
+import json
 import runpy
 from pathlib import Path
+from typing import Any
 
 from repro.checkers.lint import LintDiagnostic, lint_paths
 from repro.errors import RaceConditionError
 
-__all__ = ["run_check", "run_race_battery", "run_dynamic_fixture"]
+__all__ = ["run_check", "run_race_battery", "run_dynamic_fixture", "DEFAULT_BOUNDS_REPORT"]
+
+#: Where ``--bounds`` writes its JSON artifact unless overridden.
+DEFAULT_BOUNDS_REPORT = "results/bounds_report.json"
 
 
 def _package_root() -> Path:
@@ -142,21 +160,37 @@ def run_check(
     paths: list[str] | None = None,
     lint: bool = True,
     races: bool = True,
+    bounds: bool = False,
+    json_output: bool = False,
+    bounds_report: str | Path = DEFAULT_BOUNDS_REPORT,
 ) -> int:
-    """Run the selected checker layers; print a report; return exit status."""
+    """Run the selected checker layers; print a report; return exit status.
+
+    See the module docstring for the exit-code contract.
+    """
     explicit = bool(paths)
     targets = [Path(p) for p in paths] if paths else [_package_root()]
     missing = [t for t in targets if not t.exists()]
     if missing:
-        for t in missing:
-            print(f"repro check: no such file or directory: {t}")
+        if json_output:
+            print(
+                json.dumps(
+                    {"error": [f"no such file or directory: {t}" for t in missing],
+                     "ok": False, "exit_code": 2}
+                )
+            )
+        else:
+            for t in missing:
+                print(f"repro check: no such file or directory: {t}")
         return 2
+
+    emit = (lambda *a, **k: None) if json_output else print
 
     diagnostics: list[LintDiagnostic] = []
     if lint:
         diagnostics = lint_paths(list(targets))
         for d in diagnostics:
-            print(d.format())
+            emit(d.format())
 
     race_failures: list[str] = []
     if races:
@@ -167,12 +201,43 @@ def run_check(
         else:
             race_failures = run_race_battery()
         for f in race_failures:
-            print(f"RACE {f}")
+            emit(f"RACE {f}")
+
+    fit_report = None
+    if bounds:
+        from repro.checkers.fit import run_fit
+
+        fit_report = run_fit()
+        artifact = fit_report.write_json(bounds_report)
+        emit(fit_report.summary())
+        emit(f"bounds report written to {artifact}")
 
     n_lint = len(diagnostics)
     n_race = len(race_failures)
-    if n_lint == 0 and n_race == 0:
+    n_bound = len(fit_report.failures) if fit_report is not None else 0
+    ok = n_lint == 0 and n_race == 0 and n_bound == 0
+    exit_code = 0 if ok else 1
+
+    if json_output:
+        payload: dict[str, Any] = {
+            "lint": {
+                "enabled": lint,
+                "count": n_lint,
+                "findings": [vars(d) | {} for d in diagnostics],
+            },
+            "races": {"enabled": races, "count": n_race, "failures": race_failures},
+            "bounds": fit_report.to_dict() if fit_report is not None else None,
+            "ok": ok,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2))
+        return exit_code
+
+    if ok:
         print("repro check: OK")
         return 0
-    print(f"repro check: {n_lint} lint finding(s), {n_race} race failure(s)")
+    parts = [f"{n_lint} lint finding(s)", f"{n_race} race failure(s)"]
+    if fit_report is not None:
+        parts.append(f"{n_bound} bound fit(s) over tolerance")
+    print(f"repro check: {', '.join(parts)}")
     return 1

@@ -103,6 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--no-races", action="store_true", help="skip the dynamic race checks"
     )
+    check.add_argument(
+        "--bounds",
+        action="store_true",
+        help="run the empirical cost-bound fit gate over registered algorithms",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit one JSON report object instead of line-oriented output",
+    )
+    check.add_argument(
+        "--bounds-report",
+        default=None,
+        metavar="PATH",
+        help="where --bounds writes its JSON artifact "
+        "(default: results/bounds_report.json)",
+    )
     return parser
 
 
@@ -278,12 +296,15 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from repro.checkers.runner import run_check
+    from repro.checkers.runner import DEFAULT_BOUNDS_REPORT, run_check
 
     return run_check(
         paths=list(args.paths) or None,
         lint=not args.no_lint,
         races=not args.no_races,
+        bounds=args.bounds,
+        json_output=args.json_output,
+        bounds_report=args.bounds_report or DEFAULT_BOUNDS_REPORT,
     )
 
 

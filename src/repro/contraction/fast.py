@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
 from repro.contraction.schedule import CompressEvent, RakeEvent
 from repro.runtime.cost_model import CostTracker, WorkDepth
@@ -45,6 +46,13 @@ from repro.util import check_random_state, log2ceil
 __all__ = ["build_rc_tree_fast"]
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="log(n)**2",
+    vars=("n",),
+    theorem="randomized Miller-Reif contraction, vectorized rounds: same "
+    "charged schedule costs as the reference builder",
+)
 def build_rc_tree_fast(
     tree: WeightedTree,
     seed: int | np.random.Generator | None = 0,
@@ -113,7 +121,9 @@ def build_rc_tree_fast(
         np.add.at(edge_sum, owner, edge)
         np.add.at(cross_sum, owner, nbr * edge)
 
-    while alive_count > 1:
+    # O(log n) rounds whp; each iteration is one synchronous vectorized
+    # round, charged to the tracker per round.
+    while alive_count > 1:  # noqa: RPR102
         # ---------------- rake round ----------------
         leaves = np.flatnonzero(alive & (deg == 1))
         if leaves.size:

@@ -24,6 +24,7 @@ from typing import TypeVar
 import numpy as np
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 from repro.checkers.races import check_recorder
 from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
 from repro.runtime.cost_model import CostTracker, WorkDepth
@@ -66,6 +67,13 @@ class CompressEvent:
 _E = TypeVar("_E")
 
 
+@cost_bound(
+    work="k",
+    depth="log(k)",
+    vars=("k",),
+    kind="helper",
+    theorem="one synchronous commit round over k independent events",
+)
 def _run_commit_round(
     events: Sequence[_E],
     commit: Callable[[_E], None],
@@ -99,6 +107,13 @@ def _run_commit_round(
     check_recorder(recorder)
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="log(n)**2",
+    vars=("n",),
+    theorem="randomized Miller-Reif contraction: O(log n) rounds whp, the "
+    "candidate scan per round is charged against the shrinking frontier",
+)
 def build_rc_tree(
     tree: WeightedTree,
     seed: int | np.random.Generator | None = 0,
@@ -142,7 +157,9 @@ def build_rc_tree(
         priority = np.arange(n, dtype=np.int64)
 
     adj: list[dict[int, int]] = [dict() for _ in range(n)]
-    for e in range(tree.m):
+    # Adjacency build: a flat parallel scatter in the model (O(1) depth per
+    # edge); the host loop is sequential bookkeeping only.
+    for e in range(tree.m):  # noqa: RPR102
         u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
         adj[u][v] = e
         adj[v][u] = e
@@ -155,7 +172,9 @@ def build_rc_tree(
     candidates = {v for v in range(n) if len(adj[v]) <= 2}
     round_index = 0
 
-    while alive_count > 1:
+    # O(log n) rake/compress rounds whp; each iteration is one synchronous
+    # round whose work/depth is charged to the tracker per round.
+    while alive_count > 1:  # noqa: RPR102
         # ---------------- rake round ----------------
         leaves = [v for v in candidates if alive[v] and len(adj[v]) == 1]
         rake_events: list[RakeEvent] = []

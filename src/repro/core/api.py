@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.core.brute import brute_force_sld
 from repro.core.cartesian import sld_path
 from repro.core.merge import sld_divide_and_conquer
@@ -22,11 +24,11 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["ALGORITHMS", "single_linkage_dendrogram"]
 
 
-def _tc_heap(tree: WeightedTree, **kw) -> np.ndarray:
+def _tc_heap(tree: WeightedTree, **kw: Any) -> np.ndarray:
     return sld_tree_contraction(tree, mode="heap", **kw)
 
 
-def _tc_list(tree: WeightedTree, **kw) -> np.ndarray:
+def _tc_list(tree: WeightedTree, **kw: Any) -> np.ndarray:
     return sld_tree_contraction(tree, mode="list", **kw)
 
 
@@ -45,11 +47,19 @@ ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
 }
 
 
+@cost_bound(
+    work="n * h",
+    depth="n * h",
+    vars=("n", "h"),
+    kind="dispatcher",
+    theorem="sup over the selectable ALGORITHMS (the brute oracle dominates); "
+    "per-algorithm bounds live on the algorithm functions",
+)
 def single_linkage_dendrogram(
     tree: WeightedTree,
     algorithm: str = "rctt",
     validate: bool = False,
-    **options,
+    **options: Any,
 ) -> Dendrogram:
     """Compute the single-linkage dendrogram of an edge-weighted tree.
 

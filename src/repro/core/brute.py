@@ -15,12 +15,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.runtime.cost_model import CostTracker
 from repro.trees.wtree import WeightedTree
 
 __all__ = ["brute_force_sld"]
 
 
+@cost_bound(
+    work="n * h",
+    depth="n * h",
+    vars=("n", "h"),
+    theorem="Lemma 3.2 evaluated literally: one flood per edge over its "
+    "cluster; total adjacency slots scanned is O(sum of cluster sizes) = O(nh)",
+)
 def brute_force_sld(tree: WeightedTree, tracker: CostTracker | None = None) -> np.ndarray:
     """Parent array of the SLD, computed from the definition.
 

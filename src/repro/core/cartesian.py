@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.core.merge import extract_spine, merge_spines
 from repro.errors import AlgorithmError, InvalidTreeError
 from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
@@ -26,6 +27,13 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["cartesian_tree_parents", "sld_path"]
 
 
+@cost_bound(
+    work="n",
+    depth="n",
+    vars=("n",),
+    kind="helper",
+    theorem="Shun-Blelloch: linear-work Cartesian tree construction",
+)
 def cartesian_tree_parents(values: np.ndarray, method: str = "stack") -> np.ndarray:
     """Parent index of each element in the max-at-root Cartesian tree.
 
@@ -92,6 +100,13 @@ def _cartesian_dc(values: np.ndarray, parents: np.ndarray, lo: int, hi: int) -> 
     merge_spines(parents, spine_a, spine_b, values)
 
 
+@cost_bound(
+    work="n",
+    depth="n",
+    vars=("n",),
+    theorem="Path special case (Shun-Blelloch): linear-work Cartesian tree "
+    "(method='stack'; method='dc' is the O(n log n) divide-and-conquer)",
+)
 def sld_path(
     tree: WeightedTree,
     method: str = "stack",
@@ -132,6 +147,8 @@ def sld_path(
     return parents
 
 
+@cost_bound(work="m * log(m)", depth="m", vars=("m",), kind="helper",
+            theorem="cost-charging table for the path case (no real loop over input)")
 def _path_cost(m: int, method: str) -> WorkDepth:
     if method == "stack":
         return WorkDepth.seq(float(3 * m))

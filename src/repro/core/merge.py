@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
 from repro.runtime.instrumentation import PhaseTimer
 from repro.trees.wtree import WeightedTree
@@ -28,6 +29,13 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["merge_spines", "extract_spine", "sld_divide_and_conquer"]
 
 
+@cost_bound(
+    work="h",
+    depth="h",
+    vars=("h",),
+    kind="helper",
+    theorem="Section 3.1: a spine is a root path, length at most h",
+)
 def extract_spine(parents: np.ndarray, e: int) -> list[int]:
     """Node-to-root path from ``e`` following parent pointers."""
     spine = [int(e)]
@@ -36,6 +44,13 @@ def extract_spine(parents: np.ndarray, e: int) -> list[int]:
     return spine
 
 
+@cost_bound(
+    work="h",
+    depth="h",
+    vars=("h",),
+    kind="helper",
+    theorem="Algorithm 1 line 2 / Theorem 3.5: two-way sorted spine merge",
+)
 def merge_spines(
     parents: np.ndarray, spine_a: list[int], spine_b: list[int], ranks: np.ndarray
 ) -> list[int]:
@@ -65,6 +80,13 @@ def merge_spines(
     return merged
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="n",
+    vars=("n",),
+    theorem="Section 3.1 framework over centroid splits: O(log n) levels, "
+    "O(segment) split/merge work per node (not the optimal Theorem 3.7 bound)",
+)
 def sld_divide_and_conquer(
     tree: WeightedTree,
     tracker: CostTracker | None = None,
@@ -83,6 +105,13 @@ def sld_divide_and_conquer(
     return parents
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="n",
+    vars=("n",),
+    kind="helper",
+    theorem="Section 3.1: balanced centroid recursion over the edge set",
+)
 def _solve(
     edge_ids: list[int],
     edges: np.ndarray,

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.errors import AlgorithmError
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
@@ -65,6 +66,13 @@ class ParUFStats:
     round_max_cost: dict[int, float] = field(default_factory=dict)
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="n * log(n)",
+    vars=("n",),
+    theorem="Theorem 4.3: O(n log n) work; depth is schedule-dependent "
+    "(Theta(n) activation chains on the adversarial path, Section 4.1)",
+)
 def paruf(
     tree: WeightedTree,
     heap_kind: str = "pairing",

@@ -28,9 +28,12 @@ which by that same claim cannot change the result.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 from repro.core.paruf import ParUFStats
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
@@ -44,6 +47,13 @@ from repro.util import log2ceil
 __all__ = ["paruf_sync"]
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="n * log(n)",
+    vars=("n",),
+    theorem="Section 4.1 synchronized-rounds contrast: ParUF work plus an "
+    "O(log n) barrier per round (Theta(n) rounds on the adversarial path)",
+)
 def paruf_sync(
     tree: WeightedTree,
     heap_kind: str = "pairing",
@@ -106,7 +116,9 @@ def paruf_sync(
     # below, which matches the paper's barrier accounting.
     sched = Scheduler(shuffle=shuffle, seed=seed, race_check=race_check)
 
-    def make_task(cur: int):
+    def make_task(
+        cur: int,
+    ) -> Callable[[], tuple[tuple[int, int, float], WorkDepth]]:
         def task() -> tuple[tuple[int, int, float], WorkDepth]:
             # CAS(status[cur], 2, -1): the claiming task owns the edge.
             _access.record_write("status", cur)

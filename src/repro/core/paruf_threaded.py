@@ -36,7 +36,7 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["paruf_threaded"]
 
 
-def paruf_threaded(  # noqa: RPR003 -- work depends on the OS thread schedule
+def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread schedule, so no deterministic charged bound to declare
     tree: WeightedTree,
     num_threads: int = 4,
     heap_kind: str = "pairing",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.contraction.schedule import build_rc_tree
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
@@ -37,6 +38,13 @@ from repro.util import log2ceil
 __all__ = ["rctt"]
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="log(n)**2",
+    vars=("n",),
+    theorem="Section 4.2, Algorithm 6: contraction build + O(n log n) "
+    "worst-case trace + per-bucket sorts, all at polylog depth",
+)
 def rctt(
     tree: WeightedTree,
     seed: int | np.random.Generator | None = 0,
@@ -97,7 +105,9 @@ def rctt(
         active = (u != root) & (node_rank[u] < edge_ranks)
         total_steps = m
         max_steps = 1
-        while active.any():
+        # O(rc-tree height) = O(log n) whp vectorized hops; the true climb
+        # lengths are charged to the tracker below.
+        while active.any():  # noqa: RPR102
             u[active] = rc_parent[u[active]]
             total_steps += int(active.sum())
             max_steps += 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth
 from repro.runtime.instrumentation import PhaseTimer
@@ -24,6 +25,12 @@ from repro.trees.wtree import WeightedTree
 __all__ = ["sequf"]
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="n",
+    vars=("n",),
+    theorem="Section 1 / Table 1 baseline: O(n log n) sort + sequential merge loop",
+)
 def sequf(
     tree: WeightedTree,
     tracker: CostTracker | None = None,

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import defaultdict
+from typing import Any
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.contraction.rctree import RCTree
 from repro.contraction.schedule import RakeEvent, build_rc_tree
 from repro.errors import AlgorithmError
@@ -88,10 +90,17 @@ class SpineList:
         other._keys, other._vals = [], []
         return self
 
-    def items(self):
+    def items(self) -> list[tuple[int, int]]:
         return list(zip(self._keys, self._vals))
 
 
+@cost_bound(
+    work="n * log(h)",
+    depth="(log(n) * log(h))**2",
+    vars=("n", "h"),
+    theorem="Theorem 3.7 (mode='heap'): work-optimal O(n log h), polylog "
+    "depth; mode='list' is the sub-optimal O(nh) Section 3.2.1 ablation",
+)
 def sld_tree_contraction(
     tree: WeightedTree,
     mode: str = "heap",
@@ -123,7 +132,7 @@ def sld_tree_contraction(
     make = BinomialHeap if mode == "heap" else SpineList
     spines: dict[int, object] = {}
 
-    def spine_of(v: int):
+    def spine_of(v: int) -> Any:  # BinomialHeap | SpineList (meld is homogeneous)
         s = spines.get(v)
         if s is None:
             s = make()
@@ -191,7 +200,9 @@ def sld_tree_contraction(
             protected_log[-1] = sorted(item for _, item in leftover)
         if leftover:
             ids = [item for _, item in leftover]
-            for a, b in zip(ids, ids[1:]):
+            # Final spine chain: O(h) host loop charged as one parallel
+            # comparison sort below (the paper's closing sort step).
+            for a, b in zip(ids, ids[1:]):  # noqa: RPR102
                 parents[a] = b
             parents[ids[-1]] = ids[-1]
             if tracker is not None:
@@ -199,6 +210,13 @@ def sld_tree_contraction(
     return parents
 
 
+@cost_bound(
+    work="k * log(k)",
+    depth="log(k)**2",
+    vars=("k",),
+    kind="helper",
+    theorem="Claims 3.8/3.9: protected nodes finalize by one parallel sort",
+)
 def _assign_chain(parents: np.ndarray, removed: list[tuple[int, int]], top: int) -> None:
     """Finalize parents of a protected set: sorted chain ending at ``top``."""
     if not removed:

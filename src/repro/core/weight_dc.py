@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.bounds import cost_bound
 from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
 from repro.runtime.instrumentation import PhaseTimer
 from repro.structures.unionfind import UnionFind
@@ -35,6 +36,13 @@ from repro.util import log2ceil
 __all__ = ["sld_weight_dc"]
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="log(n)**2",
+    vars=("n",),
+    theorem="Wang et al. [41] structure: O(log n) weight-median levels, "
+    "work-efficient w.r.t. SeqUF but not output-sensitive",
+)
 def sld_weight_dc(
     tree: WeightedTree,
     tracker: CostTracker | None = None,
@@ -66,6 +74,13 @@ def sld_weight_dc(
     return parents
 
 
+@cost_bound(
+    work="n * log(n)",
+    depth="log(n)**2",
+    vars=("n",),
+    kind="helper",
+    theorem="Wang et al. [41]: halve at the median rank, contract, recurse",
+)
 def _solve(
     edges: np.ndarray,
     sorted_eids: list[int],

@@ -1,0 +1,71 @@
+"""Size ladders of structured trees for the empirical complexity-fit gate.
+
+The fit gate (:mod:`repro.checkers.fit`) needs inputs whose *shape* is held
+fixed while ``n`` grows, so that log-log growth against a declared bound is
+meaningful.  Four families cover the paper's interesting regimes:
+
+* ``path`` -- unit weights rank edges along the path, so the dendrogram is
+  a chain: ``h = n - 1``, the high-``h`` adversary of Section 3.
+* ``star`` -- every merge joins the one growing cluster: also ``h = n - 1``
+  but with maximal rake parallelism in contraction.
+* ``random`` -- a seeded uniform random tree (moderate, varied ``h``).
+* ``caterpillar`` -- short spine with legs, the mixed rake/compress load.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.trees.generators import caterpillar, path_tree, random_tree, star_tree
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["LadderPoint", "FAMILY_BUILDERS", "DEFAULT_SIZES", "size_ladder"]
+
+#: Default size ladder: geometric, small enough for CI, long enough to fit.
+#: Starts at 128: contraction round counts are still converging to their
+#: O(log n) constant below that, which reads as spurious positive slope.
+DEFAULT_SIZES: tuple[int, ...] = (128, 256, 512, 1024)
+
+
+def _random(n: int) -> WeightedTree:
+    return random_tree(n, seed=0)
+
+
+def _caterpillar(n: int) -> WeightedTree:
+    return caterpillar(n, spine=max(1, n // 4))
+
+
+FAMILY_BUILDERS: dict[str, Callable[[int], WeightedTree]] = {
+    "path": path_tree,
+    "star": star_tree,
+    "random": _random,
+    "caterpillar": _caterpillar,
+}
+
+
+@dataclass(frozen=True)
+class LadderPoint:
+    """One rung: a tree of ``n`` vertices from a named family."""
+
+    family: str
+    n: int
+    tree: WeightedTree
+
+
+def size_ladder(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    families: Sequence[str] = tuple(FAMILY_BUILDERS),
+) -> list[LadderPoint]:
+    """Materialize the ladder: every family at every size, family-major."""
+    out: list[LadderPoint] = []
+    for family in families:
+        try:
+            builder = FAMILY_BUILDERS[family]
+        except KeyError:
+            raise ValueError(
+                f"unknown ladder family {family!r}; expected one of {sorted(FAMILY_BUILDERS)}"
+            ) from None
+        for n in sizes:
+            out.append(LadderPoint(family, int(n), builder(int(n))))
+    return out

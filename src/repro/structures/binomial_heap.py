@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 from repro.errors import EmptyHeapError
 
 __all__ = ["BinomialHeap"]
@@ -78,6 +79,8 @@ class BinomialHeap:
         heap._roots = _rebuild(trees)
         return heap
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="Section 2.2: binomial-heap insert is O(log s)")
     def insert(self, key: int, item: object) -> None:
         _access.record_write(self, "heap")
         node = _Node(key, item)
@@ -90,6 +93,8 @@ class BinomialHeap:
         node = self._min_root()
         return node.key, node.item
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="Section 2.2: binomial-heap delete-min is O(log s)")
     def delete_min(self) -> tuple[int, object]:
         """Remove and return the minimum ``(key, item)``."""
         _access.record_write(self, "heap")
@@ -109,6 +114,8 @@ class BinomialHeap:
         self._size -= 1
         return node.key, node.item
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="Section 2.2: meld of binomial heaps is O(log s)")
     def meld(self, other: "BinomialHeap") -> "BinomialHeap":
         """Destructively meld ``other`` into ``self``; returns ``self``.
 
@@ -124,6 +131,8 @@ class BinomialHeap:
         other._size = 0
         return self
 
+    @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
+                theorem="Section 2.2: filter extracting k of s is O(k log s) work, O(log^2 s) depth")
     def filter(self, threshold: int) -> list[tuple[int, object]]:
         """Remove and return all elements with ``key < threshold``.
 
@@ -157,6 +166,8 @@ class BinomialHeap:
             self._size -= len(removed)
         return removed
 
+    @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
+                theorem="Algorithms 3-4, lines 2/5: insert then filter at the same key")
     def filter_and_insert(self, key: int, item: object) -> list[tuple[int, object]]:
         """Insert ``(key, item)`` then filter at ``key`` (Algs. 3-4, line 2/5).
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 from repro.errors import EmptyHeapError
 
 __all__ = ["PairingHeap"]
@@ -67,6 +68,8 @@ class PairingHeap:
             heap.insert(k, v)
         return heap
 
+    @cost_bound(work="1", depth="1", vars=("s",), kind="structure_op",
+                theorem="pairing heap: O(1) insert (one comparison-link)")
     def insert(self, key: int, item: object) -> None:
         _access.record_write(self, "heap")
         self._root = _meld_nodes(self._root, _PNode(key, item))
@@ -78,6 +81,8 @@ class PairingHeap:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="pairing heap: O(log s) amortized delete-min (two-pass pairing)")
     def delete_min(self) -> tuple[int, object]:
         _access.record_write(self, "heap")
         root = self._root
@@ -106,6 +111,8 @@ class PairingHeap:
         self._size -= 1
         return root.key, root.item
 
+    @cost_bound(work="1", depth="1", vars=("s",), kind="structure_op",
+                theorem="pairing heap: O(1) meld (one comparison-link)")
     def meld(self, other: "PairingHeap") -> "PairingHeap":
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:

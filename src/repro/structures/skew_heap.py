@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 from repro.errors import EmptyHeapError
 
 __all__ = ["SkewHeap"]
@@ -73,6 +74,8 @@ class SkewHeap:
             heap.insert(k, v)
         return heap
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="skew heap: O(log s) amortized insert (singleton merge)")
     def insert(self, key: int, item: object) -> None:
         _access.record_write(self, "heap")
         self._root = _merge(self._root, _SNode(key, item))
@@ -84,6 +87,8 @@ class SkewHeap:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="skew heap: O(log s) amortized delete-min (merge of subtrees)")
     def delete_min(self) -> tuple[int, object]:
         _access.record_write(self, "heap")
         root = self._root
@@ -93,6 +98,8 @@ class SkewHeap:
         self._size -= 1
         return root.key, root.item
 
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="skew heap: O(log s) amortized meld (right-spine walk)")
     def meld(self, other: "SkewHeap") -> "SkewHeap":
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:

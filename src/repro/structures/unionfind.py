@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
 
 __all__ = ["UnionFind"]
 
@@ -42,6 +43,8 @@ class UnionFind:
         self.find_steps = 0
         self.unions = 0
 
+    @cost_bound(work="log(n)", depth="log(n)", vars=("n",), kind="structure_op",
+                theorem="path halving + union by size: O(log n) worst-case find")
     def find(self, x: int) -> int:
         """Representative of ``x``'s set (with path halving)."""
         parent = self._parent
@@ -69,6 +72,8 @@ class UnionFind:
         self.find_steps += steps
         return int(x)
 
+    @cost_bound(work="log(n)", depth="log(n)", vars=("n",), kind="structure_op",
+                theorem="union by size: O(log n) worst case (two finds + O(1) link)")
     def union(self, a: int, b: int) -> int:
         """Merge the sets containing ``a`` and ``b``; return the new root.
 

@@ -1,0 +1,16 @@
+"""Multi-line noqa regression fixture: must lint completely clean.
+
+The wall-clock read (RPR001) sits on a *continuation* line of the call
+statement; the ``noqa`` on the logical first line has to suppress it.
+Before the logical-line fix, suppression was keyed to the physical line
+of the comment only and this fixture produced a finding.
+"""
+
+import time
+
+
+def latest(bound):
+    return max(  # noqa: RPR001 -- fixture: directive on the logical first line
+        time.time(),
+        bound,
+    )

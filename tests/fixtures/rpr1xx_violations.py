@@ -1,0 +1,41 @@
+"""Deliberate RPR102..RPR105 violations -- a lint fixture, never imported.
+
+RPR101 is path-scoped (``repro/core``/``repro/contraction``) so it cannot
+fire from this directory; ``tests/test_checkers_bounds.py`` covers it with
+a synthetic path.  The ``cost_bound`` stub below keeps the fixture inert
+when executed (the lint matches the decorator by name, not by import), so
+``python -m repro check tests/fixtures/rpr1xx_violations.py`` fails on
+lint findings alone.
+"""
+
+
+def cost_bound(**_kw):  # stand-in: the lint keys on the decorator name
+    return lambda fn: fn
+
+
+def loopy_helper(xs):
+    total = 0
+    for x in xs:
+        total += x
+    return total
+
+
+@cost_bound(work="n * log(n)", depth="log(n)**2", vars=("n",))
+def polylog_with_loop(tree, tracker=None):
+    acc = 0
+    for item in tree:  # RPR102: bare loop under a polylog depth claim
+        acc += item
+    acc += loopy_helper(tree)  # RPR105: undeclared loopy helper
+    if tracker is not None:
+        tracker.sequential(float(acc))
+    return acc
+
+
+@cost_bound(work="n", depth="log(n)", vars=("n",), kind="helper")
+def no_shrink(tree):
+    return no_shrink(tree)  # RPR103: recursion on the unmodified parameter
+
+
+@cost_bound(work="n * wat(n)", depth="log(q)", vars=("n",))
+def bad_bounds(tree, tracker=None):  # RPR104 x2: unknown function, unknown var
+    return tracker

@@ -357,11 +357,17 @@ class TestLint:
         )
         kwargs = "def algo(tree, **options):\n    return helper(tree, **options)\n"
         private = "def _algo(tree):\n    return tree\n"
-        assert self.codes(missing, "src/repro/core/x.py") == ["RPR003"]
-        assert self.codes(unused, "src/repro/core/x.py") == ["RPR003"]
-        assert self.codes(used, "src/repro/core/x.py") == []
-        assert self.codes(kwargs, "src/repro/core/x.py") == []
-        assert self.codes(private, "src/repro/core/x.py") == []
+
+        def rpr003(src, path):
+            # These undeclared public algorithms also trip RPR101 (by
+            # design); this test is about tracker threading only.
+            return [c for c in self.codes(src, path) if c == "RPR003"]
+
+        assert rpr003(missing, "src/repro/core/x.py") == ["RPR003"]
+        assert rpr003(unused, "src/repro/core/x.py") == ["RPR003"]
+        assert rpr003(used, "src/repro/core/x.py") == []
+        assert rpr003(kwargs, "src/repro/core/x.py") == []
+        assert rpr003(private, "src/repro/core/x.py") == []
         # outside repro/core the rule does not apply
         assert self.codes(missing, "src/repro/cluster/x.py") == []
 

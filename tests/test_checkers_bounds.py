@@ -1,0 +1,499 @@
+"""Tests for the ``@cost_bound`` declaration layer and the RPR1xx lint codes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.bounds import (
+    BOUND_KINDS,
+    REGISTRY,
+    BoundParseError,
+    cost_bound,
+    get_bound,
+    parse_bound_expr,
+    registered_bounds,
+    safe_log2,
+)
+from repro.checkers.lint import lint_file, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes(src: str, path: str = "pkg/mod.py") -> list[str]:
+    return [d.code for d in lint_source(src, path)]
+
+
+# ---------------------------------------------------------------------------
+# Expression grammar
+# ---------------------------------------------------------------------------
+
+
+class TestBoundExpr:
+    def test_parse_and_evaluate(self):
+        expr = parse_bound_expr("n * log(n)", ("n",))
+        assert expr.evaluate(n=8.0) == pytest.approx(24.0)
+        assert parse_bound_expr("n * h", ("n", "h")).evaluate(n=4.0, h=3.0) == 12.0
+        assert parse_bound_expr("log(n)**2", ("n",)).evaluate(n=16.0) == 16.0
+
+    def test_log_clamps_at_one(self):
+        # log(1) evaluates to 1, never 0: degenerate inputs cannot zero a
+        # bound (and the fit gate never divides by zero).
+        assert safe_log2(1.0) == 1.0
+        assert safe_log2(0.0) == 1.0
+        expr = parse_bound_expr("n * log(h)", ("n", "h"))
+        assert expr.evaluate(n=5.0, h=1.0) == 5.0
+
+    def test_extra_env_vars_ignored(self):
+        expr = parse_bound_expr("n", ("n",))
+        assert expr.evaluate(n=3.0, h=99.0, m=7.0) == 3.0
+
+    def test_allowed_functions(self):
+        assert parse_bound_expr("sqrt(n)", ("n",)).evaluate(n=9.0) == 3.0
+        assert parse_bound_expr("min(n, h)", ("n", "h")).evaluate(n=2.0, h=5.0) == 2.0
+        assert parse_bound_expr("max(n, h)", ("n", "h")).evaluate(n=2.0, h=5.0) == 5.0
+
+    def test_is_polylog(self):
+        assert parse_bound_expr("log(n)**2", ("n",)).is_polylog
+        assert parse_bound_expr("log(n) * log(h)", ("n", "h")).is_polylog
+        assert parse_bound_expr("1", ("n",)).is_polylog  # no variables at all
+        assert not parse_bound_expr("n * log(h)", ("n", "h")).is_polylog
+        assert not parse_bound_expr("h", ("h",)).is_polylog
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "q",  # undeclared variable
+            "n * wat(n)",  # unknown function
+            "n.bit_length()",  # attribute access
+            "n if n else 1",  # conditional expression
+            "log()",  # empty call
+            "log(n, base=2)",  # keyword arguments
+            "'x'",  # non-numeric constant
+            "",  # empty
+            "n +",  # unparseable
+        ],
+    )
+    def test_rejected_expressions(self, src):
+        with pytest.raises(BoundParseError):
+            parse_bound_expr(src, ("n",))
+
+
+# ---------------------------------------------------------------------------
+# Decorator + registry
+# ---------------------------------------------------------------------------
+
+
+class TestCostBoundDecorator:
+    def test_returns_function_unwrapped(self):
+        def fn(tree):
+            return tree
+
+        decorated = cost_bound(work="n", depth="n", vars=("n",), kind="helper")(fn)
+        try:
+            assert decorated is fn  # no wrapper: zero call overhead
+            bound = get_bound(fn)
+            assert bound is not None
+            assert bound.work.src == "n"
+            assert bound.kind == "helper"
+            assert REGISTRY[bound.name] is bound
+            assert get_bound(bound.name) is bound
+        finally:
+            REGISTRY.pop(bound.name, None)
+
+    def test_eager_validation(self):
+        with pytest.raises(BoundParseError):
+            cost_bound(work="n * oops(n)", depth="n")(lambda tree: tree)
+        with pytest.raises(BoundParseError):
+            cost_bound(work="n", depth="n", kind="wat")(lambda tree: tree)
+
+    def test_registry_covers_core_algorithms(self):
+        bounds = registered_bounds()
+        expected = [
+            "repro.core.sequf.sequf",
+            "repro.core.paruf.paruf",
+            "repro.core.rctt.rctt",
+            "repro.core.tree_contraction_sld.sld_tree_contraction",
+            "repro.core.brute.brute_force_sld",
+            "repro.contraction.schedule.build_rc_tree",
+            "repro.contraction.fast.build_rc_tree_fast",
+            "repro.structures.binomial_heap.BinomialHeap.filter",
+            "repro.structures.unionfind.UnionFind.find",
+        ]
+        for key in expected:
+            assert key in bounds, key
+        for bound in bounds.values():
+            assert bound.kind in BOUND_KINDS
+            # every declaration is evaluable at a small concrete point
+            env = {"n": 4.0, "m": 3.0, "h": 2.0, "s": 4.0, "k": 2.0}
+            assert bound.evaluate_work(**env) > 0
+            assert bound.evaluate_depth(**env) > 0
+
+    def test_optimal_algorithm_declares_paper_bound(self):
+        bound = registered_bounds()["repro.core.tree_contraction_sld.sld_tree_contraction"]
+        assert bound.work.src == "n * log(h)"  # Theorem 3.7
+        assert "3.7" in bound.theorem
+        assert bound.depth.is_polylog
+
+    def test_describe_mentions_theorem(self):
+        bound = registered_bounds()["repro.core.rctt.rctt"]
+        assert "W = O(n * log(n))" in bound.describe()
+        assert "4.2" in bound.describe()
+
+
+# ---------------------------------------------------------------------------
+# RPR101: exported algorithms must declare
+# ---------------------------------------------------------------------------
+
+
+class TestRPR101:
+    undeclared = (
+        "def alg(tree, tracker=None):\n"
+        "    if tracker is not None:\n"
+        "        tracker.sequential(1.0)\n"
+        "    return tree\n"
+    )
+    declared = (
+        "from repro.checkers.bounds import cost_bound\n\n"
+        '@cost_bound(work="n", depth="n", vars=("n",))\n' + undeclared
+    )
+
+    def test_fires_in_core_and_contraction(self):
+        assert codes(self.undeclared, "src/repro/core/x.py") == ["RPR101"]
+        assert codes(self.undeclared, "src/repro/contraction/x.py") == ["RPR101"]
+
+    def test_silent_with_declaration(self):
+        assert codes(self.declared, "src/repro/core/x.py") == []
+
+    def test_scope(self):
+        # outside the algorithm layers the rule does not apply
+        assert codes(self.undeclared, "src/repro/cluster/x.py") == []
+        # private helpers and non-algorithm signatures are exempt
+        assert codes("def _alg(tree):\n    return tree\n", "src/repro/core/x.py") == []
+        assert codes("def util(x):\n    return x\n", "src/repro/core/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR102: polylog depth forbids bare sequential loops
+# ---------------------------------------------------------------------------
+
+_POLYLOG_HEADER = (
+    "from repro.checkers.bounds import cost_bound\n"
+    "from repro.util import log2ceil\n\n"
+    '@cost_bound(work="n * log(n)", depth="log(n)**2", vars=("n",))\n'
+)
+
+
+class TestRPR102:
+    def test_bare_loop_flagged(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    acc = 0\n"
+            "    for item in tree:\n"
+            "        acc += item\n"
+            "    return acc\n"
+        )
+        assert codes(src) == ["RPR102"]
+
+    def test_bare_while_flagged(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    while tree.any():\n"
+            "        tree = tree[1:]\n"
+            "    return tree\n"
+        )
+        assert codes(src) == ["RPR102"]
+
+    def test_outermost_only(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    for row in tree:\n"
+            "        for cell in row:\n"
+            "            pass\n"
+            "    return tree\n"
+        )
+        assert codes(src) == ["RPR102"]  # exactly one finding
+
+    def test_parallel_round_region_exempt(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree, tracker=None):\n"
+            "    with tracker.parallel_round() as rnd:\n"
+            "        for item in tree:\n"
+            "            rnd.task(1.0)\n"
+            "    return tree\n"
+        )
+        assert codes(src) == []
+
+    def test_rounds_iteration_exempt(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(rct):\n"
+            "    for kind, events in rct.rounds:\n"
+            "        for ev in events:\n"  # nested inside an exempt loop
+            "            pass\n"
+            "    return rct\n"
+        )
+        assert codes(src) == []
+
+    def test_log_bounded_range_exempt(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    for i in range(log2ceil(len(tree)) + 1):\n"
+            "        pass\n"
+            "    for j in range(4):\n"
+            "        pass\n"
+            "    return tree\n"
+        )
+        assert codes(src) == []
+
+    def test_input_sized_range_flagged(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    for i in range(len(tree)):\n"
+            "        pass\n"
+            "    return tree\n"
+        )
+        assert codes(src) == ["RPR102"]
+
+    def test_non_polylog_depth_exempt(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="n", depth="n", vars=("n",))\n'
+            "def alg(tree):\n"
+            "    for item in tree:\n"
+            "        pass\n"
+            "    return tree\n"
+        )
+        assert codes(src) == []
+
+    def test_helper_kind_exempt(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="k", depth="log(k)", vars=("k",), kind="helper")\n'
+            "def helper(events):\n"
+            "    for ev in events:\n"
+            "        pass\n"
+        )
+        assert codes(src) == []
+
+    def test_noqa_with_justification(self):
+        src = _POLYLOG_HEADER + (
+            "def alg(tree):\n"
+            "    for item in tree:  # noqa: RPR102 -- charged per round below\n"
+            "        pass\n"
+            "    return tree\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR103: recursion must shrink
+# ---------------------------------------------------------------------------
+
+_HELPER_HEADER = (
+    "from repro.checkers.bounds import cost_bound\n\n"
+    '@cost_bound(work="n", depth="log(n)", vars=("n",), kind="helper")\n'
+)
+
+
+class TestRPR103:
+    def test_unmodified_parameter_recursion_flagged(self):
+        src = _HELPER_HEADER + "def rec(xs):\n    return rec(xs)\n"
+        assert codes(src) == ["RPR103"]
+        kwarg = _HELPER_HEADER + "def rec(xs):\n    return rec(xs=xs)\n"
+        assert codes(kwarg) == ["RPR103"]
+
+    def test_shrinking_recursion_silent(self):
+        src = _HELPER_HEADER + (
+            "def rec(xs):\n"
+            "    if len(xs) <= 1:\n"
+            "        return xs\n"
+            "    return rec(xs[1:])\n"
+        )
+        assert codes(src) == []
+
+    def test_local_variable_argument_silent(self):
+        # passing a locally computed value is assumed to shrink
+        src = _HELPER_HEADER + (
+            "def rec(xs):\n"
+            "    half = split(xs)\n"
+            "    return rec(half)\n"
+        )
+        assert codes(src) == []
+
+    def test_undeclared_function_not_checked(self):
+        assert codes("def rec(xs):\n    return rec(xs)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR104: declarations must parse
+# ---------------------------------------------------------------------------
+
+
+class TestRPR104:
+    def test_invalid_expression_and_unknown_var(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="n * wat(n)", depth="log(q)", vars=("n",))\n'
+            "def alg(tree):\n"
+            "    return tree\n"
+        )
+        assert codes(src) == ["RPR104", "RPR104"]
+
+    def test_missing_work_or_depth(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="n")\n'
+            "def alg(tree):\n"
+            "    return tree\n"
+        )
+        assert "RPR104" in codes(src)
+
+    def test_uncalled_decorator(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            "@cost_bound\n"
+            "def alg(tree):\n"
+            "    return tree\n"
+        )
+        assert codes(src) == ["RPR104"]
+
+    def test_valid_declaration_silent(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="n * log(h)", depth="(log(n) * log(h))**2", vars=("n", "h"))\n'
+            "def alg(tree):\n"
+            "    return tree\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR105: no undeclared loopy helpers from algorithms
+# ---------------------------------------------------------------------------
+
+_ALG_CALLS_HELPER = (
+    "def alg(tree):\n"
+    "    return helper(tree)\n"
+)
+
+
+class TestRPR105:
+    def test_undeclared_loopy_helper_flagged(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            "def helper(xs):\n"
+            "    for x in xs:\n"
+            "        pass\n\n"
+            '@cost_bound(work="n", depth="n", vars=("n",))\n' + _ALG_CALLS_HELPER
+        )
+        assert codes(src) == ["RPR105"]
+
+    def test_declared_helper_silent(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            '@cost_bound(work="k", depth="k", vars=("k",), kind="helper")\n'
+            "def helper(xs):\n"
+            "    for x in xs:\n"
+            "        pass\n\n"
+            '@cost_bound(work="n", depth="n", vars=("n",))\n' + _ALG_CALLS_HELPER
+        )
+        assert codes(src) == []
+
+    def test_loop_free_helper_silent(self):
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            "def helper(xs):\n"
+            "    return len(xs)\n\n"
+            '@cost_bound(work="n", depth="n", vars=("n",))\n' + _ALG_CALLS_HELPER
+        )
+        assert codes(src) == []
+
+    def test_helper_to_helper_not_checked(self):
+        # only kind="algorithm" callers are held to the rule
+        src = (
+            "from repro.checkers.bounds import cost_bound\n\n"
+            "def inner(xs):\n"
+            "    for x in xs:\n"
+            "        pass\n\n"
+            '@cost_bound(work="k", depth="k", vars=("k",), kind="helper")\n'
+            "def outer(xs):\n"
+            "    return inner(xs)\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# Fixtures + multi-line noqa regression
+# ---------------------------------------------------------------------------
+
+
+class TestFixtures:
+    def test_rpr1xx_fixture_fires_each_code(self):
+        found = [d.code for d in lint_file(FIXTURES / "rpr1xx_violations.py")]
+        assert sorted(set(found)) == ["RPR102", "RPR103", "RPR104", "RPR105"]
+        assert found.count("RPR104") == 2  # unknown function + unknown var
+
+    def test_noqa_multiline_fixture_is_clean(self):
+        assert lint_file(FIXTURES / "noqa_multiline.py") == []
+
+    def test_noqa_multiline_control_fires_without_directive(self):
+        src = (FIXTURES / "noqa_multiline.py").read_text(encoding="utf-8")
+        stripped = src.replace(
+            "  # noqa: RPR001 -- fixture: directive on the logical first line", ""
+        )
+        assert [d.code for d in lint_source(stripped, "tests/fixtures/x.py")] == ["RPR001"]
+
+
+class TestNoqaLogicalLines:
+    def test_first_line_directive_covers_continuation(self):
+        src = (
+            "import time\n"
+            "x = max(  # noqa: RPR001\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert codes(src, "src/repro/core/x.py") == []
+
+    def test_wrong_code_still_fires(self):
+        src = (
+            "import time\n"
+            "x = max(  # noqa: RPR002\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert codes(src, "src/repro/core/x.py") == ["RPR001"]
+
+    def test_bare_noqa_covers_span(self):
+        src = (
+            "import time\n"
+            "x = max(  # noqa\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert codes(src, "src/repro/core/x.py") == []
+
+    def test_directive_on_continuation_line_also_covers_span(self):
+        src = (
+            "import time\n"
+            "x = max(\n"
+            "    time.time(),  # noqa: RPR001\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert codes(src, "src/repro/core/x.py") == []
+
+    def test_single_line_behaviour_unchanged(self):
+        src = "import time\n\ndef f():\n    return time.time()  # noqa: RPR001\n"
+        assert codes(src, "src/repro/core/x.py") == []
+        src2 = "import time\n\ndef f():\n    return time.time()\n"
+        assert codes(src2, "src/repro/core/x.py") == ["RPR001"]
+
+    def test_directive_does_not_leak_to_next_statement(self):
+        src = (
+            "import time\n"
+            "x = 1  # noqa: RPR001\n"
+            "y = time.time()\n"
+        )
+        assert codes(src, "src/repro/core/x.py") == ["RPR001"]

@@ -1,0 +1,166 @@
+"""Tests for the empirical complexity-fit gate (repro.checkers.fit)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.bounds import get_bound
+from repro.checkers.fit import (
+    MIN_POINTS,
+    FitReport,
+    fit_slope,
+    fit_target,
+    run_fit,
+)
+from repro.checkers.runner import run_check
+from repro.cli import main
+from repro.core.sequf import sequf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.datasets.ladders import DEFAULT_SIZES, FAMILY_BUILDERS, size_ladder
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SMALL_SIZES = (32, 64, 128)
+
+
+class TestLadders:
+    def test_default_ladder_shape(self):
+        ladder = size_ladder()
+        assert len(ladder) == len(DEFAULT_SIZES) * len(FAMILY_BUILDERS)
+        for point in ladder:
+            assert point.tree.n == point.n
+            assert point.family in FAMILY_BUILDERS
+
+    def test_subset(self):
+        ladder = size_ladder(sizes=(8, 16), families=("path",))
+        assert [(p.family, p.n) for p in ladder] == [("path", 8), ("path", 16)]
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown ladder family"):
+            size_ladder(families=("moebius",))
+
+    def test_families_have_duplicate_weights(self):
+        # every ladder family uses unit weights: maximal weight ties, so the
+        # fit harness is exercised on duplicate edge weights by default
+        # (rank tie-breaking, not weight ordering, drives the dendrogram)
+        for point in size_ladder(sizes=(16,)):
+            assert len(set(point.tree.weights.tolist())) == 1
+
+
+class TestFitSlope:
+    def test_flat_ratio_is_zero_slope(self):
+        assert fit_slope([32, 64, 128, 256], [3.0, 3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_linear_ratio_is_unit_slope(self):
+        ns = [32, 64, 128, 256]
+        assert fit_slope(ns, [float(n) for n in ns]) == pytest.approx(1.0)
+
+    def test_zero_ratio_is_floored(self):
+        # never log(0): ratios are clamped before fitting
+        slope = fit_slope([32, 64, 128], [0.0, 0.0, 0.0])
+        assert slope == pytest.approx(0.0)
+
+
+class TestFitTarget:
+    def test_correct_declaration_passes(self):
+        bound = get_bound(sequf)
+        assert bound is not None
+        results = fit_target(sequf, bound, families=("path",), sizes=SMALL_SIZES)
+        assert len(results) == 2  # work + depth
+        assert all(r.passed for r in results)
+        assert all(r.slope is not None for r in results)
+        # the path dendrogram under unit weights is a chain
+        assert all(p.h == p.n - 1 for r in results for p in r.points)
+
+    def test_degenerate_sizes_skip_not_fail(self):
+        bound = get_bound(sequf)
+        results = fit_target(sequf, bound, families=("path",), sizes=(1, 2))
+        assert all(r.passed for r in results)
+        assert all(r.slope is None for r in results)
+        assert all(r.reason.startswith("skipped:") for r in results)
+        assert all(f"< {MIN_POINTS}" in r.reason for r in results)
+
+    def test_quadratic_variant_is_rejected(self):
+        # The ISSUE's acceptance ablation: the O(n h) list-mode variant of
+        # SLD-TreeContraction fitted against the heap mode's declared
+        # O(n log h) work bound must be rejected.  The star family is the
+        # sharpest adversary (h = n - 1, so n h vs n log h is ~n / log n).
+        def quadratic(tree, tracker=None):
+            return sld_tree_contraction(tree, mode="list", tracker=tracker)
+
+        bound = get_bound(sld_tree_contraction)
+        assert bound is not None
+        results = fit_target(
+            quadratic, bound, target="list-ablation", families=("star",), sizes=SMALL_SIZES
+        )
+        work = next(r for r in results if r.metric == "work")
+        assert not work.passed
+        assert work.slope is not None and work.slope > work.tolerance
+        assert "beyond O(n * log(h))" in work.reason
+
+    def test_genuine_heap_mode_passes_same_fit(self):
+        # control for the ablation: the real algorithm under the same
+        # declaration, family, and sizes stays within bound
+        bound = get_bound(sld_tree_contraction)
+        results = fit_target(
+            sld_tree_contraction, bound, families=("star",), sizes=SMALL_SIZES
+        )
+        work = next(r for r in results if r.metric == "work")
+        assert work.passed
+
+
+class TestRunFit:
+    def test_target_filter_by_bare_name(self):
+        report = run_fit(targets=["sequf"], sizes=SMALL_SIZES, families=("path",))
+        assert report.results
+        assert all(r.target == "repro.core.sequf.sequf" for r in report.results)
+        assert report.passed
+
+    def test_unknown_target_yields_empty_report(self):
+        report = run_fit(targets=["not_a_registered_algorithm"], sizes=SMALL_SIZES)
+        assert report.results == []
+        assert report.passed  # vacuously
+
+    def test_report_round_trips_json(self, tmp_path):
+        report = run_fit(targets=["sequf"], sizes=SMALL_SIZES, families=("path",))
+        out = report.write_json(tmp_path / "nested" / "bounds_report.json")
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["passed"] is True
+        assert payload["sizes"] == list(SMALL_SIZES)
+        assert payload["results"][0]["target"] == "repro.core.sequf.sequf"
+        assert payload["results"][0]["points"][0]["n"] == SMALL_SIZES[0]
+
+    def test_summary_mentions_verdict(self):
+        report = FitReport([])
+        assert "PASSED" in report.summary()
+
+
+class TestCheckCommandBounds:
+    def test_bounds_gate_passes_and_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "bounds_report.json"
+        code = run_check(lint=False, races=False, bounds=True,
+                         json_output=True, bounds_report=out)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["exit_code"] == 0
+        assert payload["bounds"]["passed"] is True
+        assert payload["lint"]["enabled"] is False
+        assert out.exists()
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code = run_check(paths=["does/not/exist.py"], json_output=True)
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+
+    def test_cli_json_fixture_exit_one(self, capsys):
+        code = main(
+            ["check", "--json", "--no-races", str(FIXTURES / "rpr1xx_violations.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["exit_code"] == 1
+        assert payload["lint"]["count"] >= 4
