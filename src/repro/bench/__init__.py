@@ -18,7 +18,17 @@ Sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
 (default 1).
 """
 
-from repro.bench.harness import AlgoRun, format_table, run_algorithm, simulated_time
+from repro.bench.baseline import SCHEMA as BENCH_SCHEMA
+from repro.bench.baseline import compare, load_baseline, results_to_payload, save_baseline
+from repro.bench.harness import (
+    AlgoRun,
+    KernelResult,
+    bench_kernel,
+    calibrate,
+    format_table,
+    run_algorithm,
+    simulated_time,
+)
 from repro.bench.inputs import (
     BENCH_THREADS,
     SYNTHETIC_FAMILIES,
@@ -26,6 +36,7 @@ from repro.bench.inputs import (
     make_input,
     realworld_inputs,
 )
+from repro.bench.kernels import KERNELS, Kernel, kernel_names
 
 __all__ = [
     "AlgoRun",
@@ -37,4 +48,15 @@ __all__ = [
     "make_input",
     "bench_sizes",
     "realworld_inputs",
+    "BENCH_SCHEMA",
+    "Kernel",
+    "KERNELS",
+    "kernel_names",
+    "KernelResult",
+    "bench_kernel",
+    "calibrate",
+    "results_to_payload",
+    "save_baseline",
+    "load_baseline",
+    "compare",
 ]

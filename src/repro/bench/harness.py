@@ -22,7 +22,16 @@ from repro.runtime.cost_model import CostTracker
 from repro.runtime.instrumentation import PhaseTimer
 from repro.trees.wtree import WeightedTree
 
-__all__ = ["AlgoRun", "run_algorithm", "simulated_time", "model_time", "format_table"]
+__all__ = [
+    "AlgoRun",
+    "run_algorithm",
+    "simulated_time",
+    "model_time",
+    "format_table",
+    "KernelResult",
+    "bench_kernel",
+    "calibrate",
+]
 
 
 @dataclass
@@ -116,6 +125,101 @@ def format_table(headers: list[str], rows: list[list[str]], title: str | None = 
     for row in rows:
         lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+@dataclass
+class KernelResult:
+    """Timing + accounting for one perf-regression kernel."""
+
+    kernel: str
+    size: int
+    repeats: int
+    min_s: float
+    median_s: float
+    p90_s: float
+    instrumented_s: float
+    work: float
+    depth: float
+
+    @property
+    def speedup(self) -> float:
+        """Instrumented-over-fast wall ratio: what the fast path buys.
+
+        Computed from the per-path minima -- the least noise-contaminated
+        samples -- so the ratio reflects code, not scheduler jitter.
+        """
+        return self.instrumented_s / self.min_s if self.min_s > 0 else float("inf")
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples (q in [0, 1])."""
+    idx = min(len(sorted_samples) - 1, max(0, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[idx]
+
+
+def bench_kernel(kernel, repeats: int = 5, quick: bool = False) -> KernelResult:
+    """Time one kernel: fast-path wall stats + instrumented work/depth.
+
+    The fast path (``tracker=None``, no recorder) runs ``repeats`` times
+    for min/median/p90 wall seconds -- the minimum is the regression-gate
+    statistic (least contaminated by scheduler jitter), median/p90 describe
+    the observed spread.  The instrumented path (enabled
+    :class:`CostTracker`) runs ``min(3, repeats)`` times; its minimum wall
+    time is the speedup reference, and its work/depth totals -- identical
+    across runs by determinism -- are recorded for the comparison gate.
+    One warmup run is discarded.
+    """
+    payload = kernel.input_for(quick)
+    kernel.run(payload, None)  # warmup (also JITs numpy caches, imports)
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel.run(payload, None)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+
+    inst_samples: list[float] = []
+    work = depth = 0.0
+    for _ in range(min(3, repeats)):
+        tracker = CostTracker()
+        start = time.perf_counter()
+        kernel.run(payload, tracker)
+        inst_samples.append(time.perf_counter() - start)
+        work, depth = tracker.work, tracker.depth
+    inst_samples.sort()
+
+    return KernelResult(
+        kernel=kernel.name,
+        size=kernel.quick_size if quick else kernel.size,
+        repeats=repeats,
+        min_s=samples[0],
+        median_s=_percentile(samples, 0.5),
+        p90_s=_percentile(samples, 0.9),
+        instrumented_s=inst_samples[0],
+        work=work,
+        depth=depth,
+    )
+
+
+def calibrate(scale: int = 400_000, rounds: int = 3) -> float:
+    """Machine-speed probe: seconds for a fixed numpy workload (median).
+
+    Stored in every ``BENCH_*.json``; :func:`repro.bench.baseline.compare`
+    scales the baseline's wall times by the calibration ratio so the 15%
+    regression gate tolerates machine-speed differences between the
+    machine that committed the baseline and the one running the gate.
+    """
+    rng = np.random.default_rng(0)
+    data = rng.random(scale)
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        order = np.argsort(data, kind="stable")
+        acc = np.cumsum(data[order])
+        float(acc[-1])
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
 
 
 def fmt_seconds(s: float) -> str:

@@ -1,0 +1,104 @@
+"""The perf-regression kernel registry (``python -m repro bench``).
+
+Each :class:`Kernel` is one named hot path the trajectory tracks across
+PRs: a deterministic input builder plus a runner that accepts the
+``tracker`` argument.  The harness times the runner with instrumentation
+fully disabled (``tracker=None``) for the wall-clock numbers, and once
+with an enabled :class:`~repro.runtime.cost_model.CostTracker` for the
+work/depth totals -- the instrumented wall time doubles as the
+pre-fast-path reference, so ``instrumented / median`` is the speedup the
+disabled-instrumentation fast paths buy.
+
+Inputs come from the :mod:`repro.datasets` generators (the ladder
+families for the dendrogram kernels, preferential-attachment graphs for
+the MST kernels), always seeded, so work/depth totals are bit-stable
+across machines and the regression gate can compare them exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.api import ALGORITHMS
+from repro.datasets.ladders import FAMILY_BUILDERS
+from repro.datasets.synthetic_graphs import preferential_attachment_graph
+from repro.runtime.cost_model import CostTracker
+from repro.trees.boruvka import boruvka_mst
+from repro.trees.mst import kruskal_mst
+
+__all__ = ["Kernel", "KERNELS", "kernel_names"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One tracked hot path: deterministic input + tracker-aware runner."""
+
+    name: str
+    #: Input size used at full scale / with ``--quick``.
+    size: int
+    quick_size: int
+    build: Callable[[int], Any]
+    run: Callable[[Any, CostTracker | None], np.ndarray]
+
+    def input_for(self, quick: bool) -> Any:
+        return self.build(self.quick_size if quick else self.size)
+
+
+def _algo_runner(name: str, **options: Any) -> Callable[[Any, CostTracker | None], np.ndarray]:
+    fn = ALGORITHMS[name]
+
+    def run(tree: Any, tracker: CostTracker | None) -> np.ndarray:
+        return fn(tree, tracker=tracker, **options)
+
+    return run
+
+
+def _ladder_tree(n: int) -> Any:
+    return FAMILY_BUILDERS["random"](n)
+
+
+def _pa_graph(n: int) -> tuple[int, np.ndarray, np.ndarray]:
+    nn, edges = preferential_attachment_graph(n, m_attach=4, seed=1)
+    weights = np.random.default_rng(1).random(edges.shape[0])
+    return nn, edges, weights
+
+
+def _run_kruskal(
+    payload: tuple[int, np.ndarray, np.ndarray], tracker: CostTracker | None
+) -> np.ndarray:
+    n, edges, weights = payload
+    return kruskal_mst(n, edges, weights, tracker=tracker)
+
+
+def _run_boruvka(
+    payload: tuple[int, np.ndarray, np.ndarray], tracker: CostTracker | None
+) -> np.ndarray:
+    n, edges, weights = payload
+    return boruvka_mst(n, edges, weights, tracker=tracker)
+
+
+#: The tracked kernels, in report order.  Sizes are tuned so a full run
+#: stays in CI budget; ``--quick`` quarters them.
+KERNELS: tuple[Kernel, ...] = (
+    Kernel("sequf", 8192, 2048, _ladder_tree, _algo_runner("sequf")),
+    Kernel("paruf", 2048, 512, _ladder_tree, _algo_runner("paruf", seed=0)),
+    Kernel("rctt", 4096, 1024, _ladder_tree, _algo_runner("rctt", seed=0)),
+    Kernel(
+        "tree-contraction",
+        2048,
+        512,
+        _ladder_tree,
+        _algo_runner("tree-contraction", seed=0),
+    ),
+    Kernel("sld-merge", 2048, 512, _ladder_tree, _algo_runner("divide-conquer")),
+    Kernel("mst-kruskal", 30000, 6000, _pa_graph, _run_kruskal),
+    Kernel("mst-boruvka", 30000, 6000, _pa_graph, _run_boruvka),
+)
+
+
+def kernel_names() -> list[str]:
+    return [k.name for k in KERNELS]

@@ -69,8 +69,46 @@ def build_parser() -> argparse.ArgumentParser:
     clus.add_argument("--algorithm", default="rctt")
     clus.add_argument("--seed", type=int, default=0)
 
-    bench = sub.add_parser("bench", help="run a paper-reproduction experiment")
-    bench.add_argument("experiment", choices=_EXPERIMENTS)
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-regression kernels (default) or a paper experiment",
+    )
+    bench.add_argument(
+        "experiment",
+        nargs="?",
+        choices=_EXPERIMENTS,
+        help="run one paper-reproduction experiment instead of the perf kernels",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small inputs / few repeats (CI mode)"
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="gate against a committed BENCH_*.json; exit 1 on >tolerance "
+        "wall regression or any work/depth drift",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_pr3.json",
+        metavar="PATH",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr3.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="wall-time repeats per kernel"
+    )
+    bench.add_argument(
+        "--kernels",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of kernels to run (default: all)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="wall regression tolerance for --compare (default: 0.15)",
+    )
 
     ana = sub.add_parser(
         "analyze", help="parallelism profile + dendrogram metrics of an input"
@@ -218,8 +256,51 @@ def _cmd_cluster(args) -> int:
 def _cmd_bench(args) -> int:
     import importlib
 
-    module = importlib.import_module(f"repro.bench.{args.experiment}")
-    module.main([])
+    if args.experiment:
+        module = importlib.import_module(f"repro.bench.{args.experiment}")
+        module.main([])
+        return 0
+
+    from repro.bench.baseline import (
+        DEFAULT_TOLERANCE,
+        compare,
+        load_baseline,
+        results_to_payload,
+        save_baseline,
+    )
+    from repro.bench.harness import bench_kernel, calibrate
+    from repro.bench.kernels import KERNELS, kernel_names
+    from repro.bench.report import format_bench_results
+
+    selected = list(KERNELS)
+    if args.kernels:
+        wanted = [k.strip() for k in args.kernels.split(",") if k.strip()]
+        unknown = sorted(set(wanted) - set(kernel_names()))
+        if unknown:
+            print(f"unknown kernels {unknown}; available: {kernel_names()}")
+            return 2
+        selected = [k for k in KERNELS if k.name in wanted]
+
+    repeats = args.repeats if args.repeats else (3 if args.quick else 5)
+    # Load (and validate) the baseline up front: --compare against the file
+    # being overwritten must gate on its *previous* contents.
+    baseline = load_baseline(args.compare) if args.compare else None
+
+    calibration = calibrate()
+    results = [bench_kernel(k, repeats=repeats, quick=args.quick) for k in selected]
+    print(format_bench_results(results, calibration))
+
+    payload = results_to_payload(results, calibration, quick=args.quick)
+    save_baseline(args.out, payload)
+    print(f"wrote {args.out}")
+
+    if baseline is not None:
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        ok, lines = compare(payload, baseline, tolerance=tolerance)
+        print(f"comparing against {args.compare} (tolerance {tolerance:.0%}):")
+        print("\n".join(lines))
+        if not ok:
+            return 1
     return 0
 
 

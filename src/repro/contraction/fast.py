@@ -39,7 +39,7 @@ import numpy as np
 from repro.checkers.bounds import cost_bound
 from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
 from repro.contraction.schedule import CompressEvent, RakeEvent
-from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker
 from repro.trees.wtree import WeightedTree
 from repro.util import check_random_state, log2ceil
 
@@ -68,6 +68,7 @@ def build_rc_tree_fast(
     """
     if priorities not in ("random", "id"):
         raise ValueError(f"unknown priority rule {priorities!r}; expected 'random' or 'id'")
+    tracker = active_tracker(tracker)
     n = tree.n
     ranks = tree.ranks
     rc_parent = np.arange(n, dtype=np.int64)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers.bounds import cost_bound
-from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, combine_parallel
 from repro.runtime.instrumentation import PhaseTimer
 from repro.trees.wtree import WeightedTree
 
@@ -98,6 +98,7 @@ def sld_divide_and_conquer(
     if m == 0:
         return parents
     timer = timer if timer is not None else PhaseTimer()
+    tracker = active_tracker(tracker)
     with timer.phase("solve"):
         cost = _solve(list(range(m)), tree.edges, tree.ranks, parents)
         if tracker is not None:

@@ -41,7 +41,7 @@ import numpy as np
 from repro.checkers.bounds import cost_bound
 from repro.errors import AlgorithmError
 from repro.primitives.sort import comparison_sort_cost
-from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, log_cost
 from repro.runtime.instrumentation import PhaseTimer
 from repro.structures import make_heap
 from repro.structures.unionfind import UnionFind
@@ -105,6 +105,7 @@ def paruf(
     timer = timer if timer is not None else PhaseTimer()
     stats = stats if stats is not None else ParUFStats()
     stats.heap_kind = heap_kind
+    tracker = active_tracker(tracker)
     rng = check_random_state(seed)
     ranks = tree.ranks
 

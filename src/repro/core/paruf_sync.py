@@ -36,7 +36,7 @@ from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
 from repro.core.paruf import ParUFStats
 from repro.primitives.sort import comparison_sort_cost
-from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, log_cost
 from repro.runtime.instrumentation import PhaseTimer
 from repro.runtime.scheduler import Scheduler
 from repro.structures import make_heap
@@ -84,6 +84,7 @@ def paruf_sync(
     timer = timer if timer is not None else PhaseTimer()
     stats = stats if stats is not None else ParUFStats()
     stats.heap_kind = heap_kind
+    tracker = active_tracker(tracker)
     ranks = tree.ranks
 
     with timer.phase("preprocess"):

@@ -30,7 +30,7 @@ import numpy as np
 from repro.checkers.bounds import cost_bound
 from repro.contraction.schedule import build_rc_tree
 from repro.primitives.sort import comparison_sort_cost
-from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, combine_parallel
 from repro.runtime.instrumentation import PhaseTimer
 from repro.trees.wtree import WeightedTree
 from repro.util import log2ceil
@@ -70,6 +70,7 @@ def rctt(
     if m == 0:
         return parents
     timer = timer if timer is not None else PhaseTimer()
+    tracker = active_tracker(tracker)
     ranks = tree.ranks
 
     with timer.phase("build"):

@@ -33,7 +33,7 @@ from repro.contraction.rctree import RCTree
 from repro.contraction.schedule import RakeEvent, build_rc_tree
 from repro.errors import AlgorithmError
 from repro.primitives.sort import comparison_sort_cost
-from repro.runtime.cost_model import CostTracker, WorkDepth, log_cost
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, log_cost
 from repro.runtime.instrumentation import PhaseTimer
 from repro.structures.binomial_heap import BinomialHeap
 from repro.trees.wtree import WeightedTree
@@ -124,6 +124,7 @@ def sld_tree_contraction(
     if m == 0:
         return parents
     timer = timer if timer is not None else PhaseTimer()
+    tracker = active_tracker(tracker)
     ranks = tree.ranks
 
     with timer.phase("contract"):
@@ -158,13 +159,15 @@ def sld_tree_contraction(
                     if protected_log is not None and removed:
                         protected_log[ev.v] = sorted(item for _, item in removed)
                     k = len(removed)
-                    if mode == "heap":
-                        fw = (k + 1) * log_cost(size_before)
-                        fd = log_cost(size_before) ** 2
-                    else:
-                        fw = fd = float(size_before)
-                    target_work += fw + _chain_cost(k).work
-                    target_depth = max(target_depth, fd + _chain_cost(k).depth)
+                    if tracker is not None:
+                        if mode == "heap":
+                            fw = (k + 1) * log_cost(size_before)
+                            fd = log_cost(size_before) ** 2
+                        else:
+                            fw = fd = float(size_before)
+                        chain = _chain_cost(k)
+                        target_work += fw + chain.work
+                        target_depth = max(target_depth, fd + chain.depth)
                     _assign_chain(parents, removed, int(e))
                     incoming.append(sp)
                     del spines[ev.v]
@@ -173,14 +176,16 @@ def sld_tree_contraction(
                 combined = incoming[0]
                 for sp in incoming[1:]:
                     combined = combined.meld(sp)
-                merged_size = max(len(combined), 2)
-                if mode == "heap":
-                    meld_unit = log_cost(merged_size)
-                else:
-                    meld_unit = float(merged_size)
-                # d melds as a log-depth reduction tree
-                target_work += meld_unit * len(evs)
-                target_depth += meld_unit * (log2ceil(len(evs)) + 1)
+                meld_unit = 0.0
+                if tracker is not None:
+                    merged_size = max(len(combined), 2)
+                    if mode == "heap":
+                        meld_unit = log_cost(merged_size)
+                    else:
+                        meld_unit = float(merged_size)
+                    # d melds as a log-depth reduction tree
+                    target_work += meld_unit * len(evs)
+                    target_depth += meld_unit * (log2ceil(len(evs)) + 1)
                 base = spines.get(u)
                 if base is None or len(base) == 0:  # type: ignore[arg-type]
                     spines[u] = combined

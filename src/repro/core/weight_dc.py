@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers.bounds import cost_bound
-from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, combine_parallel
 from repro.runtime.instrumentation import PhaseTimer
 from repro.structures.unionfind import UnionFind
 from repro.trees.wtree import WeightedTree
@@ -62,6 +62,7 @@ def sld_weight_dc(
     if m == 0:
         return parents
     timer = timer if timer is not None else PhaseTimer()
+    tracker = active_tracker(tracker)
     with timer.phase("solve"):
         order = np.argsort(tree.ranks)
         # Scratch endpoint table: recursion levels temporarily overwrite the

@@ -7,9 +7,13 @@ scheduler on ``P`` processors finishes in time
 
 We use this bound as the simulated running time, anchored so that the
 simulated one-processor time equals the *measured* single-thread wall time
-``t1``:
+``t1``.  One processor executes all the work -- its depth is *covered* by
+the work, not added to it -- so the anchor is ``T(1) = W``, and:
 
-    ``T(P) = t1 * (W / P + D) / (W + D)``
+    ``T(P) = t1 * min(1, (W / P + D) / W)``
+
+The clamp at 1 keeps extra processors from ever slowing a greedy schedule
+down (a purely sequential phase, ``W == D``, correctly gains nothing).
 
 This reproduces the paper's thread-scaling experiments (Figures 6 and 8) on
 hardware without shared-memory parallelism: speedup curves, crossover

@@ -46,6 +46,7 @@ if TYPE_CHECKING:
 __all__ = [
     "WorkDepth",
     "CostTracker",
+    "active_tracker",
     "combine_parallel",
     "combine_serial",
     "log_cost",
@@ -241,6 +242,21 @@ class _RoundContext:
             self._tracker.add(self._round.as_workdepth())
             if recorder is not None:
                 check_recorder(recorder)
+
+
+def active_tracker(tracker: CostTracker | None) -> CostTracker | None:
+    """``tracker`` if it will actually record charges, else ``None``.
+
+    The disabled-instrumentation fast-path gate: a disabled tracker (or
+    :data:`NULL_TRACKER`) accepts every charge as a no-op, but each no-op
+    still costs a Python method call.  Algorithms normalize once at entry
+    (``tracker = active_tracker(tracker)``) so their per-operation charge
+    sites can test ``tracker is not None`` and skip both the call *and* the
+    cost-expression arithmetic feeding it when instrumentation is off.
+    """
+    if tracker is not None and tracker.enabled:
+        return tracker
+    return None
 
 
 #: A shared always-disabled tracker for hot paths that want zero accounting.

@@ -12,9 +12,11 @@ scheduler accounts for.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from collections.abc import Callable, Sequence
-from typing import TypeVar
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from functools import partial
+from typing import Any, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -27,6 +29,34 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _run_windowed(
+    pool: ThreadPoolExecutor,
+    thunks: Iterable[Callable[[], R]],
+    window: int,
+) -> list[R]:
+    """Submit thunks with a bounded in-flight window; collect in order.
+
+    At most ``window`` futures are outstanding at a time: before each new
+    submission the oldest outstanding future is drained, so a worker
+    exception propagates promptly -- nothing further is submitted after a
+    failure, and the still-queued futures are cancelled on the way out.
+    """
+    results: list[R] = []
+    inflight: deque[Future[R]] = deque()
+    try:
+        for thunk in thunks:
+            if len(inflight) >= window:
+                results.append(inflight.popleft().result())
+            inflight.append(pool.submit(thunk))
+        while inflight:
+            results.append(inflight.popleft().result())
+    except BaseException:
+        for fut in inflight:
+            fut.cancel()
+        raise
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -35,15 +65,18 @@ def parallel_map(
     """Apply ``fn`` to every item, preserving order.
 
     Runs sequentially when ``workers`` resolves to 1 or there is at most one
-    item, avoiding pool overhead on single-core machines.
+    item, avoiding pool overhead on single-core machines.  The first worker
+    exception propagates promptly: submission stops at the failure instead
+    of continuing through the remaining items.
     """
     n = len(items)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or n <= 1:
         return [fn(x) for x in items]
-    with ThreadPoolExecutor(max_workers=min(workers, n)) as pool:
-        return list(pool.map(fn, items))
+    workers = min(workers, n)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return _run_windowed(pool, (partial(fn, x) for x in items), 2 * workers)
 
 
 def parallel_for(
@@ -55,7 +88,8 @@ def parallel_for(
     """Run ``fn(lo, hi)`` over a blocked decomposition of ``range(n)``.
 
     ``fn`` receives half-open index ranges; blocks are at least ``grain``
-    long so per-task overhead stays bounded.
+    long so per-task overhead stays bounded.  As in :func:`parallel_map`,
+    the first block exception propagates promptly and stops submission.
     """
     if n <= 0:
         return
@@ -66,7 +100,9 @@ def parallel_for(
         return
     block = max(grain, (n + workers - 1) // workers)
     ranges = [(lo, min(lo + block, n)) for lo in range(0, n, block)]
-    with ThreadPoolExecutor(max_workers=min(workers, len(ranges))) as pool:
-        futures = [pool.submit(fn, lo, hi) for lo, hi in ranges]
-        for fut in futures:
-            fut.result()
+    workers = min(workers, len(ranges))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        thunks: Iterable[Callable[[], Any]] = (
+            partial(fn, lo, hi) for lo, hi in ranges
+        )
+        _run_windowed(pool, thunks, 2 * workers)

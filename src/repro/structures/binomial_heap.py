@@ -62,12 +62,14 @@ class BinomialHeap:
 
     # -- basics -------------------------------------------------------------
     def __len__(self) -> int:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._size == 0
 
     @classmethod
@@ -82,14 +84,16 @@ class BinomialHeap:
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="Section 2.2: binomial-heap insert is O(log s)")
     def insert(self, key: int, item: object) -> None:
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         node = _Node(key, item)
         self._roots = _merge_root_lists(self._roots, [node])
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
         """``(key, item)`` of the minimum element, without removing it."""
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         node = self._min_root()
         return node.key, node.item
 
@@ -97,7 +101,8 @@ class BinomialHeap:
                 theorem="Section 2.2: binomial-heap delete-min is O(log s)")
     def delete_min(self) -> tuple[int, object]:
         """Remove and return the minimum ``(key, item)``."""
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         node = self._min_root()
         self._roots.remove(node)
         # Child chain is ordered by decreasing degree; reversing yields a
@@ -123,8 +128,10 @@ class BinomialHeap:
         """
         if other is self:
             raise ValueError("cannot meld a heap with itself")
-        _access.record_write(self, "heap")
-        _access.record_write(other, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(other, "heap")
         self._roots = _merge_root_lists(self._roots, other._roots)
         self._size += other._size
         other._roots = []
@@ -139,7 +146,8 @@ class BinomialHeap:
         The returned list is unsorted (callers sort by rank, as in the
         update-output step of Algs. 3-4).
         """
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         removed: list[tuple[int, object]] = []
         survivors: list[_Node] = []
         for root in self._roots:
@@ -179,7 +187,8 @@ class BinomialHeap:
 
     def items(self) -> Iterator[tuple[int, object]]:
         """Iterate all ``(key, item)`` pairs in arbitrary order."""
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         stack = list(self._roots)
         while stack:
             node = stack.pop()

@@ -53,12 +53,14 @@ class PairingHeap:
         self._size = 0
 
     def __len__(self) -> int:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._root is None
 
     @classmethod
@@ -71,12 +73,14 @@ class PairingHeap:
     @cost_bound(work="1", depth="1", vars=("s",), kind="structure_op",
                 theorem="pairing heap: O(1) insert (one comparison-link)")
     def insert(self, key: int, item: object) -> None:
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         self._root = _meld_nodes(self._root, _PNode(key, item))
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         if self._root is None:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
@@ -84,7 +88,8 @@ class PairingHeap:
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="pairing heap: O(log s) amortized delete-min (two-pass pairing)")
     def delete_min(self) -> tuple[int, object]:
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         root = self._root
         if root is None:
             raise EmptyHeapError("heap is empty")
@@ -117,8 +122,10 @@ class PairingHeap:
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:
             raise ValueError("cannot meld a heap with itself")
-        _access.record_write(self, "heap")
-        _access.record_write(other, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(other, "heap")
         self._root = _meld_nodes(self._root, other._root)
         self._size += other._size
         other._root = None
@@ -126,7 +133,8 @@ class PairingHeap:
         return self
 
     def items(self) -> Iterator[tuple[int, object]]:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         if self._root is None:
             return
         stack = [self._root]

@@ -59,12 +59,14 @@ class SkewHeap:
         self._size = 0
 
     def __len__(self) -> int:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._size
 
     @property
     def is_empty(self) -> bool:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         return self._root is None
 
     @classmethod
@@ -77,12 +79,14 @@ class SkewHeap:
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="skew heap: O(log s) amortized insert (singleton merge)")
     def insert(self, key: int, item: object) -> None:
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         self._root = _merge(self._root, _SNode(key, item))
         self._size += 1
 
     def find_min(self) -> tuple[int, object]:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         if self._root is None:
             raise EmptyHeapError("heap is empty")
         return self._root.key, self._root.item
@@ -90,7 +94,8 @@ class SkewHeap:
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="skew heap: O(log s) amortized delete-min (merge of subtrees)")
     def delete_min(self) -> tuple[int, object]:
-        _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
         root = self._root
         if root is None:
             raise EmptyHeapError("heap is empty")
@@ -104,8 +109,10 @@ class SkewHeap:
         """Destructively meld ``other`` into ``self``; returns ``self``."""
         if other is self:
             raise ValueError("cannot meld a heap with itself")
-        _access.record_write(self, "heap")
-        _access.record_write(other, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_write(other, "heap")
         self._root = _merge(self._root, other._root)
         self._size += other._size
         other._root = None
@@ -113,7 +120,8 @@ class SkewHeap:
         return self
 
     def items(self) -> Iterator[tuple[int, object]]:
-        _access.record_read(self, "heap")
+        if _access.RECORDER is not None:
+            _access.record_read(self, "heap")
         if self._root is None:
             return
         stack = [self._root]

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers import access as _access
 from repro.errors import NotConnectedError
-from repro.runtime.cost_model import CostTracker, WorkDepth
+from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker
 from repro.structures.unionfind import UnionFind
 from repro.trees.mst import _check_graph
 from repro.trees.weights import ranks_of
@@ -45,10 +46,38 @@ def boruvka_rounds(
     weights: np.ndarray,
     tracker: CostTracker | None = None,
 ) -> tuple[np.ndarray, int]:
-    """As :func:`boruvka_mst`, additionally returning the round count."""
+    """As :func:`boruvka_mst`, additionally returning the round count.
+
+    With instrumentation inactive (no enabled ``tracker``, no shadow-access
+    recorder) each round resolves component roots with one vectorized
+    :meth:`~repro.structures.unionfind.UnionFind.find_many` batch and picks
+    every component's min-rank incident edge by a single lexsort instead of
+    the per-edge dict scan.  Both paths select identical edges in identical
+    rounds (ranks are a permutation, so min-edge selection has no ties).
+    """
     edges, weights = _check_graph(n, edges, weights)
     ranks = ranks_of(weights)
     uf = UnionFind(n)
+    tracker = active_tracker(tracker)
+    if tracker is None and _access.RECORDER is None:
+        chosen, rounds = _boruvka_loop_fast(uf, edges, ranks, n)
+    else:
+        chosen, rounds = _boruvka_loop(uf, edges, ranks, n, tracker)
+    if uf.num_sets > 1:
+        raise NotConnectedError(
+            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
+        )
+    return np.asarray(sorted(chosen), dtype=np.int64), rounds
+
+
+def _boruvka_loop(
+    uf: UnionFind,
+    edges: np.ndarray,
+    ranks: np.ndarray,
+    n: int,
+    tracker: CostTracker | None,
+) -> tuple[list[int], int]:
+    """The per-edge round loop (instrumented/recorded path)."""
     chosen: list[int] = []
     alive = np.arange(edges.shape[0], dtype=np.int64)
     rounds = 0
@@ -87,11 +116,50 @@ def boruvka_rounds(
             tracker.add(WorkDepth(float(alive.size), float(log2ceil(n) + 1)))
         if added == 0:
             break
-    if uf.num_sets > 1:
-        raise NotConnectedError(
-            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
-        )
-    return np.asarray(sorted(chosen), dtype=np.int64), rounds
+    return chosen, rounds
+
+
+def _boruvka_loop_fast(
+    uf: UnionFind, edges: np.ndarray, ranks: np.ndarray, n: int
+) -> tuple[list[int], int]:
+    """Vectorized round loop (fast path): batch finds + lexsort selection.
+
+    Must select the same edges in the same rounds as :func:`_boruvka_loop`
+    (``ranks`` is a permutation, so each component's min-rank incident edge
+    is unique) -- the instrumented loop remains the reference.
+    """
+    chosen: list[int] = []
+    alive = np.arange(edges.shape[0], dtype=np.int64)
+    rounds = 0
+    while uf.num_sets > 1:
+        rounds += 1
+        roots_u = uf.find_many(edges[alive, 0])
+        roots_v = uf.find_many(edges[alive, 1])
+        cross = roots_u != roots_v
+        alive = alive[cross]
+        roots_u = roots_u[cross]
+        roots_v = roots_v[cross]
+        if alive.size == 0:
+            break
+        # Min-rank incident edge per component: sort (component, rank) pairs
+        # over both endpoint directions and keep each component's first row.
+        comp = np.concatenate([roots_u, roots_v])
+        eid = np.concatenate([alive, alive])
+        order = np.lexsort((ranks[eid], comp))
+        comp_s = comp[order]
+        first = np.r_[True, comp_s[1:] != comp_s[:-1]]
+        sel = np.unique(eid[order[first]])
+        sel = sel[np.argsort(ranks[sel])]
+        added = 0
+        for e in sel.tolist():
+            u, v = int(edges[e, 0]), int(edges[e, 1])
+            if uf.find(u) != uf.find(v):
+                uf.union(u, v)
+                chosen.append(e)
+                added += 1
+        if added == 0:
+            break
+    return chosen, rounds
 
 
 def boruvka_tree(

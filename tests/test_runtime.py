@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import threading
 import time
 
 import numpy as np
@@ -145,6 +146,13 @@ class TestBrent:
         with pytest.raises(ValueError):
             calibrated_times(-1.0, 10, 1, [1])
 
+    def test_calibrated_t1_convention_exact(self):
+        # The documented anchoring convention is T(1) = W exactly: the
+        # one-processor simulated time is the measured t1, not scaled by
+        # any (W + D)-style denominator.
+        for work, depth in [(1000.0, 10.0), (7.0, 7.0), (123.0, 1.0)]:
+            assert calibrated_times(3.5, work, depth, [1]) == [3.5]
+
     def test_geomean_speedup(self):
         assert geomean_speedup([2.0, 8.0]) == pytest.approx(4.0)
         assert math.isnan(geomean_speedup([]))
@@ -228,6 +236,66 @@ class TestPool:
         calls = []
         parallel_for(lambda lo, hi: calls.append((lo, hi)), 10, workers=8, grain=1024)
         assert calls == [(0, 10)]
+
+    def test_parallel_map_propagates_first_exception(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError(f"worker failed on {x}")
+            return x
+
+        with pytest.raises(RuntimeError, match="worker failed on 3"):
+            parallel_map(boom, list(range(50)), workers=4)
+
+    def test_parallel_map_stops_submitting_after_failure(self):
+        # With a bounded in-flight window, a failure early in the item
+        # stream must stop submission: items far past the failure point
+        # (beyond the window) are never started.
+        started = []
+        lock = threading.Lock()
+
+        def body(x):
+            with lock:
+                started.append(x)
+            if x == 0:
+                raise ValueError("early failure")
+            time.sleep(0.001)
+            return x
+
+        with pytest.raises(ValueError):
+            parallel_map(body, list(range(1000)), workers=2)
+        assert len(started) < 1000
+
+    def test_parallel_for_propagates_first_exception(self):
+        def body(lo, hi):
+            if lo >= 512:
+                raise RuntimeError("block failed")
+
+        with pytest.raises(RuntimeError, match="block failed"):
+            parallel_for(body, 4096, workers=4, grain=256)
+
+    def test_parallel_for_stops_submitting_after_failure(self):
+        started = []
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                started.append(lo)
+            if lo == 0:
+                raise ValueError("early failure")
+            time.sleep(0.001)
+
+        with pytest.raises(ValueError):
+            parallel_for(body, 1 << 20, workers=2, grain=64)
+        assert len(started) < (1 << 20) // 64
+
+    def test_parallel_map_order_with_uneven_durations(self):
+        def body(x):
+            time.sleep(0.002 if x % 5 == 0 else 0.0)
+            return x * 10
+
+        assert parallel_map(body, list(range(64)), workers=8) == [
+            x * 10 for x in range(64)
+        ]
 
 
 class TestScheduler:

@@ -107,3 +107,74 @@ def test_set_sizes_sum_to_n(n, seed):
             uf.union(a, b)
     total = sum(uf.set_size(int(r)) for r in uf.roots())
     assert total == n
+
+
+def test_roots_leaves_counters_untouched():
+    """roots() is a reporting helper: no finds/find_steps charges."""
+    uf = UnionFind(16)
+    for a, b in [(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)]:
+        uf.union(a, b)
+    finds, steps, unions = uf.finds, uf.find_steps, uf.unions
+    roots = uf.roots()
+    assert (uf.finds, uf.find_steps, uf.unions) == (finds, steps, unions)
+    assert roots.size == uf.num_sets
+    # And it is read-only: no path compression happened.
+    assert sorted(int(uf.find(i)) for i in range(16)) == sorted(
+        int(r) for r in roots for _ in range(int(uf.set_size(int(r))))
+    )
+
+
+def test_roots_not_recorded_by_shadow_recorder():
+    from repro.checkers import access as _access
+
+    uf = UnionFind(8)
+    uf.union(0, 1)
+    uf.union(2, 3)
+    rec = _access.RoundRecorder(where="test")
+    _access.install(rec)
+    try:
+        task = rec.begin_task(0, label="task 0")
+        uf.roots()
+        assert not task.reads and not task.writes and not task.atomics
+    finally:
+        rec.drop_open_task()
+        _access.uninstall(rec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 50),
+    pairs=st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=60),
+    queries=st.lists(st.integers(0, 49), max_size=40),
+)
+def test_find_many_matches_scalar_find(n, pairs, queries):
+    uf_batch = UnionFind(n)
+    uf_scalar = UnionFind(n)
+    for a, b in pairs:
+        a, b = a % n, b % n
+        if not uf_batch.connected(a, b):
+            uf_batch.union(a, b)
+            uf_scalar.union(a, b)
+    xs = np.asarray([q % n for q in queries], dtype=np.int64)
+    batch = uf_batch.find_many(xs)
+    scalar = np.asarray([uf_scalar.find(int(x)) for x in xs], dtype=np.int64)
+    assert np.array_equal(batch, scalar)
+    # Full path compression: a second batch takes zero steps.
+    steps_before = uf_batch.find_steps
+    uf_batch.find_many(xs)
+    assert uf_batch.find_steps == steps_before
+
+
+def test_find_many_charges_statistics():
+    uf = UnionFind(8)
+    for a, b in [(0, 1), (1, 2), (2, 3)]:
+        uf.union(a, b)
+    finds_before = uf.finds
+    uf.find_many(np.arange(8))
+    assert uf.finds == finds_before + 8
+
+
+def test_find_many_empty():
+    uf = UnionFind(4)
+    out = uf.find_many(np.empty(0, dtype=np.int64))
+    assert out.size == 0 and out.dtype == np.int64
