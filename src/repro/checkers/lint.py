@@ -76,8 +76,11 @@ ALL_CODES = (
     "RPR105",
 )
 
-#: Layers allowed to read clocks and draw unseeded randomness.
-_EXEMPT_LAYERS = ("repro/runtime/", "repro/bench/")
+#: Layers allowed to read clocks and draw unseeded randomness: the
+#: simulation runtime, the wall-clock benchmark harness, and the fuzzing
+#: driver (whose ``--budget`` is wall-clock by definition; its case
+#: streams stay seeded by contract, enforced by its own tests).
+_EXEMPT_LAYERS = ("repro/runtime/", "repro/bench/", "repro/fuzz/")
 
 _WALL_CLOCK = {
     "time.time",

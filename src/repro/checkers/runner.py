@@ -24,6 +24,12 @@ Composes the two checker layers into one pass/fail gate:
   over every registered ``kind="algorithm"`` cost bound; the full report
   is written to ``results/bounds_report.json`` for the CI artifact.
 
+* **Corpus replay** (default run only) -- every committed fuzz corpus
+  entry under ``tests/fixtures/corpus/`` is replayed through the
+  ``repro.fuzz`` battery; a finding means a previously fixed bug has
+  regressed.  Skipped silently when the corpus directory does not exist
+  (e.g. installed-package runs outside the repo checkout).
+
 Exit-code contract (stable; CI and the tests rely on it):
 
 * ``0`` -- every selected layer is clean;
@@ -32,8 +38,8 @@ Exit-code contract (stable; CI and the tests rely on it):
 * ``2`` -- usage error (a given path does not exist); no checks ran.
 
 ``--json`` replaces the line-oriented output with one JSON object
-(``{"lint": ..., "races": ..., "bounds": ..., "ok": ..., "exit_code": ...}``)
-on stdout; the exit code is unchanged.
+(``{"lint": ..., "races": ..., "corpus": ..., "bounds": ..., "ok": ...,
+"exit_code": ...}``) on stdout; the exit code is unchanged.
 """
 
 from __future__ import annotations
@@ -46,7 +52,13 @@ from typing import Any
 from repro.checkers.lint import LintDiagnostic, lint_paths
 from repro.errors import RaceConditionError
 
-__all__ = ["run_check", "run_race_battery", "run_dynamic_fixture", "DEFAULT_BOUNDS_REPORT"]
+__all__ = [
+    "run_check",
+    "run_race_battery",
+    "run_corpus_replay",
+    "run_dynamic_fixture",
+    "DEFAULT_BOUNDS_REPORT",
+]
 
 #: Where ``--bounds`` writes its JSON artifact unless overridden.
 DEFAULT_BOUNDS_REPORT = "results/bounds_report.json"
@@ -156,6 +168,24 @@ def run_dynamic_fixture(path: Path) -> list[str]:
     return failures
 
 
+def run_corpus_replay(corpus_dir: str | Path | None = None) -> list[str]:
+    """Replay the committed fuzz corpus; return regression descriptions.
+
+    Returns ``[]`` both when every entry is clean and when the corpus
+    directory does not exist (nothing to replay is not a failure).
+    """
+    from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, replay_corpus
+
+    corpus_dir = Path(corpus_dir) if corpus_dir is not None else DEFAULT_CORPUS_DIR
+    if not corpus_dir.is_dir():
+        return []
+    failures: list[str] = []
+    for path, findings in replay_corpus(corpus_dir):
+        for finding in findings:
+            failures.append(f"{path.name}: {finding.describe()}")
+    return failures
+
+
 def run_check(
     paths: list[str] | None = None,
     lint: bool = True,
@@ -203,6 +233,12 @@ def run_check(
         for f in race_failures:
             emit(f"RACE {f}")
 
+    corpus_failures: list[str] = []
+    if races and not explicit:
+        corpus_failures = run_corpus_replay()
+        for f in corpus_failures:
+            emit(f"CORPUS {f}")
+
     fit_report = None
     if bounds:
         from repro.checkers.fit import run_fit
@@ -214,8 +250,9 @@ def run_check(
 
     n_lint = len(diagnostics)
     n_race = len(race_failures)
+    n_corpus = len(corpus_failures)
     n_bound = len(fit_report.failures) if fit_report is not None else 0
-    ok = n_lint == 0 and n_race == 0 and n_bound == 0
+    ok = n_lint == 0 and n_race == 0 and n_corpus == 0 and n_bound == 0
     exit_code = 0 if ok else 1
 
     if json_output:
@@ -226,6 +263,11 @@ def run_check(
                 "findings": [vars(d) | {} for d in diagnostics],
             },
             "races": {"enabled": races, "count": n_race, "failures": race_failures},
+            "corpus": {
+                "enabled": races and not explicit,
+                "count": n_corpus,
+                "failures": corpus_failures,
+            },
             "bounds": fit_report.to_dict() if fit_report is not None else None,
             "ok": ok,
             "exit_code": exit_code,
@@ -237,6 +279,8 @@ def run_check(
         print("repro check: OK")
         return 0
     parts = [f"{n_lint} lint finding(s)", f"{n_race} race failure(s)"]
+    if n_corpus:
+        parts.append(f"{n_corpus} corpus regression(s)")
     if fit_report is not None:
         parts.append(f"{n_bound} bound fit(s) over tolerance")
     print(f"repro check: {', '.join(parts)}")

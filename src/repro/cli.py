@@ -15,6 +15,10 @@ Commands
     Describe a saved tree or dendrogram archive.
 ``check``
     Run the repo invariant lint (RPR codes) and the round-race battery.
+``fuzz``
+    Differential + metamorphic fuzzing of the dendrogram algorithms and
+    the io loaders (``--selftest`` injects known mutants; ``--replay``
+    re-runs the regression corpus).
 """
 
 from __future__ import annotations
@@ -158,6 +162,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where --bounds writes its JSON artifact "
         "(default: results/bounds_report.json)",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzzing of the algorithms and io loaders",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="base seed; case i is f(seed, i)")
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget; only truncates the deterministic case stream",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=None, help="exact number of cases to run"
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="where shrunken failures are written "
+        "(default: tests/fixtures/corpus)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="CORPUS",
+        default=None,
+        help="replay a regression corpus directory instead of fuzzing; "
+        "exits 1 if any entry finds its bug again",
+    )
+    fuzz.add_argument(
+        "--selftest",
+        action="store_true",
+        help="inject known mutants and fail unless the fuzzer catches every one",
+    )
+    fuzz.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="worker threads for the paruf-threaded differential runs",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="skip minimization of failing cases"
     )
     return parser
 
@@ -389,6 +437,52 @@ def _cmd_check(args) -> int:
     )
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, replay_corpus
+    from repro.fuzz.runner import run_fuzz
+    from repro.fuzz.selftest import run_selftest
+
+    if args.selftest:
+        report = run_selftest(seed=args.seed, shrink=not args.no_shrink)
+        print("\n".join(report.format_lines()))
+        return 0 if report.ok else 1
+
+    if args.replay is not None:
+        from pathlib import Path
+
+        corpus = Path(args.replay)
+        if not corpus.is_dir():
+            print(f"repro fuzz: no such corpus directory: {corpus}")
+            return 2
+        results = replay_corpus(corpus)
+        failures = 0
+        for path, findings in results:
+            if findings:
+                failures += 1
+                print(f"FAIL {path.name}: " + "; ".join(f.describe() for f in findings))
+            else:
+                print(f"ok   {path.name}")
+        print(
+            f"fuzz replay: {len(results)} entr(y/ies), {failures} regression(s)"
+            if results
+            else "fuzz replay: empty corpus"
+        )
+        return 1 if failures else 0
+
+    corpus_dir = args.corpus if args.corpus is not None else DEFAULT_CORPUS_DIR
+    report = run_fuzz(
+        seed=args.seed,
+        budget_s=args.budget,
+        max_cases=args.cases,
+        corpus_dir=corpus_dir,
+        num_threads=args.threads,
+        shrink=not args.no_shrink,
+        progress=print,
+    )
+    print("\n".join(report.format_lines()))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compute": _cmd_compute,
@@ -398,6 +492,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "info": _cmd_info,
     "check": _cmd_check,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,54 @@
+"""repro.fuzz: seeded differential + metamorphic fuzzing of the package.
+
+The paper's evaluation validates SeqUF/ParUF/RCTT against each other on
+adversarial tree families; this subsystem automates that methodology and
+extends it to the io layer:
+
+* :mod:`repro.fuzz.generators` -- deterministic adversarial inputs (tree
+  topology x weight-family grid, malformed CSV text, corrupted ``.npz``
+  bytes), one ``numpy`` Generator per ``(seed, case index)``;
+* :mod:`repro.fuzz.oracles` -- the differential layer: every dendrogram
+  algorithm against the :func:`~repro.core.brute.brute_force_sld` oracle,
+  and ``load_edges_csv`` against an independent reference parser;
+* :mod:`repro.fuzz.relations` -- metamorphic relations (edge-permutation
+  invariance, monotone weight-transform equivariance, leaf-relabeling
+  conjugacy, cut/cophenetic consistency);
+* :mod:`repro.fuzz.shrink` -- greedy minimization of any failing case;
+* :mod:`repro.fuzz.corpus` -- the replayable regression corpus under
+  ``tests/fixtures/corpus/`` (byte-stable JSON entries);
+* :mod:`repro.fuzz.runner` -- the ``python -m repro fuzz`` driver;
+* :mod:`repro.fuzz.selftest` -- injected mutants the fuzzer must catch.
+
+Determinism contract: case ``i`` under ``--seed s`` is a pure function of
+``(s, i)``; a budget or case cap only truncates the sequence.  Corpus
+entries are content-addressed, so two runs with the same seed write
+byte-identical files.
+"""
+
+from repro.fuzz.corpus import replay_corpus, save_finding
+from repro.fuzz.generators import CsvCase, NpzCase, TreeCase, case_rng, gen_case
+from repro.fuzz.oracles import FUZZ_ALGORITHMS, Finding, differential_check, io_csv_check
+from repro.fuzz.relations import METAMORPHIC_RELATIONS, relations_check
+from repro.fuzz.runner import FuzzReport, run_fuzz
+from repro.fuzz.selftest import run_selftest
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "FUZZ_ALGORITHMS",
+    "METAMORPHIC_RELATIONS",
+    "CsvCase",
+    "Finding",
+    "FuzzReport",
+    "NpzCase",
+    "TreeCase",
+    "case_rng",
+    "differential_check",
+    "gen_case",
+    "io_csv_check",
+    "relations_check",
+    "replay_corpus",
+    "run_fuzz",
+    "run_selftest",
+    "save_finding",
+    "shrink_case",
+]

@@ -1,0 +1,170 @@
+"""The replayable regression corpus under ``tests/fixtures/corpus/``.
+
+Every finding the fuzzer shrinks is persisted as one JSON entry holding
+the *case*, not the expected output: replaying re-runs the full battery
+for the case's domain, so an entry passes exactly when the bug it pinned
+stays fixed.  Entries are byte-stable:
+
+* floats serialize as ``float.hex()`` strings (exact round-trip);
+* ``.npz`` bytes serialize as base64;
+* objects serialize with sorted keys and a trailing newline;
+* the filename is content-addressed
+  (``<kind>-<sha256 prefix>.json``), so identical findings from any run
+  (or machine) produce identical files -- the determinism contract
+  ``python -m repro fuzz`` advertises.
+
+Format: ``repro-fuzz-corpus/1``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.oracles import Finding, differential_check, io_csv_check, io_npz_check
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "DEFAULT_CORPUS_DIR",
+    "entry_bytes",
+    "entry_filename",
+    "load_entry",
+    "replay_corpus",
+    "replay_entry",
+    "save_finding",
+]
+
+CORPUS_FORMAT = "repro-fuzz-corpus/1"
+
+#: Where the CLI reads/writes the committed regression corpus.
+DEFAULT_CORPUS_DIR = Path("tests") / "fixtures" / "corpus"
+
+
+def _case_payload(case: FuzzCase) -> dict[str, Any]:
+    if isinstance(case, TreeCase):
+        return {
+            "kind": "tree",
+            "n": case.n,
+            "edges": [[int(u), int(v)] for u, v in case.edges],
+            "weights": [float(w).hex() for w in case.weights],
+            "label": case.label,
+        }
+    if isinstance(case, CsvCase):
+        return {
+            "kind": "csv",
+            "text": case.text,
+            "has_header": case.has_header,
+            "label": case.label,
+        }
+    return {
+        "kind": "npz",
+        "data_base64": base64.b64encode(case.data).decode("ascii"),
+        "label": case.label,
+    }
+
+
+def _case_from_payload(payload: dict[str, Any]) -> FuzzCase:
+    kind = payload["kind"]
+    if kind == "tree":
+        return TreeCase(
+            n=int(payload["n"]),
+            edges=np.asarray(payload["edges"], dtype=np.int64).reshape(-1, 2),
+            weights=np.array(
+                [float.fromhex(w) for w in payload["weights"]], dtype=np.float64
+            ),
+            label=payload.get("label", ""),
+        )
+    if kind == "csv":
+        return CsvCase(
+            text=payload["text"],
+            has_header=payload["has_header"],
+            label=payload.get("label", ""),
+        )
+    if kind == "npz":
+        return NpzCase(
+            data=base64.b64decode(payload["data_base64"]),
+            label=payload.get("label", ""),
+        )
+    raise ValueError(f"unknown corpus case kind {kind!r}")
+
+
+def entry_bytes(finding: Finding) -> bytes:
+    """Canonical serialized form of a finding (stable across runs)."""
+    payload = {
+        "format": CORPUS_FORMAT,
+        "check": finding.check,
+        "message": finding.message,
+        "case": _case_payload(finding.case),
+    }
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+def entry_filename(finding: Finding) -> str:
+    blob = entry_bytes(finding)
+    digest = hashlib.sha256(blob).hexdigest()[:12]
+    kind = _case_payload(finding.case)["kind"]
+    return f"{kind}-{digest}.json"
+
+
+def save_finding(finding: Finding, corpus_dir: str | Path) -> Path:
+    """Write the entry (content-addressed; rewriting is idempotent)."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / entry_filename(finding)
+    path.write_bytes(entry_bytes(finding))
+    return path
+
+
+def load_entry(path: str | Path) -> tuple[str, str, FuzzCase]:
+    """Read one entry; returns ``(check, message, case)``."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"{path}: not a {CORPUS_FORMAT} entry")
+    return payload["check"], payload["message"], _case_from_payload(payload["case"])
+
+
+def replay_entry(path: str | Path) -> list[Finding]:
+    """Re-run the full battery for the entry's domain; [] means fixed."""
+    _, _, case = load_entry(path)
+    if isinstance(case, TreeCase):
+        from repro.fuzz.oracles import FUZZ_ALGORITHMS as algorithms
+        from repro.fuzz.relations import relations_check
+
+        findings = differential_check(case)
+        # Fixed seed: replay must be deterministic run to run.
+        digest = hashlib.sha256(Path(path).read_bytes()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+        findings += relations_check(case, dict(algorithms), rng)
+        return findings
+    if isinstance(case, CsvCase):
+        return io_csv_check(case)
+    return io_npz_check(case)
+
+
+def replay_corpus(corpus_dir: str | Path) -> list[tuple[Path, list[Finding]]]:
+    """Replay every ``*.json`` entry, sorted by name; deterministic order.
+
+    An entry that cannot even be parsed is reported as a finding rather
+    than crashing the replay -- a corrupted corpus is itself a regression.
+    """
+    corpus_dir = Path(corpus_dir)
+    results: list[tuple[Path, list[Finding]]] = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        try:
+            findings = replay_entry(path)
+        except Exception as exc:
+            findings = [
+                Finding(
+                    check="corpus:invalid-entry",
+                    message=f"{type(exc).__name__}: {exc}",
+                    case=NpzCase(data=b"", label=path.name),
+                )
+            ]
+        results.append((path, findings))
+    return results

@@ -1,0 +1,268 @@
+"""Deterministic adversarial input generation for the fuzzer.
+
+Three case domains:
+
+* :class:`TreeCase` -- a weighted tree drawn from the topology families the
+  paper evaluates on (path/star/knuth/...) crossed with adversarial weight
+  families (duplicates, near-duplicates one ulp apart, denormals,
+  inf-adjacent magnitudes, mixed signs);
+* :class:`CsvCase` -- edge-list CSV text assembled from a vocabulary of
+  hostile cells (words, floats in id columns, negatives, empties, self
+  loops, duplicate rows) plus a valid-graph mode so the accept path is
+  differentially checked too;
+* :class:`NpzCase` -- ``.npz`` byte streams: genuine archives that are
+  truncated or bit-flipped, wrong-kind archives, and raw noise.
+
+Everything is a pure function of the :class:`numpy.random.Generator` it is
+handed; :func:`case_rng` derives one Generator per ``(seed, index)`` via
+``SeedSequence`` so the case stream is reproducible and order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import io as _stdio
+
+import numpy as np
+
+from repro.trees.generators import (
+    balanced_binary,
+    broom,
+    caterpillar,
+    knuth_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.trees.wtree import WeightedTree
+
+__all__ = [
+    "TOPOLOGY_FAMILIES",
+    "WEIGHT_FAMILIES",
+    "CsvCase",
+    "NpzCase",
+    "TreeCase",
+    "case_rng",
+    "gen_case",
+    "gen_csv_case",
+    "gen_npz_case",
+    "gen_tree_case",
+]
+
+
+@dataclass
+class TreeCase:
+    """A weighted-tree fuzz input (always a structurally valid tree)."""
+
+    n: int
+    edges: np.ndarray
+    weights: np.ndarray
+    label: str = ""
+
+    def tree(self) -> WeightedTree:
+        return WeightedTree(self.n, self.edges, self.weights, validate=False)
+
+
+@dataclass
+class CsvCase:
+    """Raw CSV text plus the ``has_header`` argument to load it with."""
+
+    text: str
+    has_header: bool | None = None
+    label: str = ""
+
+
+@dataclass
+class NpzCase:
+    """Raw bytes presented to the ``.npz`` loaders."""
+
+    data: bytes = field(repr=False)
+    label: str = ""
+
+
+FuzzCase = TreeCase | CsvCase | NpzCase
+
+
+def case_rng(seed: int, index: int) -> np.random.Generator:
+    """The Generator for case ``index`` of a run with ``seed``."""
+    # SeedSequence entropy must be non-negative; fold negative seeds in.
+    return np.random.default_rng(np.random.SeedSequence((seed & 0xFFFFFFFFFFFFFFFF, index)))
+
+
+# ---------------------------------------------------------------------------
+# Tree cases
+# ---------------------------------------------------------------------------
+
+TOPOLOGY_FAMILIES = ("path", "star", "caterpillar", "broom", "binary", "knuth", "random")
+
+#: Weight families; each entry maps ``(rng, m) -> float64 array``.  The
+#: adversarial ones target tie-breaking (duplicates / near-duplicates one
+#: ulp apart / all-equal) and float-range handling (denormals, magnitudes
+#: adjacent to ``inf``, mixed signs).
+WEIGHT_FAMILIES = {
+    "perm": lambda rng, m: rng.permutation(m).astype(np.float64),
+    "uniform": lambda rng, m: rng.random(m),
+    "duplicates": lambda rng, m: rng.integers(0, max(2, m // 3 + 1), m).astype(np.float64),
+    "all-equal": lambda rng, m: np.ones(m, dtype=np.float64),
+    "near-duplicate": lambda rng, m: 1.0
+    + rng.integers(0, 3, m).astype(np.float64) * np.finfo(np.float64).eps,
+    "denormal": lambda rng, m: np.float64(5e-324) * rng.integers(1, 16, m).astype(np.float64),
+    "huge": lambda rng, m: np.finfo(np.float64).max * (0.25 + 0.5 * rng.random(m)),
+    "mixed-sign": lambda rng, m: rng.choice(
+        np.array([-1e308, -1.0, -5e-324, 0.0, 5e-324, 1.0, 1e308]), size=m
+    ),
+    "sorted": lambda rng, m: np.sort(rng.random(m)),
+    "reversed": lambda rng, m: np.sort(rng.random(m))[::-1].copy(),
+}
+
+
+def _make_topology(kind: str, n: int, rng: np.random.Generator) -> WeightedTree:
+    if kind == "path":
+        return path_tree(n)
+    if kind == "star":
+        return star_tree(n, center=int(rng.integers(n)))
+    if kind == "caterpillar":
+        return caterpillar(n, spine=int(rng.integers(1, n + 1)))
+    if kind == "broom":
+        return broom(n, handle=int(rng.integers(n)))
+    if kind == "binary":
+        return balanced_binary(n)
+    if kind == "knuth":
+        return knuth_tree(n, seed=rng)
+    if kind == "random":
+        return random_tree(n, seed=rng)
+    raise ValueError(f"unknown topology family {kind!r}")
+
+
+def gen_tree_case(rng: np.random.Generator, max_n: int = 32) -> TreeCase:
+    """Draw one adversarial weighted tree (small enough for the O(n^2) oracle)."""
+    n = int(rng.integers(2, max_n + 1))
+    topo = TOPOLOGY_FAMILIES[int(rng.integers(len(TOPOLOGY_FAMILIES)))]
+    wnames = sorted(WEIGHT_FAMILIES)
+    wname = wnames[int(rng.integers(len(wnames)))]
+    tree = _make_topology(topo, n, rng)
+    weights = WEIGHT_FAMILIES[wname](rng, tree.m)
+    return TreeCase(
+        n=tree.n,
+        edges=tree.edges,
+        weights=np.asarray(weights, dtype=np.float64),
+        label=f"{topo}/{wname}/n={n}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CSV cases
+# ---------------------------------------------------------------------------
+
+_ID_CELLS = ("0", "1", "2", "3", "4", "5", "6", "-1", "1.0", "x", "", " 2", "3 ", "nan", "1e3")
+_WEIGHT_CELLS = ("0.5", "1", "2.5", "-3.0", "", "inf", "nan", "w", "1e300", "1e400")
+_HEADER_LINES = ("source,target,weight", "u,v", "a,b,c,d", "0,1,weight")
+
+
+def _gen_valid_csv(rng: np.random.Generator) -> str:
+    """A well-formed edge list: distinct non-loop edges, parseable cells."""
+    n = int(rng.integers(2, 9))
+    rows = []
+    pairs: set[tuple[int, int]] = set()
+    for _ in range(int(rng.integers(1, 10))):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in pairs:
+            continue
+        pairs.add(key)
+        if rng.random() < 0.7:
+            rows.append(f"{u},{v},{float(rng.integers(1, 8)) / 2}")
+        else:
+            rows.append(f"{u},{v}")
+    return "\n".join(rows) + ("\n" if rows and rng.random() < 0.8 else "")
+
+
+def _gen_hostile_csv(rng: np.random.Generator) -> str:
+    """Token soup over the hostile cell vocabulary (quote-free by design,
+    so the independent reference parser and the csv module agree on
+    tokenization)."""
+    lines = []
+    if rng.random() < 0.3:
+        lines.append(_HEADER_LINES[int(rng.integers(len(_HEADER_LINES)))])
+    for _ in range(int(rng.integers(0, 6))):
+        roll = rng.random()
+        if roll < 0.1:
+            lines.append("")  # blank line
+        elif roll < 0.18:
+            lines.append(_ID_CELLS[int(rng.integers(len(_ID_CELLS)))])  # short row
+        else:
+            u = _ID_CELLS[int(rng.integers(len(_ID_CELLS)))]
+            v = _ID_CELLS[int(rng.integers(len(_ID_CELLS)))]
+            if rng.random() < 0.6:
+                w = _WEIGHT_CELLS[int(rng.integers(len(_WEIGHT_CELLS)))]
+                lines.append(f"{u},{v},{w}")
+            else:
+                lines.append(f"{u},{v}")
+    return "\n".join(lines) + ("\n" if lines and rng.random() < 0.8 else "")
+
+
+def gen_csv_case(rng: np.random.Generator) -> CsvCase:
+    """Draw one CSV input; roughly half valid, half hostile."""
+    valid = rng.random() < 0.5
+    text = _gen_valid_csv(rng) if valid else _gen_hostile_csv(rng)
+    has_header = (None, True, False)[int(rng.integers(3))]
+    return CsvCase(
+        text=text,
+        has_header=has_header,
+        label=f"csv/{'valid' if valid else 'hostile'}/header={has_header}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# npz cases
+# ---------------------------------------------------------------------------
+
+
+def _valid_tree_npz(rng: np.random.Generator) -> bytes:
+    from repro.io import save_tree  # local import to avoid a cycle at import time
+
+    case = gen_tree_case(rng, max_n=12)
+    buf = _stdio.BytesIO()
+    save_tree(buf, case.tree())
+    return buf.getvalue()
+
+
+def gen_npz_case(rng: np.random.Generator) -> NpzCase:
+    """Draw one byte stream for the ``.npz`` loader contract check."""
+    roll = rng.random()
+    if roll < 0.25:
+        return NpzCase(data=rng.bytes(int(rng.integers(0, 200))), label="npz/noise")
+    if roll < 0.5:
+        blob = _valid_tree_npz(rng)
+        cut = int(rng.integers(0, len(blob)))
+        return NpzCase(data=blob[:cut], label="npz/truncated")
+    if roll < 0.75:
+        blob = bytearray(_valid_tree_npz(rng))
+        pos = int(rng.integers(len(blob)))
+        blob[pos] ^= 1 << int(rng.integers(8))
+        return NpzCase(data=bytes(blob), label="npz/bitflip")
+    return NpzCase(data=_valid_tree_npz(rng), label="npz/valid")
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+#: Domain mix per case index: trees dominate (they exercise the seven
+#: algorithms), io domains ride along.
+_DOMAIN_WHEEL = ("tree",) * 6 + ("csv",) * 3 + ("npz",)
+
+
+def gen_case(rng: np.random.Generator, domains: tuple[str, ...] | None = None) -> FuzzCase:
+    """Draw one case; ``domains`` restricts the wheel (e.g. ``("csv",)``)."""
+    wheel = _DOMAIN_WHEEL if domains is None else tuple(d for d in _DOMAIN_WHEEL if d in domains)
+    if not wheel:
+        wheel = domains or _DOMAIN_WHEEL
+    domain = wheel[int(rng.integers(len(wheel)))]
+    if domain == "tree":
+        return gen_tree_case(rng)
+    if domain == "csv":
+        return gen_csv_case(rng)
+    return gen_npz_case(rng)

@@ -1,0 +1,281 @@
+"""Differential oracles: algorithms vs. the brute-force SLD, io vs. a
+reference parser.
+
+The dendrogram of a weighted tree is *unique* under the package's
+deterministic ``(weight, edge id)`` tie-breaking, so every algorithm must
+return the exact parent array the definitional
+:func:`~repro.core.brute.brute_force_sld` oracle computes -- byte-for-byte
+agreement, not just isomorphism.  That makes the differential check a
+single comparison per algorithm and (transitively) a pairwise cross-check
+of all of them.
+
+For the io layer there is no definitional oracle, so
+:func:`reference_parse_csv` reimplements the documented
+``load_edges_csv`` contract from scratch (plain string splitting, no csv
+module, no shared helpers); any behavioral difference -- acceptance,
+values, or a leaked non-:class:`~repro.io.FormatError` exception -- is a
+finding.  This is the harness that caught the header-skip and
+``ValueError``-leak bugs fixed alongside it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+import io as _stdio
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.brute import brute_force_sld
+from repro.core.paruf import paruf
+from repro.core.paruf_sync import paruf_sync
+from repro.core.paruf_threaded import paruf_threaded
+from repro.core.rctt import rctt
+from repro.core.sequf import sequf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.errors import ReproError
+from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase
+
+__all__ = [
+    "FUZZ_ALGORITHMS",
+    "Finding",
+    "differential_check",
+    "io_csv_check",
+    "io_npz_check",
+    "reference_parse_csv",
+]
+
+
+@dataclass
+class Finding:
+    """One observed divergence/crash, tied to the case that triggered it.
+
+    ``check`` and ``message`` are deterministic functions of the case (no
+    timestamps, addresses, or schedule-dependent detail) so corpus entries
+    are byte-stable across runs.
+    """
+
+    check: str
+    message: str
+    case: FuzzCase
+
+    def describe(self) -> str:
+        label = getattr(self.case, "label", "")
+        return f"{self.check}: {self.message}" + (f" [{label}]" if label else "")
+
+
+def _sld_merge(tree, **kw):  # type: ignore[no-untyped-def]
+    from repro.core.merge import sld_divide_and_conquer
+
+    return sld_divide_and_conquer(tree, **kw)
+
+
+#: Algorithms under differential test: the paper's production algorithms
+#: plus the genuinely-threaded ParUF variant (which the public
+#: ``ALGORITHMS`` registry omits because its signature takes no tracker).
+FUZZ_ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
+    "sequf": sequf,
+    "paruf": paruf,
+    "paruf-sync": paruf_sync,
+    "paruf-threaded": lambda tree, num_threads=4: paruf_threaded(tree, num_threads=num_threads),
+    "rctt": rctt,
+    "tree-contraction": lambda tree: sld_tree_contraction(tree, mode="heap"),
+    "sld-merge": _sld_merge,
+}
+
+
+def differential_check(
+    case: TreeCase,
+    algorithms: dict[str, Callable[..., np.ndarray]] | None = None,
+    num_threads: int = 4,
+) -> list[Finding]:
+    """Run every algorithm on the case and compare against the brute oracle."""
+    tree = case.tree()
+    expected = brute_force_sld(tree)
+    findings: list[Finding] = []
+    for name, fn in (algorithms if algorithms is not None else FUZZ_ALGORITHMS).items():
+        try:
+            if name == "paruf-threaded":
+                got = fn(tree, num_threads=num_threads)
+            else:
+                got = fn(tree)
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    check=f"differential:{name}",
+                    message=f"crashed with {type(exc).__name__}",
+                    case=case,
+                )
+            )
+            continue
+        if not np.array_equal(np.asarray(got), expected):
+            findings.append(
+                Finding(
+                    check=f"differential:{name}",
+                    message="parent array differs from the brute-force oracle",
+                    case=case,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Reference CSV parser (independent reimplementation of the io contract)
+# ---------------------------------------------------------------------------
+
+
+def reference_parse_csv(
+    text: str, has_header: bool | None
+) -> tuple[str, tuple[int, list[tuple[int, int]], list[float]] | str]:
+    """Parse edge-list CSV text by the documented contract, from scratch.
+
+    Returns ``("ok", (n, edges, weights))`` or ``("error", reason)`` where
+    ``reason`` is a stable tag (``short-row``, ``bad-int``, ``bad-float``,
+    ``nonfinite-weight``, ``negative-id``, ``self-loop``, ``duplicate-edge``,
+    ``no-edges``).  Quote-free inputs only (the generator guarantees this),
+    so naive comma splitting matches the csv module's tokenization.
+    """
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    seen: set[tuple[int, int]] = set()
+    first = True
+    for line in text.split("\n"):
+        line = line.rstrip("\r")
+        cells = line.split(",")
+        if len(cells) == 1 and not cells[0].strip():
+            continue  # blank row
+        if first:
+            first = False
+            if has_header:
+                continue
+            if has_header is None:
+                try:
+                    int(cells[0])
+                except ValueError:
+                    continue  # auto-detected header
+        if len(cells) < 2:
+            return "error", "short-row"
+        try:
+            u, v = int(cells[0]), int(cells[1])
+        except ValueError:
+            return "error", "bad-int"
+        if u < 0 or v < 0:
+            return "error", "negative-id"
+        if u == v:
+            return "error", "self-loop"
+        w = 1.0
+        if len(cells) >= 3 and cells[2].strip():
+            try:
+                w = float(cells[2])
+            except ValueError:
+                return "error", "bad-float"
+            if w != w or w in (float("inf"), float("-inf")):
+                return "error", "nonfinite-weight"
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            return "error", "duplicate-edge"
+        seen.add(key)
+        edges.append((u, v))
+        weights.append(w)
+    if not edges:
+        return "error", "no-edges"
+    n = max(max(u, v) for u, v in edges) + 1
+    return "ok", (n, edges, weights)
+
+
+LoadEdgesCsv = Callable[..., tuple[int, np.ndarray, np.ndarray]]
+
+
+def io_csv_check(case: CsvCase, loader: LoadEdgesCsv | None = None) -> list[Finding]:
+    """Differential + contract check of ``load_edges_csv`` on one case.
+
+    Properties enforced:
+
+    * the loader raises :class:`~repro.io.FormatError` -- never any other
+      exception -- exactly when the reference parser rejects;
+    * on acceptance, ``(n, edges, weights)`` match the reference exactly.
+    """
+    from repro.io import FormatError, load_edges_csv
+
+    fn = loader if loader is not None else load_edges_csv
+    verdict, payload = reference_parse_csv(case.text, case.has_header)
+    fd, path = tempfile.mkstemp(suffix=".csv")
+    try:
+        with os.fdopen(fd, "w", newline="") as fh:
+            fh.write(case.text)
+        try:
+            n, edges, weights = fn(path, has_header=case.has_header)
+            outcome = "ok"
+        except FormatError:
+            outcome = "rejected"
+        except Exception as exc:
+            return [
+                Finding(
+                    check="io:csv:exception-leak",
+                    message=f"loader leaked {type(exc).__name__} instead of FormatError",
+                    case=case,
+                )
+            ]
+    finally:
+        os.unlink(path)
+    if verdict == "error":
+        if outcome != "rejected":
+            return [
+                Finding(
+                    check="io:csv:accepted-malformed",
+                    message=f"loader accepted input the contract rejects ({payload})",
+                    case=case,
+                )
+            ]
+        return []
+    assert not isinstance(payload, str)
+    ref_n, ref_edges, ref_weights = payload
+    if outcome == "rejected":
+        return [
+            Finding(
+                check="io:csv:rejected-wellformed",
+                message="loader rejected input the contract accepts",
+                case=case,
+            )
+        ]
+    same = (
+        n == ref_n
+        and edges.shape == (len(ref_edges), 2)
+        and np.array_equal(edges, np.asarray(ref_edges, dtype=np.int64).reshape(-1, 2))
+        and np.array_equal(weights, np.asarray(ref_weights, dtype=np.float64))
+    )
+    if not same:
+        return [
+            Finding(
+                check="io:csv:result-mismatch",
+                message="loader output differs from the reference parser",
+                case=case,
+            )
+        ]
+    return []
+
+
+def io_npz_check(case: NpzCase) -> list[Finding]:
+    """Contract check of the ``.npz`` loaders on arbitrary bytes.
+
+    ``load_tree`` must either return a tree or raise a
+    :class:`~repro.errors.ReproError` (:class:`~repro.io.FormatError` for
+    non-archives); any other exception escaping is a finding.
+    """
+    from repro.io import load_tree
+
+    try:
+        load_tree(_stdio.BytesIO(case.data))
+    except ReproError:
+        pass
+    except Exception as exc:
+        return [
+            Finding(
+                check="io:npz:exception-leak",
+                message=f"load_tree leaked {type(exc).__name__} instead of a ReproError",
+                case=case,
+            )
+        ]
+    return []

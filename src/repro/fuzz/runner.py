@@ -1,0 +1,163 @@
+"""The fuzzing driver behind ``python -m repro fuzz``.
+
+One loop, three domains (trees / CSV text / npz bytes), deterministic per
+``(seed, case index)``.  Tree cases run the differential oracle and the
+metamorphic relations; io cases run the loader contract checks.  The first
+finding per distinct check name is shrunk and written to the corpus;
+repeats are only counted, so a single bug cannot flood the corpus.
+
+The loop stops at ``max_cases``, at the wall-clock ``budget_s``, or -- when
+neither is given -- at :data:`DEFAULT_MAX_CASES`.  A budget never changes
+*what* case ``i`` is, only how many cases run, so any corpus entry a
+budgeted run produces is byte-identical to the one an unbudgeted run
+produces (the determinism contract the CLI documents).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fuzz.corpus import save_finding
+from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase, case_rng, gen_case
+from repro.fuzz.oracles import (
+    FUZZ_ALGORITHMS,
+    Finding,
+    LoadEdgesCsv,
+    differential_check,
+    io_csv_check,
+    io_npz_check,
+)
+from repro.fuzz.relations import relations_check
+from repro.fuzz.shrink import shrink_case
+
+__all__ = ["DEFAULT_MAX_CASES", "FuzzReport", "run_fuzz"]
+
+#: Cases to run when neither ``--cases`` nor ``--budget`` is given.
+DEFAULT_MAX_CASES = 300
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    cases_run: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    finding_counts: dict[str, int] = field(default_factory=dict)
+    corpus_paths: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format_lines(self) -> list[str]:
+        lines = [f"fuzz: seed={self.seed}, {self.cases_run} case(s) run"]
+        for finding in self.findings:
+            count = self.finding_counts.get(finding.check, 1)
+            lines.append(f"  FAIL {finding.describe()} (x{count} case(s))")
+        for path in self.corpus_paths:
+            lines.append(f"  corpus entry written: {path}")
+        lines.append(
+            "fuzz: OK" if self.ok else f"fuzz: {len(self.findings)} distinct failure(s)"
+        )
+        return lines
+
+
+def _checks_for(
+    case: FuzzCase,
+    rng: np.random.Generator,
+    algorithms: dict[str, Callable[..., np.ndarray]],
+    loader: LoadEdgesCsv | None,
+    tree_checks: tuple[str, ...],
+    num_threads: int,
+) -> list[Finding]:
+    if isinstance(case, TreeCase):
+        findings: list[Finding] = []
+        if "differential" in tree_checks:
+            findings += differential_check(case, algorithms, num_threads=num_threads)
+        if "relations" in tree_checks:
+            findings += relations_check(case, algorithms, rng)
+        return findings
+    if isinstance(case, CsvCase):
+        return io_csv_check(case, loader=loader)
+    assert isinstance(case, NpzCase)
+    return io_npz_check(case)
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget_s: float | None = None,
+    max_cases: int | None = None,
+    corpus_dir: str | Path | None = None,
+    algorithms: dict[str, Callable[..., np.ndarray]] | None = None,
+    loader: LoadEdgesCsv | None = None,
+    domains: tuple[str, ...] | None = None,
+    tree_checks: tuple[str, ...] = ("differential", "relations"),
+    num_threads: int = 4,
+    shrink: bool = True,
+    stop_on_finding: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run the fuzz loop; see the module docstring for the protocol.
+
+    ``algorithms``/``loader`` exist as injection points for the selftest's
+    mutants; production runs leave them at their defaults.
+    """
+    algs = dict(algorithms if algorithms is not None else FUZZ_ALGORITHMS)
+    report = FuzzReport(seed=seed)
+    if max_cases is None and budget_s is None:
+        max_cases = DEFAULT_MAX_CASES
+    deadline = None if budget_s is None else time.monotonic() + budget_s
+    index = 0
+    while True:
+        if max_cases is not None and index >= max_cases:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        rng = case_rng(seed, index)
+        case = gen_case(rng, domains=domains)
+        # One derived stream per purpose so shrinking can replay relations
+        # with the exact RNG the failing evaluation used.
+        relation_seed = int(rng.integers(2**63))
+
+        def evaluate(c: FuzzCase) -> list[Finding]:
+            return _checks_for(
+                c,
+                np.random.default_rng(relation_seed),
+                algs,
+                loader,
+                tree_checks,
+                num_threads,
+            )
+
+        findings = evaluate(case)
+        for finding in findings:
+            first_time = finding.check not in report.finding_counts
+            report.finding_counts[finding.check] = (
+                report.finding_counts.get(finding.check, 0) + 1
+            )
+            if not first_time:
+                continue
+            target_check = finding.check
+            if shrink:
+
+                def still_fails(c: FuzzCase) -> bool:
+                    return any(f.check == target_check for f in evaluate(c))
+
+                small = shrink_case(finding.case, still_fails)
+                finding = Finding(check=finding.check, message=finding.message, case=small)
+            report.findings.append(finding)
+            if corpus_dir is not None:
+                report.corpus_paths.append(save_finding(finding, corpus_dir))
+            if progress is not None:
+                progress(f"case {index}: {finding.describe()}")
+        index += 1
+        report.cases_run = index
+        if stop_on_finding and report.findings:
+            break
+    return report

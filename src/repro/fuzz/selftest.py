@@ -1,0 +1,295 @@
+"""Fuzzer selftest: inject known mutants, fail unless every one is caught.
+
+A fuzzer that silently stops finding bugs is worse than none, so
+``python -m repro fuzz --selftest`` resurrects six known bug patterns --
+three algorithmic, three being the exact io bugs this subsystem originally
+caught -- injects them through the runner's ``algorithms``/``loader``
+injection points, and requires the standard battery to flag each one
+within a bounded number of cases.
+
+Algorithm mutants:
+
+* ``dropped-tiebreak`` -- ranks assigned by weight only, ties broken in
+  *reverse* edge-id order (the paper's determinism assumption violated);
+  only duplicate-weight inputs expose it, which is exactly what the
+  weight-family generator must keep producing.
+* ``grandparent-reattach`` -- every dendrogram node is reattached to its
+  grandparent: still structurally valid (rank-increasing, one root), so
+  only the differential oracle can see it.
+* ``label-tiebreak`` -- weight ties broken by endpoint vertex ids; caught
+  by the *leaf-relabeling* metamorphic relation with the oracle disabled,
+  proving the relations carry detection power of their own.
+
+io mutants (the resurrected pre-fix ``load_edges_csv`` behaviors):
+
+* ``csv-header-kept`` -- ``has_header=True`` only skipped a row when the
+  first cell failed to parse as an int;
+* ``csv-valueerror-leak`` -- cell parse failures escaped as raw
+  ``ValueError``;
+* ``csv-selfloop-accepted`` -- self loops and duplicate edges were
+  ingested silently.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sequf import sequf
+from repro.fuzz.runner import run_fuzz
+from repro.trees.wtree import WeightedTree
+
+__all__ = ["MUTANTS", "SelftestReport", "run_selftest"]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm mutants
+# ---------------------------------------------------------------------------
+
+
+def _uf_sld(tree: WeightedTree, order: np.ndarray) -> np.ndarray:
+    """Sequential union-find SLD merging edges in the given order (the
+    SeqUF recurrence, reimplemented so mutants do not share sequf's code)."""
+    m = tree.m
+    parents = np.arange(m, dtype=np.int64)
+    uf_parent = list(range(tree.n))
+    top = [-1] * tree.n  # most recent merge node inside each cluster
+
+    def find(x: int) -> int:
+        while uf_parent[x] != x:
+            uf_parent[x] = uf_parent[uf_parent[x]]
+            x = uf_parent[x]
+        return x
+
+    for e in order:
+        e = int(e)
+        u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+        ru, rv = find(u), find(v)
+        for r in (ru, rv):
+            if top[r] != -1:
+                parents[top[r]] = e
+        uf_parent[ru] = rv
+        top[rv] = e
+    return parents
+
+
+def mutant_dropped_tiebreak(tree: WeightedTree) -> np.ndarray:
+    """Ranks by weight with ties in *reverse* id order (dropped tie-break)."""
+    keys = np.lexsort((-np.arange(tree.m), tree.weights))
+    return _uf_sld(tree, keys)
+
+
+def mutant_grandparent_reattach(tree: WeightedTree) -> np.ndarray:
+    """Correct SLD, then every node adopted by its grandparent."""
+    parents = sequf(tree).copy()
+    return parents[parents]
+
+
+def mutant_label_tiebreak(tree: WeightedTree) -> np.ndarray:
+    """Weight ties broken by endpoint labels: vertex-relabeling sensitive."""
+    key = np.maximum(tree.edges[:, 0], tree.edges[:, 1])
+    order = np.lexsort((key, tree.weights))
+    return _uf_sld(tree, order)
+
+
+# ---------------------------------------------------------------------------
+# io mutants: the pre-fix load_edges_csv, verbatim bug patterns
+# ---------------------------------------------------------------------------
+
+
+def _buggy_load_edges_csv(
+    path: str | Path,
+    has_header: bool | None,
+    header_bug: bool = False,
+    leak_bug: bool = False,
+    loop_bug: bool = False,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    from repro.io import FormatError, load_edges_csv
+
+    if not (header_bug or leak_bug or loop_bug):
+        return load_edges_csv(path, has_header=has_header)
+    rows: list[tuple[int, int, float]] = []
+    with open(path, newline="") as fh:
+        first = True
+        for i, row in enumerate(csv.reader(fh)):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if first:
+                first = False
+                skip = False
+                if header_bug:
+                    # Pre-fix: auto-detect even under has_header=True.
+                    if has_header is not False:
+                        try:
+                            int(row[0])
+                        except ValueError:
+                            skip = True
+                elif has_header or (has_header is None and not _is_int(row[0])):
+                    skip = True
+                if skip:
+                    continue
+            if len(row) < 2:
+                raise FormatError(f"{path}: row {i + 1} has fewer than two columns")
+            if leak_bug:
+                u, v = int(row[0]), int(row[1])  # ValueError escapes
+                w = float(row[2]) if len(row) >= 3 and row[2].strip() else 1.0
+            else:
+                u, v, w = _strict_cells(row, path, i)
+            if not loop_bug and u == v:
+                raise FormatError(f"{path}: row {i + 1} is a self loop at vertex {u}")
+            rows.append((u, v, w))
+    if not rows:
+        raise FormatError(f"{path}: no edges found")
+    edges = np.array([(u, v) for u, v, _ in rows], dtype=np.int64)
+    if edges.min() < 0:
+        raise FormatError(f"{path}: negative vertex id")
+    if not loop_bug:
+        canon = np.sort(edges, axis=1)
+        if np.unique(canon, axis=0).shape[0] != canon.shape[0]:
+            raise FormatError(f"{path}: duplicate edge")
+    weights = np.array([w for _, _, w in rows], dtype=np.float64)
+    return int(edges.max()) + 1, edges, weights
+
+
+def _is_int(cell: str) -> bool:
+    try:
+        int(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def _strict_cells(row: list[str], path: str | Path, i: int) -> tuple[int, int, float]:
+    import math
+
+    from repro.io import FormatError
+
+    try:
+        u, v = int(row[0]), int(row[1])
+    except ValueError:
+        raise FormatError(f"{path}: row {i + 1}: bad id cell") from None
+    if u < 0 or v < 0:
+        raise FormatError(f"{path}: row {i + 1} has a negative vertex id")
+    w = 1.0
+    if len(row) >= 3 and row[2].strip():
+        try:
+            w = float(row[2])
+        except ValueError:
+            raise FormatError(f"{path}: row {i + 1}: bad weight cell") from None
+        if not math.isfinite(w):
+            raise FormatError(f"{path}: row {i + 1}: non-finite weight")
+    return u, v, w
+
+
+# ---------------------------------------------------------------------------
+# The mutant registry and the selftest driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Mutant:
+    name: str
+    kwargs: dict  # run_fuzz overrides injecting the mutant
+    max_cases: int
+
+
+def _alg_mutant(name: str, fn: Callable[[WeightedTree], np.ndarray], **extra: object) -> Mutant:
+    kwargs: dict = {
+        "algorithms": {name: fn},
+        "domains": ("tree",),
+        "tree_checks": ("differential",),
+    }
+    kwargs.update(extra)
+    return Mutant(name=name, kwargs=kwargs, max_cases=150)
+
+
+MUTANTS: tuple[Mutant, ...] = (
+    _alg_mutant("dropped-tiebreak", mutant_dropped_tiebreak),
+    _alg_mutant("grandparent-reattach", mutant_grandparent_reattach),
+    # Oracle disabled: the leaf-relabeling relation alone must catch it.
+    _alg_mutant("label-tiebreak", mutant_label_tiebreak, tree_checks=("relations",)),
+    Mutant(
+        name="csv-header-kept",
+        kwargs={
+            "loader": lambda path, has_header: _buggy_load_edges_csv(
+                path, has_header, header_bug=True
+            ),
+            "domains": ("csv",),
+        },
+        max_cases=400,
+    ),
+    Mutant(
+        name="csv-valueerror-leak",
+        kwargs={
+            "loader": lambda path, has_header: _buggy_load_edges_csv(
+                path, has_header, leak_bug=True
+            ),
+            "domains": ("csv",),
+        },
+        max_cases=400,
+    ),
+    Mutant(
+        name="csv-selfloop-accepted",
+        kwargs={
+            "loader": lambda path, has_header: _buggy_load_edges_csv(
+                path, has_header, loop_bug=True
+            ),
+            "domains": ("csv",),
+        },
+        max_cases=400,
+    ),
+)
+
+
+@dataclass
+class SelftestReport:
+    seed: int
+    caught: dict[str, str] = field(default_factory=dict)  # mutant -> check that fired
+    missed: list[str] = field(default_factory=list)
+    corpus_paths: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missed
+
+    def format_lines(self) -> list[str]:
+        lines = [f"fuzz selftest: seed={self.seed}, {len(MUTANTS)} injected mutant(s)"]
+        for name, check in self.caught.items():
+            lines.append(f"  caught {name} via {check}")
+        for name in self.missed:
+            lines.append(f"  MISSED {name}: no finding within its case budget")
+        lines.append(
+            "fuzz selftest: OK" if self.ok else f"fuzz selftest: {len(self.missed)} mutant(s) missed"
+        )
+        return lines
+
+
+def run_selftest(
+    seed: int = 0, corpus_dir: str | Path | None = None, shrink: bool = True
+) -> SelftestReport:
+    """Inject every mutant; each must be caught within its case budget.
+
+    ``corpus_dir`` (used by tests) receives the shrunken repro for every
+    caught mutant, exercising the corpus write path and the byte-stability
+    guarantee end to end.
+    """
+    report = SelftestReport(seed=seed)
+    for mutant in MUTANTS:
+        sub = run_fuzz(
+            seed=seed,
+            max_cases=mutant.max_cases,
+            corpus_dir=corpus_dir,
+            shrink=shrink,
+            stop_on_finding=True,
+            **mutant.kwargs,
+        )
+        if sub.findings:
+            report.caught[mutant.name] = sub.findings[0].check
+            report.corpus_paths.extend(sub.corpus_paths)
+        else:
+            report.missed.append(mutant.name)
+    return report

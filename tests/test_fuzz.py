@@ -1,0 +1,291 @@
+"""The repro.fuzz subsystem: determinism, detection power, shrinking, CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cli import main as cli_main
+from repro.fuzz import (
+    FUZZ_ALGORITHMS,
+    CsvCase,
+    NpzCase,
+    TreeCase,
+    case_rng,
+    differential_check,
+    gen_case,
+    relations_check,
+    run_fuzz,
+    run_selftest,
+    shrink_case,
+)
+from repro.fuzz.corpus import entry_bytes, entry_filename, load_entry, save_finding
+from repro.fuzz.oracles import Finding, reference_parse_csv
+from repro.fuzz.selftest import (
+    MUTANTS,
+    mutant_dropped_tiebreak,
+    mutant_label_tiebreak,
+)
+
+
+def _case_equal(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, TreeCase):
+        return (
+            a.n == b.n
+            and np.array_equal(a.edges, b.edges)
+            and np.array_equal(a.weights, b.weights)
+            and a.label == b.label
+        )
+    if isinstance(a, CsvCase):
+        return a.text == b.text and a.has_header == b.has_header
+    return a.data == b.data
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        for index in range(40):
+            a = gen_case(case_rng(7, index))
+            b = gen_case(case_rng(7, index))
+            assert _case_equal(a, b), index
+
+    def test_seed_changes_the_stream(self):
+        diff = sum(
+            not _case_equal(gen_case(case_rng(1, i)), gen_case(case_rng(2, i)))
+            for i in range(20)
+        )
+        assert diff > 10
+
+    def test_negative_seed_accepted(self):
+        gen_case(case_rng(-3, 0))
+
+    def test_corpus_entries_byte_identical_across_runs(self, tmp_path):
+        dirs = (tmp_path / "a", tmp_path / "b")
+        for d in dirs:
+            report = run_fuzz(
+                seed=0,
+                max_cases=150,
+                corpus_dir=d,
+                algorithms={"mut": mutant_dropped_tiebreak},
+                domains=("tree",),
+                tree_checks=("differential",),
+                stop_on_finding=True,
+            )
+            assert report.findings
+        files_a = sorted(p.name for p in dirs[0].iterdir())
+        files_b = sorted(p.name for p in dirs[1].iterdir())
+        assert files_a == files_b
+        for name in files_a:
+            assert (dirs[0] / name).read_bytes() == (dirs[1] / name).read_bytes()
+
+    def test_budget_never_changes_case_content(self):
+        """A wall-clock budget may truncate the stream, never reorder it."""
+        a = run_fuzz(seed=3, max_cases=25)
+        b = run_fuzz(seed=3, max_cases=25, budget_s=3600.0)
+        assert a.cases_run == 25
+        assert b.cases_run == 25
+        assert a.ok and b.ok
+
+
+class TestDetectionPower:
+    def test_real_algorithms_are_clean(self):
+        report = run_fuzz(seed=11, max_cases=60)
+        assert report.ok, [f.describe() for f in report.findings]
+
+    def test_differential_catches_planted_mutant(self):
+        report = run_fuzz(
+            seed=0,
+            max_cases=150,
+            algorithms={"mut": mutant_dropped_tiebreak},
+            domains=("tree",),
+            tree_checks=("differential",),
+            stop_on_finding=True,
+        )
+        assert any(f.check == "differential:mut" for f in report.findings)
+
+    def test_relations_alone_catch_label_tiebreak(self):
+        report = run_fuzz(
+            seed=0,
+            max_cases=150,
+            algorithms={"mut": mutant_label_tiebreak},
+            domains=("tree",),
+            tree_checks=("relations",),
+            stop_on_finding=True,
+        )
+        assert report.findings
+        assert all(f.check.startswith("relation:") for f in report.findings)
+
+    def test_selftest_catches_every_mutant(self):
+        report = run_selftest(seed=0, shrink=False)
+        assert report.ok, report.missed
+        assert set(report.caught) == {m.name for m in MUTANTS}
+        # The io mutants must be caught by io checks, the algorithm
+        # mutants by tree checks -- not by accident of some other layer.
+        for name, check in report.caught.items():
+            if name.startswith("csv-"):
+                assert check.startswith("io:csv:")
+            else:
+                assert check.startswith(("differential:", "relation:"))
+
+    def test_selftest_reports_a_missing_catch(self, monkeypatch):
+        """A mutant that is never caught must fail the selftest -- guard
+        against the selftest degrading into a tautology."""
+        from repro.core.sequf import sequf
+        from repro.fuzz import selftest as st
+
+        healthy = st.Mutant(
+            name="healthy",  # a correct algorithm: nothing to catch
+            kwargs={
+                "algorithms": {"healthy": sequf},
+                "domains": ("tree",),
+                "tree_checks": ("differential",),
+            },
+            max_cases=10,
+        )
+        monkeypatch.setattr(st, "MUTANTS", (healthy,))
+        report = st.run_selftest(seed=0, shrink=False)
+        assert not report.ok
+        assert report.missed == ["healthy"]
+        assert any("MISSED healthy" in line for line in report.format_lines())
+
+
+class TestOracles:
+    def test_paruf_threaded_vs_sequf_stress_8_threads(self):
+        """The ISSUE's stress case: the threaded variant through the fuzz
+        oracle at 8 OS threads, duplicate-heavy weights included."""
+        algs = {"paruf-threaded": FUZZ_ALGORITHMS["paruf-threaded"]}
+        for index in range(25):
+            rng = case_rng(97, index)
+            case = gen_case(rng, domains=("tree",))
+            findings = differential_check(case, algs, num_threads=8)
+            assert findings == [], [f.describe() for f in findings]
+
+    def test_reference_parser_matches_loader_on_valid_input(self):
+        status, payload = reference_parse_csv("0,1,2.5\n1,2,0.5\n", has_header=False)
+        assert status == "ok"
+        n, edges, weights = payload
+        assert n == 3
+        assert edges == [(0, 1), (1, 2)]
+        assert weights == [2.5, 0.5]
+
+    def test_reference_parser_rejects_what_the_contract_rejects(self):
+        for text, tag in [
+            ("0,0\n", "self-loop"),
+            ("0,1\n1,0\n", "duplicate-edge"),
+            ("a,b\n", "bad-int"),
+            ("0,1,inf\n", "nonfinite-weight"),
+            ("", "no-edges"),
+        ]:
+            status, got = reference_parse_csv(text, has_header=False)
+            assert (status, got) == ("error", tag), text
+
+
+class TestRelationsOnRealAlgorithms:
+    def test_all_relations_clean(self):
+        rng = np.random.default_rng(5)
+        for index in range(15):
+            case = gen_case(case_rng(5, index), domains=("tree",))
+            findings = relations_check(case, dict(FUZZ_ALGORITHMS), rng)
+            assert findings == [], [f.describe() for f in findings]
+
+
+class TestShrinking:
+    def test_tree_shrinks_to_a_small_witness(self):
+        # A large broom with all-equal weights: the tie-break mutant fails
+        # on it, and the minimal witness is tiny.
+        n = 20
+        edges = np.array([[0, v] for v in range(1, n)], dtype=np.int64)
+        case = TreeCase(
+            n=n, edges=edges, weights=np.zeros(n - 1), label="star/all-equal"
+        )
+
+        def still_fails(c):
+            return bool(differential_check(c, {"mut": mutant_dropped_tiebreak}))
+
+        assert still_fails(case)
+        small = shrink_case(case, still_fails)
+        assert still_fails(small)
+        assert small.n <= 4
+        assert small.label.count("~shrunk") == 1
+
+    def test_csv_shrinks_to_the_failing_line(self):
+        case = CsvCase(
+            text="0,1,1.0\n1,2,2.0\n3,3,4.0\n2,4,1.5\n", has_header=False, label="t"
+        )
+
+        def still_fails(c):
+            status, tag = reference_parse_csv(c.text, c.has_header)
+            return status == "error" and tag == "self-loop"
+
+        small = shrink_case(case, still_fails)
+        assert still_fails(small)
+        assert len([ln for ln in small.text.splitlines() if ln]) == 1
+
+    def test_npz_shrinks_by_truncation(self):
+        case = NpzCase(data=b"\x00" * 4096, label="junk")
+        small = shrink_case(case, lambda c: True)
+        assert len(small.data) == 0
+
+
+class TestCorpusFormat:
+    def test_roundtrip_all_kinds(self, tmp_path):
+        cases = [
+            TreeCase(
+                n=3,
+                edges=np.array([[0, 1], [1, 2]], dtype=np.int64),
+                weights=np.array([0.1, 5e-324]),
+                label="t",
+            ),
+            CsvCase(text="0,0\n", has_header=None, label="c"),
+            NpzCase(data=b"\x80\x00\xff", label="n"),
+        ]
+        for case in cases:
+            finding = Finding(check="x:y", message="msg", case=case)
+            path = save_finding(finding, tmp_path)
+            check, message, loaded = load_entry(path)
+            assert (check, message) == ("x:y", "msg")
+            assert _case_equal(case, loaded)
+
+    def test_content_addressed_and_stable(self):
+        finding = Finding(
+            check="io:csv:exception-leak",
+            message="m",
+            case=CsvCase(text="0,1e3\n", has_header=False, label="l"),
+        )
+        assert entry_filename(finding) == entry_filename(finding)
+        assert entry_bytes(finding) == entry_bytes(finding)
+        assert entry_filename(finding).startswith("csv-")
+        assert entry_bytes(finding).endswith(b"\n")
+
+
+class TestCli:
+    def test_fuzz_ok_exit_zero(self, tmp_path, capsys):
+        rc = cli_main(
+            ["fuzz", "--cases", "20", "--seed", "4", "--corpus", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "fuzz: OK" in capsys.readouterr().out
+
+    def test_replay_missing_dir_exit_two(self, tmp_path):
+        assert cli_main(["fuzz", "--replay", str(tmp_path / "absent")]) == 2
+
+    def test_replay_clean_and_regressing(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        # A healthy entry replays clean...
+        finding = Finding(
+            check="io:csv:exception-leak",
+            message="m",
+            case=CsvCase(text="0,1e3\n", has_header=False, label="l"),
+        )
+        save_finding(finding, corpus)
+        assert cli_main(["fuzz", "--replay", str(corpus)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        # ...an unreadable one counts as a regression, not a crash.
+        bad = corpus / "csv-badformat.json"
+        bad.write_text('{"format": "other/1"}\n')
+        assert cli_main(["fuzz", "--replay", str(corpus)]) == 1
+        assert "corpus:invalid-entry" in capsys.readouterr().out
+
+    def test_selftest_exit_zero(self, capsys):
+        assert cli_main(["fuzz", "--selftest", "--no-shrink"]) == 0
+        assert "fuzz selftest: OK" in capsys.readouterr().out

@@ -56,6 +56,86 @@ class TestLoadEdgesCsv:
         with pytest.raises(FormatError, match="negative"):
             load_edges_csv(neg)
 
+    def test_header_true_skips_numeric_first_row(self, tmp_path):
+        """Regression (fuzz corpus csv-2eb2218bea20): ``has_header=True``
+        must drop the first data row unconditionally, even when it parses
+        as an edge -- the old loader only skipped rows that failed int()."""
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,9.5\n1,2,0.5\n")
+        n, edges, weights = load_edges_csv(p, has_header=True)
+        assert n == 3
+        np.testing.assert_array_equal(edges, [[1, 2]])
+        np.testing.assert_allclose(weights, [0.5])
+
+    def test_header_false_keeps_textual_first_row_as_error(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("source,target\n0,1\n")
+        with pytest.raises(FormatError, match="row 1.*'source'.*integer vertex id"):
+            load_edges_csv(p, has_header=False)
+
+    @pytest.mark.parametrize("cell", ["x", "1.0", "", " 2 3", "0x1"])
+    def test_bad_id_cell_raises_formaterror_not_valueerror(self, tmp_path, cell):
+        """Regression (fuzz corpus csv-a4e4e2be93f8): cell parse failures
+        must surface as FormatError with file and row, never raw ValueError."""
+        p = tmp_path / "g.csv"
+        p.write_text(f"0,1,1.0\n2,{cell},3.0\n")
+        with pytest.raises(FormatError, match="row 2") as excinfo:
+            load_edges_csv(p, has_header=False)
+        assert str(p) in str(excinfo.value)
+
+    def test_bad_weight_cell_raises_formaterror(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,heavy\n")
+        with pytest.raises(FormatError, match="row 1.*'heavy'.*float weight"):
+            load_edges_csv(p, has_header=False)
+
+    @pytest.mark.parametrize("bad", ["inf", "-inf", "nan"])
+    def test_nonfinite_weight_rejected(self, tmp_path, bad):
+        p = tmp_path / "g.csv"
+        p.write_text(f"0,1,{bad}\n")
+        with pytest.raises(FormatError, match="not finite"):
+            load_edges_csv(p, has_header=False)
+
+    def test_self_loop_rejected(self, tmp_path):
+        """Regression (fuzz corpus csv-cb573798ae90): self loops were
+        silently ingested and only blew up in downstream validation."""
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,1.0\n3,3,2.0\n")
+        with pytest.raises(FormatError, match="row 2 is a self loop at vertex 3"):
+            load_edges_csv(p, has_header=False)
+
+    def test_duplicate_edge_rejected_both_orientations(self, tmp_path):
+        p = tmp_path / "g.csv"
+        p.write_text("0,1,1.0\n1,0,2.0\n")
+        with pytest.raises(
+            FormatError, match=r"row 2 is a duplicate of the edge \(0, 1\) from row 1"
+        ):
+            load_edges_csv(p, has_header=False)
+
+    def test_only_formaterror_escapes(self, tmp_path):
+        """The io error contract: load_edges_csv raises FormatError, full stop."""
+        hostile = [
+            "",
+            "\n\n",
+            "a,b,c\n",
+            "0\n",
+            "0,0\n",
+            "1,2\n2,1\n",
+            "0,1,\n",
+            "-5,1\n",
+            "0,1,1e999\n",
+            '"0",1\n"0",1\n',
+            "0,1,0x10\n",
+        ]
+        for text in hostile:
+            p = tmp_path / "h.csv"
+            p.write_text(text)
+            for has_header in (None, True, False):
+                try:
+                    load_edges_csv(p, has_header=has_header)
+                except FormatError:
+                    pass
+
     def test_pipeline_from_csv(self, tmp_path):
         """CSV -> MST -> dendrogram end to end."""
         p = tmp_path / "g.csv"
@@ -64,6 +144,45 @@ class TestLoadEdgesCsv:
         tree = minimum_spanning_tree(n, edges, weights)
         parents = brute_force_sld(tree)
         validate_parents(parents, tree.ranks)
+
+
+class TestNpzErrorContract:
+    """Malformed npz bytes must surface as FormatError (never a raw
+    numpy/zipfile exception); well-formed archives keep their validation
+    exceptions."""
+
+    def test_garbage_bytes(self, tmp_path):
+        from repro.io import load_tree
+
+        p = tmp_path / "t.npz"
+        p.write_bytes(b"\x00not a zip archive at all")
+        with pytest.raises(FormatError):
+            load_tree(p)
+
+    def test_truncated_archive(self, tmp_path):
+        from repro.io import load_tree, save_tree
+
+        good = tmp_path / "t.npz"
+        save_tree(good, make_tree("path", 6))
+        data = good.read_bytes()
+        bad = tmp_path / "cut.npz"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(FormatError):
+            load_tree(bad)
+
+    def test_wrong_kind(self, tmp_path):
+        from repro.io import load_dendrogram, save_tree
+
+        p = tmp_path / "t.npz"
+        save_tree(p, make_tree("path", 6))
+        with pytest.raises(FormatError, match="kind"):
+            load_dendrogram(p)
+
+    def test_missing_file_stays_filenotfound(self, tmp_path):
+        from repro.io import load_tree
+
+        with pytest.raises(FileNotFoundError):
+            load_tree(tmp_path / "absent.npz")
 
 
 class TestValidatorFuzzing:
