@@ -43,6 +43,13 @@ class Kernel:
     quick_size: int
     build: Callable[[int], Any]
     run: Callable[[Any, CostTracker | None], np.ndarray]
+    #: Reference twin for array-backend kernels.  When set, the harness
+    #: times this (uninstrumented) in place of the instrumented pass, so
+    #: the reported speedup is the honest reference/array wall ratio; the
+    #: reference kernel entry keeps the work/depth accounting.
+    ref_run: Callable[[Any, CostTracker | None], np.ndarray] | None = None
+    #: Backend family the kernel belongs to (``repro bench --backend``).
+    backend: str = "reference"
 
     def input_for(self, quick: bool) -> Any:
         return self.build(self.quick_size if quick else self.size)
@@ -97,8 +104,48 @@ KERNELS: tuple[Kernel, ...] = (
     Kernel("sld-merge", 2048, 512, _ladder_tree, _algo_runner("divide-conquer")),
     Kernel("mst-kruskal", 30000, 6000, _pa_graph, _run_kruskal),
     Kernel("mst-boruvka", 30000, 6000, _pa_graph, _run_boruvka),
+    # Array-backend kernels: 4-16x larger inputs than their reference
+    # twins (the batching only pays off at scale), timed against the twin.
+    Kernel(
+        "sequf-fast",
+        262144,
+        16384,
+        _ladder_tree,
+        _algo_runner("sequf-fast"),
+        ref_run=_algo_runner("sequf"),
+        backend="array",
+    ),
+    Kernel(
+        "tree-contraction-fast",
+        16384,
+        4096,
+        _ladder_tree,
+        _algo_runner("tree-contraction-fast", seed=0),
+        ref_run=_algo_runner("tree-contraction", seed=0),
+        backend="array",
+    ),
+    Kernel(
+        "rctt-fast",
+        65536,
+        8192,
+        _ladder_tree,
+        _algo_runner("rctt-fast", seed=0),
+        ref_run=_algo_runner("rctt", seed=0),
+        backend="array",
+    ),
 )
 
 
 def kernel_names() -> list[str]:
     return [k.name for k in KERNELS]
+
+
+def kernels_for_backend(backend: str) -> list[Kernel]:
+    """The kernels of one backend family (``"both"`` selects all)."""
+    if backend == "both":
+        return list(KERNELS)
+    if backend not in ("reference", "array"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'reference', 'array' or 'both'"
+        )
+    return [k for k in KERNELS if k.backend == backend]

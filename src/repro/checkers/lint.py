@@ -48,6 +48,12 @@ Suppression: a ``# noqa: RPR00x`` (or bare ``# noqa``) comment anywhere
 on the flagged *logical* line silences the diagnostic, same convention as
 flake8/ruff.  For a statement spanning several physical lines, a ``noqa``
 on the first line suppresses findings reported on continuation lines too.
+A standalone ``# noqa-module: RPR00x[, RPR00y]`` comment (conventionally
+at the top of the file) suppresses the listed codes for the whole module;
+there is no bare form -- a blanket waiver would defeat the lint.  It
+exists for modules whose entire design trips one structural rule, e.g.
+the flat-array backends whose drivers keep an explicitly bounded scalar
+loop that RPR102's loop census cannot see through.
 """
 
 from __future__ import annotations
@@ -129,7 +135,11 @@ _STDLIB_RANDOM_FNS = {
 
 _FOOTPRINT_DECLS = {"record_write", "record_atomic", "commit_phase"}
 
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+#: ``(?!-)`` keeps the per-line matcher from eating ``# noqa-module:``
+#: directives (which would otherwise read as a bare noqa on that line).
+_NOQA_RE = re.compile(r"#\s*noqa(?!-)(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+_NOQA_MODULE_RE = re.compile(r"#\s*noqa-module:\s*(?P<codes>[A-Z0-9, ]+)", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -155,6 +165,26 @@ def _parse_noqa(comment: str) -> tuple[bool, set[str] | None] | None:
     if codes is None:
         return True, None
     return True, {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+def _noqa_module_codes(source: str) -> set[str]:
+    """Codes suppressed file-wide by ``# noqa-module:`` comments.
+
+    The directive must list explicit codes; a code-less ``# noqa-module``
+    is inert.  Any comment in the file qualifies, but by convention the
+    directive sits above the module docstring where reviewers see it.
+    """
+    codes: set[str] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_MODULE_RE.search(tok.string)
+            if m:
+                codes.update(c.strip().upper() for c in m.group("codes").split(",") if c.strip())
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return codes
 
 
 def _noqa_lines(source: str) -> dict[int, set[str] | None]:
@@ -812,8 +842,11 @@ def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
     checker.finalize()
     checker.diagnostics.extend(_check_bound_contracts(tree, norm))
     suppressed = _noqa_lines(source)
+    module_codes = _noqa_module_codes(source)
     out = []
     for d in checker.diagnostics:
+        if d.code in module_codes:
+            continue
         codes = suppressed.get(d.line, ...)
         if codes is None:  # bare noqa
             continue

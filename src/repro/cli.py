@@ -94,9 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_pr3.json",
+        default="BENCH_pr5.json",
         metavar="PATH",
-        help="where to write the fresh benchmark JSON (default: BENCH_pr3.json)",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr5.json)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("reference", "array", "both"),
+        default="both",
+        help="kernel family to run: reference kernels, array-backend "
+        "kernels (the *-fast twins), or both (default)",
     )
     bench.add_argument(
         "--repeats", type=int, default=None, help="wall-time repeats per kernel"
@@ -317,17 +324,17 @@ def _cmd_bench(args) -> int:
         save_baseline,
     )
     from repro.bench.harness import bench_kernel, calibrate
-    from repro.bench.kernels import KERNELS, kernel_names
+    from repro.bench.kernels import kernel_names, kernels_for_backend
     from repro.bench.report import format_bench_results
 
-    selected = list(KERNELS)
+    selected = kernels_for_backend(args.backend)
     if args.kernels:
         wanted = [k.strip() for k in args.kernels.split(",") if k.strip()]
         unknown = sorted(set(wanted) - set(kernel_names()))
         if unknown:
             print(f"unknown kernels {unknown}; available: {kernel_names()}")
             return 2
-        selected = [k for k in KERNELS if k.name in wanted]
+        selected = [k for k in selected if k.name in wanted]
 
     repeats = args.repeats if args.repeats else (3 if args.quick else 5)
     # Load (and validate) the baseline up front: --compare against the file

@@ -1,4 +1,29 @@
-"""One-call public entry point for dendrogram computation."""
+"""One-call public entry point for dendrogram computation.
+
+Backends
+--------
+Three of the registered algorithms ship a flat-array *fast backend* -- a
+wall-clock twin producing bit-identical output (the SLD is unique under
+the deterministic (weight, edge-id) rank order):
+
+=================== ==============================================
+algorithm           array backend
+=================== ==============================================
+``sequf``           :func:`repro.core.fast.sequf_fast`
+``tree-contraction``:func:`repro.core.fast_contraction.tree_contraction_fast`
+``rctt``            :func:`repro.core.fast_contraction.rctt_fast`
+=================== ==============================================
+
+:func:`single_linkage_dendrogram` selects between them with ``backend=``:
+``"reference"`` always runs the instrumented implementation,
+``"array"`` requires a fast twin (:class:`~repro.errors.AlgorithmError`
+if the algorithm has none), and ``"auto"`` (the default) picks the array
+backend when one exists.  The twins themselves delegate to the reference
+whenever instrumentation is active (enabled tracker or shadow-access
+recorder), so ``"auto"`` never loses cost accounting.  The fast twins are
+also registered first-class under ``<name>-fast`` so benchmarks, fuzzing
+and the CLI can address them directly.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +35,8 @@ import numpy as np
 from repro.checkers.bounds import cost_bound
 from repro.core.brute import brute_force_sld
 from repro.core.cartesian import sld_path
+from repro.core.fast import sequf_fast
+from repro.core.fast_contraction import rctt_fast, tree_contraction_fast
 from repro.core.merge import sld_divide_and_conquer
 from repro.core.paruf import paruf
 from repro.core.paruf_sync import paruf_sync
@@ -21,7 +48,13 @@ from repro.dendrogram.structure import Dendrogram
 from repro.errors import AlgorithmError
 from repro.trees.wtree import WeightedTree
 
-__all__ = ["ALGORITHMS", "single_linkage_dendrogram"]
+__all__ = [
+    "ALGORITHMS",
+    "FAST_ALGORITHMS",
+    "BACKENDS",
+    "resolve_algorithm",
+    "single_linkage_dendrogram",
+]
 
 
 def _tc_heap(tree: WeightedTree, **kw: Any) -> np.ndarray:
@@ -35,16 +68,66 @@ def _tc_list(tree: WeightedTree, **kw: Any) -> np.ndarray:
 #: Algorithm registry: name -> callable(tree, **options) -> parent array.
 ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
     "sequf": sequf,
+    "sequf-fast": sequf_fast,
     "paruf": paruf,
     "paruf-sync": paruf_sync,
     "rctt": rctt,
+    "rctt-fast": rctt_fast,
     "tree-contraction": _tc_heap,
+    "tree-contraction-fast": tree_contraction_fast,
     "tree-contraction-list": _tc_list,
     "divide-conquer": sld_divide_and_conquer,
     "weight-dc": sld_weight_dc,
     "cartesian": sld_path,
     "brute": brute_force_sld,
 }
+
+#: Reference algorithm name -> its array-backend twin.
+FAST_ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
+    "sequf": sequf_fast,
+    "rctt": rctt_fast,
+    "tree-contraction": tree_contraction_fast,
+}
+
+#: Recognized values of the ``backend=`` selector.
+BACKENDS = ("auto", "reference", "array")
+
+
+def resolve_algorithm(algorithm: str, backend: str = "auto") -> Callable[..., np.ndarray]:
+    """The callable that ``single_linkage_dendrogram`` would dispatch to.
+
+    ``backend="reference"`` returns the registered (instrumented)
+    implementation; ``"array"`` returns the fast twin and raises
+    :class:`~repro.errors.AlgorithmError` for algorithms without one;
+    ``"auto"`` returns the twin when it exists, the reference otherwise.
+    ``<name>-fast`` registry entries resolve like their base name with
+    ``backend="array"``.
+    """
+    if backend not in BACKENDS:
+        raise AlgorithmError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        )
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    if backend == "reference":
+        if algorithm.endswith("-fast"):
+            return ALGORITHMS[algorithm[: -len("-fast")]]
+        return fn
+    twin = FAST_ALGORITHMS.get(algorithm)
+    if twin is not None:
+        return twin
+    if algorithm.endswith("-fast"):  # already an array backend
+        return fn
+    if backend == "array":
+        raise AlgorithmError(
+            f"algorithm {algorithm!r} has no array backend; available twins: "
+            f"{sorted(FAST_ALGORITHMS)}"
+        )
+    return fn
 
 
 @cost_bound(
@@ -59,6 +142,7 @@ def single_linkage_dendrogram(
     tree: WeightedTree,
     algorithm: str = "rctt",
     validate: bool = False,
+    backend: str = "auto",
     **options: Any,
 ) -> Dendrogram:
     """Compute the single-linkage dendrogram of an edge-weighted tree.
@@ -81,9 +165,16 @@ def single_linkage_dendrogram(
         - ``"weight-dc"`` -- divide-and-conquer over weights (Wang et al.
           style, the prior state of the art; option: ``base_size``);
         - ``"cartesian"`` -- path inputs only (option: ``method``);
-        - ``"brute"`` -- O(n^2) definitional oracle (tests/small inputs).
+        - ``"brute"`` -- O(n^2) definitional oracle (tests/small inputs);
+        - ``"sequf-fast"``/``"rctt-fast"``/``"tree-contraction-fast"`` --
+          the array backends, addressable directly.
     validate:
         Run structural validation on the result before returning.
+    backend:
+        ``"auto"`` (default) runs the flat-array fast backend when the
+        algorithm has one and instrumentation allows it; ``"reference"``
+        forces the instrumented implementation; ``"array"`` requires a
+        fast twin.  All backends return bit-identical dendrograms.
     options:
         Forwarded to the algorithm (e.g. ``tracker=`` for work/depth
         accounting, ``timer=`` for phase breakdowns).
@@ -93,11 +184,6 @@ def single_linkage_dendrogram(
     Dendrogram
         Parent-array dendrogram over the tree's edges.
     """
-    try:
-        fn = ALGORITHMS[algorithm]
-    except KeyError:
-        raise AlgorithmError(
-            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
-        ) from None
+    fn = resolve_algorithm(algorithm, backend)
     parents = fn(tree, **options)
     return Dendrogram(tree, parents, validate=validate)

@@ -29,6 +29,8 @@ import tempfile
 import numpy as np
 
 from repro.core.brute import brute_force_sld
+from repro.core.fast import sequf_fast
+from repro.core.fast_contraction import rctt_fast, tree_contraction_fast
 from repro.core.paruf import paruf
 from repro.core.paruf_sync import paruf_sync
 from repro.core.paruf_threaded import paruf_threaded
@@ -74,7 +76,10 @@ def _sld_merge(tree, **kw):  # type: ignore[no-untyped-def]
 
 #: Algorithms under differential test: the paper's production algorithms
 #: plus the genuinely-threaded ParUF variant (which the public
-#: ``ALGORITHMS`` registry omits because its signature takes no tracker).
+#: ``ALGORITHMS`` registry omits because its signature takes no tracker)
+#: and the flat-array fast backends.  The fuzzer calls these tracker-less,
+#: which is exactly the configuration where the array twins take their
+#: batched paths instead of delegating to the reference.
 FUZZ_ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
     "sequf": sequf,
     "paruf": paruf,
@@ -83,6 +88,9 @@ FUZZ_ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
     "rctt": rctt,
     "tree-contraction": lambda tree: sld_tree_contraction(tree, mode="heap"),
     "sld-merge": _sld_merge,
+    "sequf-fast": sequf_fast,
+    "rctt-fast": rctt_fast,
+    "tree-contraction-fast": tree_contraction_fast,
 }
 
 

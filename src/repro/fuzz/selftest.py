@@ -1,8 +1,8 @@
 """Fuzzer selftest: inject known mutants, fail unless every one is caught.
 
 A fuzzer that silently stops finding bugs is worse than none, so
-``python -m repro fuzz --selftest`` resurrects six known bug patterns --
-three algorithmic, three being the exact io bugs this subsystem originally
+``python -m repro fuzz --selftest`` resurrects seven known bug patterns --
+four algorithmic, three being the exact io bugs this subsystem originally
 caught -- injects them through the runner's ``algorithms``/``loader``
 injection points, and requires the standard battery to flag each one
 within a bounded number of cases.
@@ -19,6 +19,13 @@ Algorithm mutants:
 * ``label-tiebreak`` -- weight ties broken by endpoint vertex ids; caught
   by the *leaf-relabeling* metamorphic relation with the oracle disabled,
   proving the relations carry detection power of their own.
+* ``heap-pool-broken-carry`` -- the slab heap pool's binary-carry link
+  skips the key comparison, so rebuilt trees violate heap order and
+  ``filter``'s pruning stops descending too early.  Structure-only pool
+  corruption (degrees, grouping) is semantically invisible -- the spine
+  *contents* decide the dendrogram -- so the mutant targets the one
+  property the tree-contraction driver actually relies on; only the
+  differential oracle can see the resulting wrong parents.
 
 io mutants (the resurrected pre-fix ``load_edges_csv`` behaviors):
 
@@ -39,8 +46,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.fast_contraction import tree_contraction_fast
 from repro.core.sequf import sequf
 from repro.fuzz.runner import run_fuzz
+from repro.structures.heap_pool import HeapPool
 from repro.trees.wtree import WeightedTree
 
 __all__ = ["MUTANTS", "SelftestReport", "run_selftest"]
@@ -94,6 +103,69 @@ def mutant_label_tiebreak(tree: WeightedTree) -> np.ndarray:
     key = np.maximum(tree.edges[:, 0], tree.edges[:, 1])
     order = np.lexsort((key, tree.weights))
     return _uf_sld(tree, order)
+
+
+class _BrokenCarryPool(HeapPool):
+    """HeapPool whose binary-carry link never compares keys.
+
+    ``_rebuild`` below is the real one minus the ``key[b] < key[a]`` swap:
+    whichever node was popped second becomes the root, so rebuilt trees can
+    put larger keys above smaller ones.  Degrees, carry grouping, and spine
+    *contents at rebuild time* all stay correct -- the corruption only
+    surfaces later, when ``filter`` declines to descend below a root/child
+    whose key clears the threshold and thereby misses sub-threshold nodes
+    hidden underneath.
+    """
+
+    def _rebuild(self, nodes: list[int]) -> int:
+        if not nodes:
+            return -1
+        degree = self.degree
+        child = self.child
+        sibling = self.sibling
+        buckets: dict[int, list[int]] = {}
+        max_deg = 0
+        for t in nodes:
+            d = degree[t]
+            b = buckets.get(d)
+            if b is None:
+                buckets[d] = [t]
+            else:
+                b.append(t)
+            if d > max_deg:
+                max_deg = d
+        roots: list[int] = []
+        d = 0
+        while d <= max_deg:
+            bucket = buckets.get(d)
+            if bucket:
+                while len(bucket) >= 2:
+                    a = bucket.pop()
+                    b = bucket.pop()
+                    # BUG: no key comparison -- 'a' roots unconditionally.
+                    sibling[b] = child[a]
+                    child[a] = b
+                    degree[a] = d + 1
+                    nb = buckets.get(d + 1)
+                    if nb is None:
+                        buckets[d + 1] = [a]
+                    else:
+                        nb.append(a)
+                    if d + 1 > max_deg:
+                        max_deg = d + 1
+                if bucket:
+                    roots.append(bucket[0])
+            d += 1
+        head = -1
+        for t in reversed(roots):
+            sibling[t] = head
+            head = t
+        return head
+
+
+def mutant_heap_pool_broken_carry(tree: WeightedTree) -> np.ndarray:
+    """Tree contraction on the heap pool with the broken carry link."""
+    return tree_contraction_fast(tree, pool_cls=_BrokenCarryPool)
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +284,7 @@ MUTANTS: tuple[Mutant, ...] = (
     _alg_mutant("grandparent-reattach", mutant_grandparent_reattach),
     # Oracle disabled: the leaf-relabeling relation alone must catch it.
     _alg_mutant("label-tiebreak", mutant_label_tiebreak, tree_checks=("relations",)),
+    _alg_mutant("heap-pool-broken-carry", mutant_heap_pool_broken_carry),
     Mutant(
         name="csv-header-kept",
         kwargs={

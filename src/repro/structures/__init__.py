@@ -12,11 +12,20 @@ The paper's algorithms need two substrates beyond arrays:
 """
 
 from repro.structures.binomial_heap import BinomialHeap
+from repro.structures.heap_pool import EMPTY, HeapPool
 from repro.structures.pairing_heap import PairingHeap
 from repro.structures.skew_heap import SkewHeap
 from repro.structures.unionfind import UnionFind
 
-__all__ = ["UnionFind", "BinomialHeap", "PairingHeap", "SkewHeap", "make_heap"]
+__all__ = [
+    "UnionFind",
+    "BinomialHeap",
+    "HeapPool",
+    "EMPTY",
+    "PairingHeap",
+    "SkewHeap",
+    "make_heap",
+]
 
 
 def make_heap(kind: str):

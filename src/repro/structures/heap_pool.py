@@ -1,0 +1,304 @@
+"""Slab-allocated, index-based binomial heap pool (the flat-array twin of
+:class:`repro.structures.binomial_heap.BinomialHeap`).
+
+One :class:`HeapPool` owns every node of every heap used by a single
+algorithm run.  A node is an index into five parallel int32 slabs --
+``key``/``item``/``degree``/``child``/``sibling`` -- and a *heap* is just
+the index of the head of its root list (:data:`EMPTY` for the empty
+heap), so creating, melding and destroying heaps allocates no Python
+objects at all.  The slabs are ``array('i')`` buffers: scalar indexing
+yields native ints (no per-access numpy boxing), which is what makes the
+pool competitive inside the tree-contraction merge loop.
+
+Semantics are exactly those of ``BinomialHeap`` (paper Section 2.2):
+
+* root lists are kept sorted by strictly increasing degree;
+* ``meld`` and post-``filter`` rebuilds use the binary-carry grouping
+  procedure (bucket by degree, link equal degrees pairwise, carry);
+* ``filter`` visits only the nodes that leave plus their immediate
+  surviving children -- heap order guarantees a node ``>= threshold``
+  hides nothing below the threshold.
+
+Allocation is a bump pointer: each element is inserted exactly once per
+SLD run (one ``filter_and_insert`` per contracted vertex), so a pool
+sized to the edge count never recycles nodes and never overflows.
+
+Overflow bound: keys are edge ranks, items are edge ids and node indices
+are bounded by ``capacity``, so int32 slabs are safe for ``m < 2**31``
+edges -- far beyond the int64 safety bound of the vectorized contraction
+builder itself (see ``repro/contraction/fast.py``).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.checkers.bounds import cost_bound
+
+__all__ = ["HeapPool", "EMPTY"]
+
+#: Handle of the empty heap.
+EMPTY = -1
+
+
+class HeapPool:
+    """A pool of binomial min-heaps over five parallel int32 slabs.
+
+    Heap handles returned by the mutating operations *replace* the handles
+    passed in (the structures are destructive, as with ``BinomialHeap``);
+    using a stale handle is a caller bug.
+    """
+
+    __slots__ = ("key", "item", "degree", "child", "sibling", "capacity", "_next")
+
+    def __init__(self, capacity: int) -> None:
+        zeros = array("i", bytes(array("i").itemsize * max(capacity, 1)))
+        self.key = array("i", zeros)
+        self.item = array("i", zeros)
+        self.degree = array("i", zeros)
+        self.child = array("i", zeros)
+        self.sibling = array("i", zeros)
+        self.capacity = max(capacity, 1)
+        self._next = 0
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, key: int, item: int) -> int:
+        """Bump-allocate one singleton node; returns its index."""
+        i = self._next
+        self._next = i + 1
+        self.key[i] = key
+        self.item[i] = item
+        self.degree[i] = 0
+        self.child[i] = -1
+        self.sibling[i] = -1
+        return i
+
+    @property
+    def allocated(self) -> int:
+        """Number of nodes handed out so far (test/diagnostic hook)."""
+        return self._next
+
+    # -- queries ------------------------------------------------------------
+    def roots(self, heap: int) -> list[int]:
+        """The root list of ``heap`` as node indices (increasing degree)."""
+        sibling = self.sibling
+        out: list[int] = []
+        while heap != -1:  # noqa: RPR102
+            out.append(heap)
+            heap = sibling[heap]
+        return out
+
+    def find_min(self, heap: int) -> tuple[int, int]:
+        """``(key, item)`` of the minimum element of ``heap``."""
+        from repro.errors import EmptyHeapError
+
+        if heap == -1:
+            raise EmptyHeapError("heap is empty")
+        key = self.key
+        best = heap
+        for r in self.roots(heap)[1:]:
+            if key[r] < key[best]:
+                best = r
+        return key[best], self.item[best]
+
+    def size(self, heap: int) -> int:
+        """Element count of ``heap`` (sum of ``2**degree`` over roots)."""
+        degree = self.degree
+        return sum(1 << degree[r] for r in self.roots(heap))
+
+    def items(self, heap: int) -> list[tuple[int, int]]:
+        """All ``(key, item)`` pairs of ``heap``, in arbitrary order."""
+        key = self.key
+        item = self.item
+        child = self.child
+        sibling = self.sibling
+        stack = self.roots(heap)
+        out: list[tuple[int, int]] = []
+        while stack:  # noqa: RPR102
+            node = stack.pop()
+            out.append((key[node], item[node]))
+            c = child[node]
+            while c != -1:  # noqa: RPR102
+                stack.append(c)
+                c = sibling[c]
+        return out
+
+    # -- mutating operations ------------------------------------------------
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="Section 2.2: binomial-heap insert is O(log s)")
+    def insert(self, heap: int, key: int, item: int) -> int:
+        """Insert ``(key, item)``; returns the new heap handle."""
+        node = self.alloc(key, item)
+        if heap == -1:
+            return node
+        return self._rebuild(self.roots(heap) + [node])
+
+    @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
+                theorem="Section 2.2: meld of binomial heaps is O(log s)")
+    def meld(self, a: int, b: int) -> int:
+        """Meld two heaps; both input handles are consumed."""
+        if a == -1:
+            return b
+        if b == -1:
+            return a
+        return self._rebuild(self.roots(a) + self.roots(b))
+
+    @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
+                theorem="Section 2.2: filter extracting k of s is O(k log s) work")
+    def filter(self, heap: int, threshold: int) -> tuple[int, list[tuple[int, int]]]:
+        """Remove all elements with ``key < threshold``.
+
+        Returns ``(new_handle, removed)``; ``removed`` is unsorted, as with
+        ``BinomialHeap.filter`` (callers sort by rank).
+        """
+        if heap == -1:
+            return -1, []
+        key = self.key
+        item = self.item
+        degree = self.degree
+        child = self.child
+        sibling = self.sibling
+        removed: list[tuple[int, int]] = []
+        survivors: list[int] = []
+        root = heap
+        while root != -1:  # noqa: RPR102
+            nxt = sibling[root]
+            if key[root] >= threshold:
+                survivors.append(root)
+            else:
+                stack = [root]
+                while stack:  # noqa: RPR102
+                    node = stack.pop()
+                    removed.append((key[node], item[node]))
+                    c = child[node]
+                    child[node] = -1
+                    degree[node] = 0
+                    while c != -1:  # noqa: RPR102
+                        cn = sibling[c]
+                        sibling[c] = -1
+                        if key[c] < threshold:
+                            stack.append(c)
+                        else:
+                            survivors.append(c)
+                        c = cn
+            root = nxt
+        if not removed:
+            return heap, removed
+        return self._rebuild(survivors), removed
+
+    @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
+                theorem="Algorithms 3-4, lines 2/5: insert then filter at the same key")
+    def filter_and_insert(self, heap: int, key: int, item: int) -> tuple[int, list[tuple[int, int]]]:
+        """Insert ``(key, item)`` then filter at ``key``; the inserted node
+        stays as the new spine bottom.  Fused so the common case (empty or
+        all-surviving heap) touches each root once."""
+        node = self.alloc(key, item)
+        if heap == -1:
+            return node, []
+        keys = self.key
+        itemv = self.item
+        degree = self.degree
+        child = self.child
+        sibling = self.sibling
+        removed: list[tuple[int, int]] = []
+        survivors: list[int] = [node]
+        root = heap
+        while root != -1:  # noqa: RPR102
+            nxt = sibling[root]
+            if keys[root] >= key:
+                survivors.append(root)
+            else:
+                stack = [root]
+                while stack:  # noqa: RPR102
+                    nd = stack.pop()
+                    removed.append((keys[nd], itemv[nd]))
+                    c = child[nd]
+                    child[nd] = -1
+                    degree[nd] = 0
+                    while c != -1:  # noqa: RPR102
+                        cn = sibling[c]
+                        sibling[c] = -1
+                        if keys[c] < key:
+                            stack.append(c)
+                        else:
+                            survivors.append(c)
+                        c = cn
+            root = nxt
+        return self._rebuild(survivors), removed
+
+    # -- internals ----------------------------------------------------------
+    def _rebuild(self, nodes: list[int]) -> int:
+        """Binary-carry rebuild: bucket by degree, link equal degrees
+        pairwise (smaller key becomes root), carry into the next bucket;
+        relink the surviving roots by increasing degree."""
+        if not nodes:
+            return -1
+        key = self.key
+        degree = self.degree
+        child = self.child
+        sibling = self.sibling
+        buckets: dict[int, list[int]] = {}
+        max_deg = 0
+        for t in nodes:
+            d = degree[t]
+            b = buckets.get(d)
+            if b is None:
+                buckets[d] = [t]
+            else:
+                b.append(t)
+            if d > max_deg:
+                max_deg = d
+        roots: list[int] = []
+        d = 0
+        while d <= max_deg:  # noqa: RPR102
+            bucket = buckets.get(d)
+            if bucket:
+                while len(bucket) >= 2:  # noqa: RPR102
+                    a = bucket.pop()
+                    b = bucket.pop()
+                    if key[b] < key[a]:
+                        a, b = b, a
+                    sibling[b] = child[a]
+                    child[a] = b
+                    degree[a] = d + 1
+                    nb = buckets.get(d + 1)
+                    if nb is None:
+                        buckets[d + 1] = [a]
+                    else:
+                        nb.append(a)
+                    if d + 1 > max_deg:
+                        max_deg = d + 1
+                if bucket:
+                    roots.append(bucket[0])
+            d += 1
+        head = -1
+        for t in reversed(roots):
+            sibling[t] = head
+            head = t
+        return head
+
+    def _validate(self, heap: int) -> None:
+        """Check all structural invariants of one heap (test hook)."""
+        degree = self.degree
+        roots = self.roots(heap)
+        degrees = [degree[r] for r in roots]
+        assert degrees == sorted(degrees), "root degrees not increasing"
+        assert len(set(degrees)) == len(degrees), "duplicate root degrees"
+        for root in roots:
+            self._validate_tree(root)
+
+    def _validate_tree(self, node: int) -> int:
+        """Validate one binomial tree; return its element count."""
+        key = self.key
+        degree = self.degree
+        expected = degree[node] - 1
+        count = 1
+        c = self.child[node]
+        while c != -1:  # noqa: RPR102
+            assert key[c] > key[node], "heap order violated"
+            assert degree[c] == expected, f"child degree {degree[c]}, expected {expected}"
+            count += self._validate_tree(c)
+            expected -= 1
+            c = self.sibling[c]
+        assert expected == -1, "wrong number of children"
+        return count

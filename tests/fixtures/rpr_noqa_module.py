@@ -1,0 +1,18 @@
+# noqa-module: RPR001 -- fixture: module-wide waiver for the wall-clock rule
+"""Module-wide noqa regression fixture: must lint completely clean.
+
+Both wall-clock reads (RPR001) below are suppressed by the directive on
+line 1; neither carries a per-line ``noqa``.  The companion test strips
+line 1 and asserts the findings come back, and that the directive does
+not leak onto codes it never listed.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def tick(bound):
+    return max(time.perf_counter(), bound)

@@ -1,0 +1,89 @@
+"""Reference-vs-array backend equivalence: bit-identical parents.
+
+The dendrogram is unique under the ``(weight, edge id)`` tie-breaking, so
+each flat-array twin must reproduce its reference algorithm *exactly* --
+``np.array_equal``, not isomorphism -- on every topology the corpus
+generators produce, under weight families chosen to stress the batched
+code paths (massive duplication, subnormal magnitudes, mixed extreme
+magnitudes with signed zeros), and regardless of whether instrumentation
+is enabled, disabled, or absent (the twins delegate to the reference when
+a tracker is active, so all three modes must agree with each other too).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from conftest import TREE_KINDS, make_tree
+from repro.core.api import ALGORITHMS
+from repro.runtime.cost_model import CostTracker
+
+PAIRS = (
+    ("sequf", "sequf-fast", {}),
+    ("rctt", "rctt-fast", {"seed": 0}),
+    ("tree-contraction", "tree-contraction-fast", {"seed": 0}),
+)
+
+SIZES = (2, 3, 33, 97)
+
+
+def _duplicate(m: int, rng: np.random.Generator) -> np.ndarray:
+    """Tiny value range: almost every weight is tied with many others."""
+    return rng.integers(0, max(1, m // 8), size=m).astype(np.float64)
+
+
+def _denormal(m: int, rng: np.random.Generator) -> np.ndarray:
+    """Subnormal floats: small multiples of the smallest positive double."""
+    return rng.integers(1, 64, size=m).astype(np.float64) * 5e-324
+
+
+def _extreme(m: int, rng: np.random.Generator) -> np.ndarray:
+    """Mixed huge/tiny magnitudes, signed zeros included (0.0 == -0.0 ties)."""
+    pool = np.array([1e308, -1e308, 1e-308, -1e-308, 0.0, -0.0, 1.0, -1.0])
+    return pool[rng.integers(0, len(pool), size=m)]
+
+
+WEIGHT_FAMILIES = {
+    "duplicate": _duplicate,
+    "denormal": _denormal,
+    "extreme": _extreme,
+}
+
+TRACKER_MODES = {
+    "enabled": lambda: CostTracker(),
+    "disabled": lambda: CostTracker(enabled=False),
+    "none": lambda: None,
+}
+
+
+@pytest.mark.parametrize("tracker_mode", sorted(TRACKER_MODES))
+@pytest.mark.parametrize("family", sorted(WEIGHT_FAMILIES))
+@pytest.mark.parametrize("kind", sorted(TREE_KINDS))
+def test_array_backend_bit_identical(kind, family, tracker_mode):
+    weights_of = WEIGHT_FAMILIES[family]
+    for n in SIZES:
+        rng = np.random.default_rng(zlib.crc32(f"{kind}:{family}:{n}".encode()))
+        tree = make_tree(kind, n).with_weights(weights_of(n - 1, rng))
+        for ref_name, fast_name, opts in PAIRS:
+            expected = ALGORITHMS[ref_name](tree, tracker=None, **opts)
+            got = ALGORITHMS[fast_name](
+                tree, tracker=TRACKER_MODES[tracker_mode](), **opts
+            )
+            assert np.array_equal(got, expected), (
+                kind, family, tracker_mode, n, fast_name,
+            )
+
+
+@pytest.mark.parametrize("ref_name,fast_name,opts", PAIRS, ids=[p[1] for p in PAIRS])
+def test_array_backend_instrumented_accounting_matches_reference(ref_name, fast_name, opts):
+    """With an enabled tracker the twin delegates: identical work/depth."""
+    tree = make_tree("random", 64).with_weights(_duplicate(63, np.random.default_rng(7)))
+    t_ref, t_fast = CostTracker(), CostTracker()
+    ref = ALGORITHMS[ref_name](tree, tracker=t_ref, **opts)
+    fast = ALGORITHMS[fast_name](tree, tracker=t_fast, **opts)
+    assert np.array_equal(ref, fast)
+    assert (t_fast.work, t_fast.depth) == (t_ref.work, t_ref.depth)
+    assert t_ref.work > 0.0

@@ -413,6 +413,34 @@ class TestLint:
         wrong = "import time\n\ndef f():\n    return time.time()  # noqa: RPR002\n"
         assert self.codes(wrong, "src/repro/core/x.py") == ["RPR001"]
 
+    def test_noqa_module_directive(self):
+        fixture = (FIXTURES / "rpr_noqa_module.py").read_text(encoding="utf-8")
+        path = "tests/fixtures/rpr_noqa_module.py"
+        assert self.codes(fixture, path) == []
+        # Strip the directive line: both wall-clock findings come back.
+        lines = fixture.splitlines(keepends=True)
+        assert lines[0].startswith("# noqa-module: RPR001")
+        assert self.codes("".join(lines[1:]), path) == ["RPR001", "RPR001"]
+        # The directive suppresses only the codes it lists.
+        other = fixture.replace("noqa-module: RPR001", "noqa-module: RPR002, RPR004")
+        assert self.codes(other, path) == ["RPR001", "RPR001"]
+        # A code-less directive is inert, never a blanket waiver.
+        bare = fixture.replace("noqa-module: RPR001 --", "noqa-module: --")
+        assert self.codes(bare, path) == ["RPR001", "RPR001"]
+        # ...and does not degrade into a bare per-line noqa either.
+        inline = "import time\n\ndef f():\n    return time.time()  # noqa-module: RPR002\n"
+        assert self.codes(inline, "src/repro/core/x.py") == ["RPR001"]
+
+    def test_fast_backends_rely_on_module_directive(self):
+        """fast_contraction.py lints clean only because of its directive."""
+        src_path = SRC / "core" / "fast_contraction.py"
+        source = src_path.read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        assert lines[0].startswith("# noqa-module: RPR102")
+        assert self.codes(source, str(src_path)) == []
+        stripped = [d.code for d in lint_source("".join(lines[1:]), str(src_path))]
+        assert stripped and set(stripped) == {"RPR102"}
+
     def test_package_source_is_clean(self):
         assert lint_paths([SRC]) == []
 

@@ -19,10 +19,13 @@ from repro.trees.weights import WEIGHT_SCHEMES, apply_scheme
 
 GENERAL_ALGORITHMS = (
     "sequf",
+    "sequf-fast",
     "paruf",
     "paruf-sync",
     "rctt",
+    "rctt-fast",
     "tree-contraction",
+    "tree-contraction-fast",
     "tree-contraction-list",
     "divide-conquer",
     "weight-dc",
@@ -128,10 +131,13 @@ def test_api_rejects_unknown_algorithm():
 def test_algorithms_registry_is_complete():
     assert set(ALGORITHMS) == {
         "sequf",
+        "sequf-fast",
         "paruf",
         "paruf-sync",
         "rctt",
+        "rctt-fast",
         "tree-contraction",
+        "tree-contraction-fast",
         "tree-contraction-list",
         "divide-conquer",
         "weight-dc",

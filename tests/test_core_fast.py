@@ -1,0 +1,180 @@
+"""Unit tests for the flat-array fast backends and the backend dispatch.
+
+Equivalence across the full topology x weight-family x tracker grid lives
+in ``test_backend_equivalence.py``; this file covers the degenerate inputs,
+the window/drain/bail configuration knobs of ``sequf_fast`` (forcing every
+internal mode: windowed rounds, scalar bail-out, small-input drain), and
+the ``resolve_algorithm``/``single_linkage_dendrogram`` backend selection
+rules including the error cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.core.api import (
+    ALGORITHMS,
+    BACKENDS,
+    FAST_ALGORITHMS,
+    resolve_algorithm,
+    single_linkage_dendrogram,
+)
+from repro.core.fast import sequf_fast
+from repro.core.fast_contraction import rctt_fast, tree_contraction_fast
+from repro.core.rctt import rctt
+from repro.core.sequf import sequf
+from repro.core.tree_contraction_sld import sld_tree_contraction
+from repro.errors import AlgorithmError, InvalidTreeError
+from repro.trees.generators import path_tree, random_tree
+from repro.trees.wtree import WeightedTree
+
+
+# ---------------------------------------------------------------------------
+# Degenerate inputs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "fn,opts",
+    [
+        (sequf_fast, {}),
+        (rctt_fast, {"seed": 0}),
+        (tree_contraction_fast, {"seed": 0}),
+    ],
+    ids=["sequf-fast", "rctt-fast", "tree-contraction-fast"],
+)
+def test_degenerate_inputs(fn, opts):
+    one = WeightedTree(1, np.empty((0, 2), dtype=np.int64), np.empty(0))
+    assert fn(one, **opts).shape == (0,)
+    two = WeightedTree(2, np.array([[0, 1]], dtype=np.int64), np.array([1.0]))
+    assert np.array_equal(fn(two, **opts), np.array([0]))
+
+
+def test_sequf_fast_rejects_cycles():
+    # Duplicate edge => not a tree; the windowed merge must notice instead
+    # of looping or silently dropping the edge (construction validation
+    # bypassed to reach the algorithm's own cycle check).
+    edges = np.array([[0, 1], [0, 1], [1, 2], [2, 3]], dtype=np.int64)
+    cyclic = WeightedTree(4, edges, np.array([1.0, 2.0, 3.0, 4.0]), validate=False)
+    with pytest.raises(InvalidTreeError):
+        sequf_fast(cyclic)
+
+
+# ---------------------------------------------------------------------------
+# sequf_fast internal modes
+# ---------------------------------------------------------------------------
+
+
+def _expected(tree):
+    return sequf(tree)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        {"window": 8},  # many tiny windows: every round classification runs
+        {"window": 8, "drain_below": 0},  # never drain early
+        {"window": 4, "max_rounds": 1},  # drain immediately after one round
+        {"window": 1_000_000},  # single window covering everything
+        {"drain_below": 1_000_000},  # pure drain path, no windowed rounds
+    ],
+)
+def test_sequf_fast_window_configs(config):
+    for kind, n in (("random", 97), ("caterpillar", 64), ("star", 33)):
+        tree = make_tree(kind, n)
+        got = sequf_fast(tree, **config)
+        assert np.array_equal(got, _expected(tree)), (kind, n, config)
+
+
+def test_sequf_fast_monotone_weights_trigger_scalar_bailout():
+    # A path with sorted weights makes every window a single rank-chain of
+    # hard edges: round-1 progress stalls and the scalar mode must engage.
+    n = 4096
+    tree = path_tree(n).with_weights(np.arange(n - 1, dtype=np.float64))
+    got = sequf_fast(tree, window=64)
+    assert np.array_equal(got, _expected(tree))
+    rev = path_tree(n).with_weights(np.arange(n - 1, 0, -1, dtype=np.float64))
+    assert np.array_equal(sequf_fast(rev, window=64), _expected(rev))
+
+
+def test_sequf_fast_wide_input_window_default():
+    # Just above the wide-input threshold the default window widens; the
+    # result must stay identical either way.
+    from repro.core.fast import _WIDE_INPUT
+
+    tree = random_tree(_WIDE_INPUT + 2, seed=3)
+    assert np.array_equal(sequf_fast(tree), _expected(tree))
+
+
+# ---------------------------------------------------------------------------
+# tree_contraction_fast / rctt_fast specifics
+# ---------------------------------------------------------------------------
+
+
+def test_tree_contraction_fast_seeds_change_nothing():
+    tree = make_tree("random", 128, seed=5)
+    expected = sld_tree_contraction(tree, mode="heap", seed=0)
+    for seed in (0, 1, 7):
+        ref = sld_tree_contraction(tree, mode="heap", seed=seed)
+        assert np.array_equal(tree_contraction_fast(tree, seed=seed), ref)
+        assert np.array_equal(ref, expected)  # SLD unique regardless of seed
+
+
+def test_rctt_fast_race_check_delegates():
+    tree = make_tree("knuth", 48, seed=2)
+    assert np.array_equal(
+        rctt_fast(tree, seed=1, race_check=True), rctt(tree, seed=1, race_check=True)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Backend dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_backends_tuple_pinned():
+    assert BACKENDS == ("auto", "reference", "array")
+
+
+def test_resolve_algorithm_matrix():
+    assert resolve_algorithm("sequf", "reference") is ALGORITHMS["sequf"]
+    assert resolve_algorithm("sequf", "array") is sequf_fast
+    assert resolve_algorithm("sequf", "auto") is sequf_fast
+    assert resolve_algorithm("rctt", "array") is rctt_fast
+    assert resolve_algorithm("tree-contraction", "array") is tree_contraction_fast
+    # Twin-less algorithms: auto falls back, reference is itself.
+    assert resolve_algorithm("brute", "auto") is ALGORITHMS["brute"]
+    assert resolve_algorithm("brute", "reference") is ALGORITHMS["brute"]
+    # -fast names: array/auto are themselves, reference strips the suffix.
+    assert resolve_algorithm("sequf-fast", "array") is sequf_fast
+    assert resolve_algorithm("sequf-fast", "auto") is sequf_fast
+    assert resolve_algorithm("sequf-fast", "reference") is ALGORITHMS["sequf"]
+    assert resolve_algorithm("rctt-fast", "reference") is ALGORITHMS["rctt"]
+
+
+def test_resolve_algorithm_errors():
+    with pytest.raises(AlgorithmError, match="no array backend"):
+        resolve_algorithm("brute", "array")
+    with pytest.raises(AlgorithmError, match="unknown backend"):
+        resolve_algorithm("sequf", "numpy")
+    with pytest.raises(AlgorithmError, match="unknown algorithm"):
+        resolve_algorithm("quicksort", "auto")
+
+
+def test_fast_registry_consistent():
+    for base, twin in FAST_ALGORITHMS.items():
+        assert base in ALGORITHMS
+        assert ALGORITHMS[f"{base}-fast"] is twin
+
+
+def test_single_linkage_dendrogram_backend_kwarg():
+    tree = make_tree("broom", 40)
+    ref = single_linkage_dendrogram(tree, algorithm="sequf", backend="reference")
+    arr = single_linkage_dendrogram(tree, algorithm="sequf", backend="array")
+    auto = single_linkage_dendrogram(tree, algorithm="sequf", validate=True)
+    assert np.array_equal(ref.parents, arr.parents)
+    assert np.array_equal(ref.parents, auto.parents)
+    with pytest.raises(AlgorithmError):
+        single_linkage_dendrogram(tree, algorithm="divide-conquer", backend="array")

@@ -28,7 +28,9 @@ _OPTIONS: dict[str, dict] = {
     "paruf": {"seed": 0},
     "paruf-sync": {"seed": 0},
     "rctt": {"seed": 0},
+    "rctt-fast": {"seed": 0},
     "tree-contraction": {"seed": 0},
+    "tree-contraction-fast": {"seed": 0},
     "tree-contraction-list": {"seed": 0},
 }
 

@@ -1,0 +1,159 @@
+"""HeapPool (slab binomial heaps) vs. BinomialHeap: same semantics.
+
+The pool is the flat-array twin of the pointer-based ``BinomialHeap``;
+every operation must agree on contents, minima and filter results, and
+``_validate`` must hold after every mutation.  The differential driver
+mirrors how the tree-contraction driver uses the pool: many concurrent
+heaps, melds between them, and ``filter_and_insert`` at the merge key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyHeapError
+from repro.structures import EMPTY, BinomialHeap, HeapPool
+
+
+def test_empty_heap_basics():
+    pool = HeapPool(4)
+    assert pool.size(EMPTY) == 0
+    assert pool.items(EMPTY) == []
+    assert pool.roots(EMPTY) == []
+    with pytest.raises(EmptyHeapError):
+        pool.find_min(EMPTY)
+    h, removed = pool.filter(EMPTY, 10)
+    assert h == EMPTY and removed == []
+    h, removed = pool.filter_and_insert(EMPTY, 5, 1)
+    assert removed == [] and pool.items(h) == [(5, 1)]
+    assert pool.allocated == 1
+
+
+def test_insert_find_min_and_size():
+    pool = HeapPool(64)
+    h = EMPTY
+    keys = [9, 3, 7, 1, 8, 2, 6, 4, 5, 0]
+    for i, k in enumerate(keys):
+        h = pool.insert(h, k, i)
+        pool._validate(h)
+        assert pool.size(h) == i + 1
+        assert pool.find_min(h)[0] == min(keys[: i + 1])
+    assert sorted(pool.items(h)) == sorted((k, i) for i, k in enumerate(keys))
+    # Root list is strictly increasing in degree (binomial invariant).
+    degs = [pool.degree[r] for r in pool.roots(h)]
+    assert degs == sorted(set(degs))
+
+
+def test_meld_consumes_both_handles():
+    pool = HeapPool(32)
+    a = b = EMPTY
+    for k in (5, 1, 9):
+        a = pool.insert(a, k, k)
+    for k in (2, 8):
+        b = pool.insert(b, k, k)
+    assert pool.meld(a, EMPTY) == a
+    assert pool.meld(EMPTY, b) == b
+    m = pool.meld(a, b)
+    pool._validate(m)
+    assert pool.size(m) == 5
+    assert pool.find_min(m) == (1, 1)
+    assert sorted(pool.items(m)) == [(1, 1), (2, 2), (5, 5), (8, 8), (9, 9)]
+
+
+def test_filter_unchanged_handle_when_nothing_removed():
+    pool = HeapPool(16)
+    h = EMPTY
+    for k in (4, 6, 8):
+        h = pool.insert(h, k, k)
+    h2, removed = pool.filter(h, 4)  # strictly-below semantics: keeps 4
+    assert h2 == h and removed == []
+    h3, removed = pool.filter(h, 7)
+    pool._validate(h3)
+    assert sorted(removed) == [(4, 4), (6, 6)]
+    assert pool.items(h3) == [(8, 8)]
+
+
+def test_filter_and_insert_matches_insert_then_filter():
+    # Keys are unique, as in production (edge ranks): even existing keys,
+    # odd pivot, so the inserted node never duplicates a key.
+    rng = np.random.default_rng(0)
+    for trial in range(50):
+        keys = (rng.permutation(40)[: rng.integers(1, 30)] * 2).tolist()
+        pivot = int(rng.integers(0, 41)) * 2 + 1
+        pa, pb = HeapPool(64), HeapPool(64)
+        ha = hb = EMPTY
+        for i, k in enumerate(keys):
+            ha = pa.insert(ha, int(k), i)
+            hb = pb.insert(hb, int(k), i)
+        ha, rem_fused = pa.filter_and_insert(ha, pivot, 99)
+        hb = pb.insert(hb, pivot, 99)
+        hb, rem_split = pb.filter(hb, pivot)
+        pa._validate(ha)
+        assert sorted(rem_fused) == sorted(rem_split), (trial, keys, pivot)
+        assert sorted(pa.items(ha)) == sorted(pb.items(hb)), (trial, keys, pivot)
+        assert (pivot, 99) in pa.items(ha)  # the inserted node survives its own filter
+
+
+def _reference_heap(pairs):
+    h = BinomialHeap()
+    for k, v in pairs:
+        h.insert(k, v)
+    return h
+
+
+def test_differential_against_binomial_heap():
+    """Randomized op soup over many concurrent heaps, pool vs. pointers."""
+    rng = np.random.default_rng(42)
+    n_heaps = 6
+    for _ in range(30):
+        pool = HeapPool(512)
+        handles = [EMPTY] * n_heaps
+        refs = [BinomialHeap() for _ in range(n_heaps)]
+        # Unique keys, as in production (edge ranks are a permutation).
+        fresh_keys = iter(rng.permutation(100_000).tolist())
+        ticket = 0
+        for _ in range(120):
+            op = int(rng.integers(0, 4))
+            i = int(rng.integers(0, n_heaps))
+            if op == 0:  # insert
+                k = next(fresh_keys)
+                handles[i] = pool.insert(handles[i], k, ticket)
+                refs[i].insert(k, ticket)
+                ticket += 1
+            elif op == 1:  # meld i <- j
+                j = int(rng.integers(0, n_heaps))
+                if j != i:
+                    handles[i] = pool.meld(handles[i], handles[j])
+                    refs[i] = refs[i].meld(refs[j])
+                    handles[j] = EMPTY
+                    refs[j] = BinomialHeap()
+            elif op == 2:  # filter
+                t = int(rng.integers(0, 100_000))
+                handles[i], rem = pool.filter(handles[i], t)
+                assert sorted(rem) == sorted(refs[i].filter(t))
+            else:  # filter_and_insert
+                t = next(fresh_keys)
+                handles[i], rem = pool.filter_and_insert(handles[i], t, ticket)
+                assert sorted(rem) == sorted(refs[i].filter_and_insert(t, ticket))
+                ticket += 1
+            pool._validate(handles[i])
+            assert pool.size(handles[i]) == len(refs[i])
+            assert sorted(pool.items(handles[i])) == sorted(refs[i].items())
+            if pool.size(handles[i]):
+                assert pool.find_min(handles[i]) == refs[i].find_min()
+
+
+def test_capacity_one_pool_and_allocated_counter():
+    pool = HeapPool(0)  # clamped to capacity 1
+    assert pool.capacity == 1
+    h = pool.insert(EMPTY, 7, 0)
+    assert pool.allocated == 1
+    assert pool.items(h) == [(7, 0)]
+
+
+def test_heap_pool_exported_from_structures():
+    import repro.structures as structures
+
+    assert structures.HeapPool is HeapPool
+    assert structures.EMPTY == -1
