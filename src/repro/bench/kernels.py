@@ -70,7 +70,7 @@ def _ladder_tree(n: int) -> Any:
 
 def _pa_graph(n: int) -> tuple[int, np.ndarray, np.ndarray]:
     nn, edges = preferential_attachment_graph(n, m_attach=4, seed=1)
-    weights = np.random.default_rng(1).random(edges.shape[0])
+    weights = np.random.default_rng(1).random(edges.shape[0], dtype=np.float64)
     return nn, edges, weights
 
 

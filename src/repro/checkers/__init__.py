@@ -17,6 +17,13 @@ Two layers, both surfaced through ``python -m repro check``:
   ``repro.core``, :class:`~repro.trees.wtree.WeightedTree` immutability,
   and annotated round-task closures).
 
+* **Slab & effect analysis** (:mod:`repro.checkers.slabs`,
+  :mod:`repro.checkers.contracts`) -- AST checks RPR201..RPR209 over the
+  flat-array backends (dtype discipline, copy-vs-view hazards,
+  object-layer leaks, effect purity) paired with the runtime
+  ``@slab_contract`` decorator that verifies declared slab dtypes /
+  contiguity / write footprints when ``REPRO_SLAB_CONTRACTS`` is set.
+
 This module must stay import-light: the instrumented structures import
 :mod:`repro.checkers.access` at module load.
 """
@@ -28,6 +35,13 @@ from repro.checkers.access import (
     record_atomic,
     record_read,
     record_write,
+)
+from repro.checkers.contracts import (
+    SlabContract,
+    checked,
+    contracts_enabled,
+    get_contract,
+    slab_contract,
 )
 from repro.checkers.races import Conflict, check_recorder, find_conflicts
 
@@ -41,4 +55,9 @@ __all__ = [
     "Conflict",
     "find_conflicts",
     "check_recorder",
+    "SlabContract",
+    "slab_contract",
+    "checked",
+    "contracts_enabled",
+    "get_contract",
 ]

@@ -62,12 +62,20 @@ import ast
 import io
 import re
 import tokenize
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.checkers.bounds import BoundParseError, parse_bound_expr
 
-__all__ = ["LintDiagnostic", "lint_source", "lint_file", "lint_paths", "ALL_CODES"]
+__all__ = [
+    "LintDiagnostic",
+    "apply_noqa",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "ALL_CODES",
+]
 
 ALL_CODES = (
     "RPR001",
@@ -640,7 +648,7 @@ def _exempt_for_iter(expr: ast.expr) -> bool:
     return False
 
 
-def _stmt_lists(node: ast.stmt):
+def _stmt_lists(node: ast.stmt) -> Iterator[list[ast.stmt]]:
     for field in ("body", "orelse", "finalbody"):
         val = getattr(node, field, None)
         if val:
@@ -651,7 +659,7 @@ def _stmt_lists(node: ast.stmt):
         yield case.body
 
 
-def _flag_sequential_loops(stmts: list[ast.stmt], flag) -> None:
+def _flag_sequential_loops(stmts: list[ast.stmt], flag: Callable[[ast.stmt], None]) -> None:
     """Report outermost un-combinator-wrapped loops (RPR102 core walk)."""
     for node in stmts:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
@@ -825,6 +833,29 @@ def _check_bound_contracts(module: ast.Module, path: str) -> list[LintDiagnostic
     return diags
 
 
+def apply_noqa(source: str, diagnostics: list[LintDiagnostic]) -> list[LintDiagnostic]:
+    """Filter findings through the noqa/noqa-module directives in ``source``.
+
+    Shared by every static pass (repo lint, cost-bound lint, slab lint) so
+    one suppression convention covers all RPR codes.  Returns the surviving
+    diagnostics sorted by position.
+    """
+    suppressed = _noqa_lines(source)
+    module_codes = _noqa_module_codes(source)
+    out = []
+    for d in diagnostics:
+        if d.code in module_codes:
+            continue
+        codes = suppressed.get(d.line, ...)
+        if codes is None:  # bare noqa
+            continue
+        if codes is not ... and d.code in codes:
+            continue
+        out.append(d)
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return out
+
+
 def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
     """Lint one source string; returns the surviving (non-noqa) findings."""
     norm = path.replace("\\", "/")
@@ -841,20 +872,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
     checker.visit(tree)
     checker.finalize()
     checker.diagnostics.extend(_check_bound_contracts(tree, norm))
-    suppressed = _noqa_lines(source)
-    module_codes = _noqa_module_codes(source)
-    out = []
-    for d in checker.diagnostics:
-        if d.code in module_codes:
-            continue
-        codes = suppressed.get(d.line, ...)
-        if codes is None:  # bare noqa
-            continue
-        if codes is not ... and d.code in codes:
-            continue
-        out.append(d)
-    out.sort(key=lambda d: (d.path, d.line, d.col, d.code))
-    return out
+    return apply_noqa(source, checker.diagnostics)
 
 
 def lint_file(path: str | Path) -> list[LintDiagnostic]:

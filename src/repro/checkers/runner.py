@@ -24,6 +24,10 @@ Composes the two checker layers into one pass/fail gate:
   over every registered ``kind="algorithm"`` cost bound; the full report
   is written to ``results/bounds_report.json`` for the CI artifact.
 
+* **Slab lint** (``--slabs``) -- the RPR201..RPR209 dtype/copy/purity
+  pass of :mod:`repro.checkers.slabs` over the array-backend layers
+  (default) or over the given explicit paths.
+
 * **Corpus replay** (default run only) -- every committed fuzz corpus
   entry under ``tests/fixtures/corpus/`` is replayed through the
   ``repro.fuzz`` battery; a finding means a previously fixed bug has
@@ -38,8 +42,9 @@ Exit-code contract (stable; CI and the tests rely on it):
 * ``2`` -- usage error (a given path does not exist); no checks ran.
 
 ``--json`` replaces the line-oriented output with one JSON object
-(``{"lint": ..., "races": ..., "corpus": ..., "bounds": ..., "ok": ...,
-"exit_code": ...}``) on stdout; the exit code is unchanged.
+(``{"lint": ..., "races": ..., "corpus": ..., "bounds": ..., "slabs":
+..., "ok": ..., "exit_code": ...}``) on stdout; the exit code is
+unchanged.
 """
 
 from __future__ import annotations
@@ -191,6 +196,7 @@ def run_check(
     lint: bool = True,
     races: bool = True,
     bounds: bool = False,
+    slabs: bool = False,
     json_output: bool = False,
     bounds_report: str | Path = DEFAULT_BOUNDS_REPORT,
 ) -> int:
@@ -239,6 +245,15 @@ def run_check(
         for f in corpus_failures:
             emit(f"CORPUS {f}")
 
+    slab_findings: list[LintDiagnostic] = []
+    if slabs:
+        from repro.checkers.slabs import default_slab_paths, slab_lint_paths
+
+        slab_targets = list(targets) if explicit else default_slab_paths()
+        slab_findings = slab_lint_paths(slab_targets)
+        for d in slab_findings:
+            emit(d.format())
+
     fit_report = None
     if bounds:
         from repro.checkers.fit import run_fit
@@ -251,8 +266,9 @@ def run_check(
     n_lint = len(diagnostics)
     n_race = len(race_failures)
     n_corpus = len(corpus_failures)
+    n_slab = len(slab_findings)
     n_bound = len(fit_report.failures) if fit_report is not None else 0
-    ok = n_lint == 0 and n_race == 0 and n_corpus == 0 and n_bound == 0
+    ok = n_lint == 0 and n_race == 0 and n_corpus == 0 and n_slab == 0 and n_bound == 0
     exit_code = 0 if ok else 1
 
     if json_output:
@@ -268,6 +284,11 @@ def run_check(
                 "count": n_corpus,
                 "failures": corpus_failures,
             },
+            "slabs": {
+                "enabled": slabs,
+                "count": n_slab,
+                "findings": [vars(d) | {} for d in slab_findings],
+            },
             "bounds": fit_report.to_dict() if fit_report is not None else None,
             "ok": ok,
             "exit_code": exit_code,
@@ -281,6 +302,8 @@ def run_check(
     parts = [f"{n_lint} lint finding(s)", f"{n_race} race failure(s)"]
     if n_corpus:
         parts.append(f"{n_corpus} corpus regression(s)")
+    if slabs:
+        parts.append(f"{n_slab} slab finding(s)")
     if fit_report is not None:
         parts.append(f"{n_bound} bound fit(s) over tolerance")
     print(f"repro check: {', '.join(parts)}")

@@ -1,0 +1,706 @@
+"""Slab & effect static analysis (codes RPR201..RPR209).
+
+The flat-array ("slab") backends promise three things Python never
+checks: every array has a *deliberate* dtype, hot paths never fall back
+to per-element Python objects, and kernels are *pure* over their slabs --
+no ambient tracker/recorder effects, no host I/O -- so they stay
+process-portable for the shared-memory work of ROADMAP item 4.  This
+pass walks the AST of the backend layers with a small per-function
+dataflow (which local names hold ndarrays, and of which dtype) and flags
+the violations that have historically cost either 2x slab memory or a
+silent O(n^2):
+
+* **RPR201** (dtype indiscipline) -- an allocating NumPy constructor
+  (``array``/``zeros``/``ones``/``empty``/``full``/``arange``/
+  ``fromiter``/``frombuffer``) without an explicit ``dtype``.  The
+  default dtype depends on the platform and the input's Python types, so
+  an unannotated allocation is a promotion bug waiting to happen.
+  ``asarray``/``ascontiguousarray``/``*_like`` are exempt: they inherit
+  or normalize on purpose.
+* **RPR202** (copy churn) -- ``.astype(...)`` inside a loop: one fresh
+  copy of the slab per iteration.  Hoist the conversion or allocate the
+  right dtype up front.
+* **RPR203** (copy-vs-view hazard) -- mutating through a fancy/boolean
+  index as if it were a view: ``a[mask][idx] = v`` silently writes into
+  a temporary copy, as do in-place methods (``.sort()``/``.fill()``/...)
+  called on a fancy-indexed expression.
+* **RPR204** (quadratic growth) -- ``np.append``/``np.concatenate``/
+  ``hstack``/``vstack``/``column_stack``/``insert``/``delete`` inside a
+  loop: each call copies everything accumulated so far.
+* **RPR205** (object-layer leak) -- ``.tolist()`` anywhere in a slab
+  module, or a Python ``for`` iterating an ndarray element-by-element
+  (directly or through ``zip``/``enumerate``): every element becomes a
+  boxed Python object.
+* **RPR206** (silent promotion) -- arithmetic between two tracked arrays
+  of *different* known dtypes; the result silently takes the wider
+  dtype.  Boolean operands are exempt (mask arithmetic is idiomatic).
+* **RPR207** (effect purity) -- a ``@slab_contract`` kernel touching the
+  instrumentation surface (``active_tracker``, ``record_read``/
+  ``record_write``/``record_atomic``/``commit_phase``, the shadow
+  ``RECORDER``) outside a *delegation guard*.  A delegation guard is an
+  ``if`` whose body is exactly one ``return`` -- the "when instrumented,
+  delegate to the reference twin" idiom -- and is the one place a fast
+  kernel may look at ambient state.
+* **RPR208** (host effects) -- ``global``/``nonlocal`` statements and
+  ``print``/``open``/``input`` calls inside a ``@slab_contract`` kernel;
+  both break the pure-function-over-slabs model a worker process needs.
+* **RPR209** (structural) -- the contract must exist: a public
+  module-level ``*_fast`` function taking ``tree`` first, or a public
+  method of a ``*Pool`` class, must carry ``@slab_contract`` -- the
+  mirror of RPR101's ``@cost_bound`` requirement.
+
+Suppression reuses the shared noqa machinery of
+:mod:`repro.checkers.lint` (``# noqa: RPR20x`` on the logical line,
+``# noqa-module: RPR20x`` file-wide); run it via
+``python -m repro check --slabs``.
+
+Like every static pass, this one trades soundness for signal: the
+dataflow is local (per function, names only), so aliasing through
+attributes or containers is invisible.  That is the right trade for slab
+kernels, whose style the other rules already force toward flat locals.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.checkers.lint import LintDiagnostic, _ImportMap, apply_noqa
+
+__all__ = [
+    "SLAB_CODES",
+    "DEFAULT_SLAB_TARGETS",
+    "slab_lint_source",
+    "slab_lint_file",
+    "slab_lint_paths",
+    "default_slab_paths",
+]
+
+SLAB_CODES = (
+    "RPR201",
+    "RPR202",
+    "RPR203",
+    "RPR204",
+    "RPR205",
+    "RPR206",
+    "RPR207",
+    "RPR208",
+    "RPR209",
+)
+
+#: The slab layers swept by ``repro check --slabs`` when no explicit
+#: paths are given; relative to the installed ``repro`` package root.
+DEFAULT_SLAB_TARGETS = (
+    "core/fast.py",
+    "core/fast_contraction.py",
+    "contraction/fast.py",
+    "structures/heap_pool.py",
+    "primitives",
+    "bench/kernels.py",
+)
+
+#: NumPy constructors that *allocate with a defaulted dtype* (RPR201).
+_ALLOC_FNS = {
+    "array",
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "arange",
+    "fromiter",
+    "frombuffer",
+}
+
+#: Positional index at which these constructors accept dtype (so e.g.
+#: ``np.full(n, -1, np.int64)`` is explicit without the keyword).
+_ALLOC_DTYPE_POS = {"full": 2, "fromiter": 1, "frombuffer": 1}
+
+#: Constructors that inherit/normalize dtype by design -- never flagged,
+#: but tracked for dataflow.
+_INHERIT_FNS = {
+    "asarray",
+    "ascontiguousarray",
+    "asfortranarray",
+    "copy",
+    "zeros_like",
+    "ones_like",
+    "empty_like",
+    "full_like",
+}
+
+#: Array-growing calls that are O(accumulated) per call (RPR204).
+_CONCAT_FNS = {
+    "append",
+    "concatenate",
+    "hstack",
+    "vstack",
+    "column_stack",
+    "insert",
+    "delete",
+}
+
+#: NumPy producers whose result dtype is a platform-width integer.
+_INT_PRODUCERS = {
+    "flatnonzero",
+    "argsort",
+    "argmin",
+    "argmax",
+    "searchsorted",
+    "bincount",
+    "arange",
+}
+
+#: Other calls known to return ndarrays (dtype untracked).
+_ARRAY_PRODUCERS = _INT_PRODUCERS | _INHERIT_FNS | _ALLOC_FNS | _CONCAT_FNS | {
+    "where",
+    "sort",
+    "unique",
+    "cumsum",
+    "diff",
+    "repeat",
+    "minimum",
+    "maximum",
+    "sqrt",
+    "rint",
+    "abs",
+}
+
+#: ndarray methods that mutate in place (RPR203 on fancy-indexed bases).
+_INPLACE_METHODS = {"sort", "fill", "partition", "put", "setfield", "byteswap"}
+
+#: The instrumentation surface a pure slab kernel must not touch (RPR207).
+_EFFECT_NAMES = {
+    "active_tracker",
+    "record_read",
+    "record_write",
+    "record_atomic",
+    "commit_phase",
+}
+
+_EFFECT_ATTRS = {"RECORDER"}
+
+#: Host-effect builtins forbidden inside contracts (RPR208).
+_HOST_EFFECT_CALLS = {"print", "open", "input"}
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _has_slab_contract(node: _FunctionNode) -> bool:
+    """Whether ``node`` carries a ``@slab_contract(...)`` decorator."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id
+        else:
+            continue
+        if name == "slab_contract":
+            return True
+    return False
+
+
+def _dtype_str(node: ast.expr) -> str | None:
+    """Normalize a ``dtype=`` argument expression to a comparison string."""
+    if isinstance(node, ast.Attribute):
+        return {"bool_": "bool", "intp": "int64"}.get(node.attr, node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return {"int": "int64", "float": "float64", "bool": "bool"}.get(node.id)
+    return None
+
+
+def _dtype_kwarg(call: ast.Call) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+class _Scope:
+    """Per-function dataflow: which names hold ndarrays, of which dtype."""
+
+    def __init__(self) -> None:
+        self.arrays: set[str] = set()
+        self.dtypes: dict[str, str] = {}
+
+    def track(self, name: str, dtype: str | None) -> None:
+        self.arrays.add(name)
+        if dtype is not None:
+            self.dtypes[name] = dtype
+        else:
+            self.dtypes.pop(name, None)
+
+    def forget(self, name: str) -> None:
+        self.arrays.discard(name)
+        self.dtypes.pop(name, None)
+
+
+class _SlabChecker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.imports = _ImportMap()
+        self.diagnostics: list[LintDiagnostic] = []
+        self.loop_depth = 0
+        self.scope = _Scope()
+        #: Innermost enclosing ``@slab_contract`` function name, if any.
+        self.contract: str | None = None
+        #: Node ids inside delegation guards of the current contract fn.
+        self.exempt: set[int] = set()
+
+    # -- helpers -----------------------------------------------------------
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(
+            LintDiagnostic(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                code,
+                message,
+            )
+        )
+
+    def _numpy_tail(self, func: ast.expr) -> str | None:
+        """``"zeros"`` for a call resolving into the numpy namespace."""
+        dotted = self.imports.resolve_call(func)
+        if dotted is None:
+            return None
+        if dotted.startswith("numpy."):
+            return dotted.rsplit(".", 1)[-1]
+        return None
+
+    def _is_tracked(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in self.scope.arrays
+
+    def _tracked_dtype(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return self.scope.dtypes.get(node.id)
+        return None
+
+    def _is_fancy_index(self, index: ast.expr) -> bool:
+        """Indices that produce a *copy* when subscripted (RPR203)."""
+        if isinstance(index, (ast.Compare, ast.BoolOp, ast.List)):
+            return True
+        if isinstance(index, ast.UnaryOp) and isinstance(index.op, ast.Invert):
+            return True
+        if isinstance(index, ast.Call):
+            return True  # e.g. np.flatnonzero(...), boolean builders
+        if self._is_tracked(index):
+            return True  # indexing with an index/mask array
+        return False
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- functions: contract context + loop-depth isolation ----------------
+    def _enter_function(self, node: _FunctionNode) -> None:
+        saved = (self.loop_depth, self.scope, self.contract, self.exempt)
+        self.loop_depth = 0
+        self.scope = _Scope()
+        if _has_slab_contract(node):
+            self.contract = node.name
+            exempt: set[int] = set()
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.If)
+                    and len(sub.body) == 1
+                    and isinstance(sub.body[0], ast.Return)
+                    and not sub.orelse
+                ):
+                    # Delegation guard: "if instrumented: return reference(...)".
+                    for inner in ast.walk(sub):
+                        exempt.add(id(inner))
+            self.exempt = exempt
+        # Nested defs inherit the enclosing contract context: helpers
+        # called from a contract kernel share its purity obligations.
+        self.generic_visit(node)
+        self.loop_depth, self.scope, self.contract, self.exempt = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    # -- loops: depth tracking + RPR205 iteration check --------------------
+    def _check_for_iter(self, node: ast.For | ast.AsyncFor) -> None:
+        iters: list[ast.expr] = [node.iter]
+        if isinstance(node.iter, ast.Call) and isinstance(node.iter.func, ast.Name):
+            if node.iter.func.id in ("zip", "enumerate", "reversed"):
+                iters = list(node.iter.args)
+        for candidate in iters:
+            if self._is_tracked(candidate):
+                self.report(
+                    node,
+                    "RPR205",
+                    f"per-element Python for over ndarray {candidate.id!r}; "  # type: ignore[attr-defined]
+                    "each element is boxed -- vectorize or justify with noqa",
+                )
+                return
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_for_iter(node)
+            # The iterable is evaluated once, *outside* the loop body.
+            self.visit(node.iter)
+            if isinstance(node.target, ast.Name):
+                self.scope.forget(node.target.id)
+            self.loop_depth += 1
+        else:
+            # A while test re-evaluates every iteration: it is loop body.
+            self.loop_depth += 1
+            self.visit(node.test)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self.loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # -- calls: RPR201/202/203/204/205/207/208 ------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        tail = self._numpy_tail(node.func)
+        if tail is not None:
+            if tail in _ALLOC_FNS and _dtype_kwarg(node) is None:
+                pos = _ALLOC_DTYPE_POS.get(tail)
+                if pos is None or len(node.args) <= pos:
+                    self.report(
+                        node,
+                        "RPR201",
+                        f"np.{tail}(...) without explicit dtype=; slab "
+                        "allocations must pin their dtype",
+                    )
+            if tail in _CONCAT_FNS and self.loop_depth > 0:
+                self.report(
+                    node,
+                    "RPR204",
+                    f"np.{tail}(...) inside a loop copies the accumulated "
+                    "array every iteration; preallocate or batch instead",
+                )
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "astype" and self.loop_depth > 0:
+                self.report(
+                    node,
+                    "RPR202",
+                    ".astype(...) inside a loop allocates a converted copy "
+                    "per iteration; hoist the conversion out of the loop",
+                )
+            if attr == "tolist":
+                self.report(
+                    node,
+                    "RPR205",
+                    ".tolist() boxes every element into a Python object; "
+                    "keep slab data in ndarrays (noqa when host handoff is "
+                    "the point)",
+                )
+            if (
+                attr in _INPLACE_METHODS
+                and isinstance(node.func.value, ast.Subscript)
+                and self._is_fancy_index(node.func.value.slice)
+            ):
+                self.report(
+                    node,
+                    "RPR203",
+                    f".{attr}() on a fancy-indexed expression mutates a "
+                    "temporary copy, not the slab",
+                )
+            if attr in _EFFECT_NAMES and self.contract is not None and id(node) not in self.exempt:
+                self._report_effect(node, attr)
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in _EFFECT_NAMES and self.contract is not None and id(node) not in self.exempt:
+                self._report_effect(node, name)
+            if name in _HOST_EFFECT_CALLS and self.contract is not None:
+                self.report(
+                    node,
+                    "RPR208",
+                    f"{name}() inside @slab_contract kernel "
+                    f"{self.contract!r}; slab kernels must be free of host "
+                    "I/O effects",
+                )
+        self.generic_visit(node)
+
+    def _report_effect(self, node: ast.AST, surface: str) -> None:
+        self.report(
+            node,
+            "RPR207",
+            f"@slab_contract kernel {self.contract!r} touches effect "
+            f"surface {surface!r} outside a delegation guard; fast kernels "
+            "must be pure over their slabs",
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in _EFFECT_ATTRS
+            and self.contract is not None
+            and id(node) not in self.exempt
+        ):
+            self._report_effect(node, node.attr)
+        self.generic_visit(node)
+
+    # -- RPR208: scope escapes ---------------------------------------------
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.contract is not None:
+            self.report(
+                node,
+                "RPR208",
+                f"global statement inside @slab_contract kernel "
+                f"{self.contract!r}; kernels must not write module state",
+            )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        if self.contract is not None:
+            self.report(
+                node,
+                "RPR208",
+                f"nonlocal statement inside @slab_contract kernel "
+                f"{self.contract!r}; kernels must not capture mutable "
+                "closure state",
+            )
+
+    # -- RPR206: mixed-dtype arithmetic -------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+        ):
+            left = self._tracked_dtype(node.left)
+            right = self._tracked_dtype(node.right)
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and "bool" not in (left, right)
+            ):
+                self.report(
+                    node,
+                    "RPR206",
+                    f"arithmetic between arrays of dtype {left!r} and "
+                    f"{right!r} silently promotes; convert explicitly",
+                )
+        self.generic_visit(node)
+
+    # -- assignments: RPR203 store form + dataflow ---------------------------
+    def _infer(self, value: ast.expr) -> tuple[bool, str | None]:
+        """``(is_array, dtype)`` for an assigned value, best-effort."""
+        if isinstance(value, ast.Name):
+            return value.id in self.scope.arrays, self.scope.dtypes.get(value.id)
+        if isinstance(value, ast.Call):
+            tail = self._numpy_tail(value.func)
+            if tail is not None and tail in _ARRAY_PRODUCERS:
+                kw = _dtype_kwarg(value)
+                if kw is not None:
+                    return True, _dtype_str(kw)
+                pos = _ALLOC_DTYPE_POS.get(tail)
+                if pos is not None and len(value.args) > pos:
+                    return True, _dtype_str(value.args[pos])
+                if tail in _INT_PRODUCERS:
+                    return True, "int64"
+                if tail in _INHERIT_FNS and value.args:
+                    inherited = self._tracked_dtype(value.args[0])
+                    return True, inherited
+                return True, None
+            if isinstance(value.func, ast.Attribute) and value.func.attr == "astype":
+                dtype = _dtype_str(value.args[0]) if value.args else None
+                if dtype is None:
+                    kw = _dtype_kwarg(value)
+                    dtype = _dtype_str(kw) if kw is not None else None
+                return True, dtype
+            return False, None
+        if isinstance(value, ast.Subscript):
+            if self._is_tracked(value.value):
+                return True, self._tracked_dtype(value.value)
+            return False, None
+        if isinstance(value, ast.Compare):
+            if self._is_tracked(value.left) or any(
+                self._is_tracked(c) for c in value.comparators
+            ):
+                return True, "bool"
+            return False, None
+        if isinstance(value, ast.UnaryOp):
+            return self._infer(value.operand)
+        if isinstance(value, ast.BinOp):
+            larr, ldt = self._infer(value.left)
+            rarr, rdt = self._infer(value.right)
+            if larr or rarr:
+                return True, ldt if ldt == rdt else None
+            return False, None
+        return False, None
+
+    def _check_chained_store(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Subscript)
+            and self._is_fancy_index(target.value.slice)
+        ):
+            self.report(
+                target,
+                "RPR203",
+                "store through a fancy-indexed subscript writes into a "
+                "temporary copy; index the base array once with combined "
+                "indices",
+            )
+
+    def _handle_assign_target(self, target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            if value is not None:
+                is_array, dtype = self._infer(value)
+                if is_array:
+                    self.scope.track(target.id, dtype)
+                else:
+                    self.scope.forget(target.id)
+            else:
+                self.scope.forget(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Tuple unpack: a numpy source marks every Name an array.
+            source_is_numpy = (
+                isinstance(value, ast.Call)
+                and self._numpy_tail(value.func) is not None
+            )
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    if source_is_numpy:
+                        self.scope.track(elt.id, None)
+                    else:
+                        self.scope.forget(elt.id)
+                else:
+                    self._handle_assign_target(elt, None)
+            return
+        self._check_chained_store(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._handle_assign_target(target, node.value)
+            # Subscript targets still need their index expressions walked.
+            if not isinstance(target, ast.Name):
+                self.visit(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._handle_assign_target(node.target, node.value)
+        if not isinstance(node.target, ast.Name):
+            self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if not isinstance(node.target, ast.Name):
+            self._check_chained_store(node.target)
+            self.visit(node.target)
+
+
+def _check_structure(module: ast.Module, path: str) -> list[LintDiagnostic]:
+    """RPR209: the contract-presence rule (mirror of RPR101)."""
+    diags: list[LintDiagnostic] = []
+
+    def report(node: ast.AST, message: str) -> None:
+        diags.append(
+            LintDiagnostic(
+                path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                "RPR209",
+                message,
+            )
+        )
+
+    def is_property_like(fn: _FunctionNode) -> bool:
+        for dec in fn.decorator_list:
+            if isinstance(dec, ast.Name) and dec.id in ("property", "cached_property"):
+                return True
+            if isinstance(dec, ast.Attribute) and dec.attr in (
+                "setter",
+                "getter",
+                "deleter",
+            ):
+                return True
+        return False
+
+    for stmt in module.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name.startswith("_") or not stmt.name.endswith("_fast"):
+                continue
+            positional = list(stmt.args.posonlyargs) + list(stmt.args.args)
+            if not positional or positional[0].arg != "tree":
+                continue
+            if not _has_slab_contract(stmt):
+                report(
+                    stmt,
+                    f"fast kernel {stmt.name}() declares no @slab_contract "
+                    "(dtype/write contract required on *_fast kernels)",
+                )
+        elif isinstance(stmt, ast.ClassDef) and stmt.name.endswith("Pool"):
+            for member in stmt.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if member.name.startswith("_") or is_property_like(member):
+                    continue
+                if not _has_slab_contract(member):
+                    report(
+                        member,
+                        f"{stmt.name}.{member.name}() declares no "
+                        "@slab_contract (required on public pool methods)",
+                    )
+    return diags
+
+
+def slab_lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
+    """Slab-lint one source string; returns surviving (non-noqa) findings."""
+    norm = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                path, exc.lineno or 0, (exc.offset or 0), "RPR000", f"syntax error: {exc.msg}"
+            )
+        ]
+    checker = _SlabChecker(norm)
+    checker.visit(tree)
+    checker.diagnostics.extend(_check_structure(tree, norm))
+    return apply_noqa(source, checker.diagnostics)
+
+
+def slab_lint_file(path: str | Path) -> list[LintDiagnostic]:
+    p = Path(path)
+    return slab_lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def slab_lint_paths(paths: list[str | Path] | list[Path]) -> list[LintDiagnostic]:
+    """Slab-lint files and directory trees (``*.py``, recursively)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[LintDiagnostic] = []
+    for f in files:
+        out.extend(slab_lint_file(f))
+    return out
+
+
+def default_slab_paths() -> list[Path]:
+    """The backend layers swept when no explicit paths are given."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    return [root / rel for rel in DEFAULT_SLAB_TARGETS]

@@ -158,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the empirical cost-bound fit gate over registered algorithms",
     )
     check.add_argument(
+        "--slabs",
+        action="store_true",
+        help="run the RPR2xx slab/effect lint over the array-backend layers "
+        "(or over the given paths)",
+    )
+    check.add_argument(
         "--json",
         action="store_true",
         dest="json_output",
@@ -439,6 +445,7 @@ def _cmd_check(args) -> int:
         lint=not args.no_lint,
         races=not args.no_races,
         bounds=args.bounds,
+        slabs=args.slabs,
         json_output=args.json_output,
         bounds_report=args.bounds_report or DEFAULT_BOUNDS_REPORT,
     )

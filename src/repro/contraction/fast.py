@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
 from repro.contraction.rctree import KIND_COMPRESS, KIND_RAKE, KIND_ROOT, RCTree
 from repro.contraction.schedule import CompressEvent, RakeEvent
 from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker
@@ -53,6 +54,13 @@ __all__ = ["build_rc_tree_fast"]
     theorem="randomized Miller-Reif contraction, vectorized rounds: same "
     "charged schedule costs as the reference builder",
 )
+@slab_contract(
+    dtypes={
+        "tree.edges": "int64",
+        "tree.ranks": "int64",
+        "tree.weights": "float64",
+    },
+)
 def build_rc_tree_fast(
     tree: WeightedTree,
     seed: int | np.random.Generator | None = 0,
@@ -68,7 +76,10 @@ def build_rc_tree_fast(
     """
     if priorities not in ("random", "id"):
         raise ValueError(f"unknown priority rule {priorities!r}; expected 'random' or 'id'")
-    tracker = active_tracker(tracker)
+    # This builder is the hybrid exception to effect purity: it has no
+    # reference twin behind it, so it resolves the ambient tracker once,
+    # host-side, and charges per-round costs itself.
+    tracker = active_tracker(tracker)  # noqa: RPR207 -- integral cost charging
     n = tree.n
     ranks = tree.ranks
     rc_parent = np.arange(n, dtype=np.int64)
@@ -82,13 +93,13 @@ def build_rc_tree_fast(
 
     if priorities == "random":
         rng = check_random_state(seed)
-        priority = rng.permutation(n).astype(np.int64)
+        priority = rng.permutation(n).astype(np.int64, copy=False)
     else:
         priority = np.arange(n, dtype=np.int64)
 
     eu = tree.edges[:, 0]
     ev = tree.edges[:, 1]
-    deg = np.bincount(tree.edges.reshape(-1), minlength=n).astype(np.int64)
+    deg = np.bincount(tree.edges.reshape(-1), minlength=n).astype(np.int64, copy=False)
     nbr_sum = np.zeros(n, dtype=np.int64)
     nbr_sqsum = np.zeros(n, dtype=np.int64)
     edge_sum = np.zeros(n, dtype=np.int64)
@@ -167,7 +178,10 @@ def build_rc_tree_fast(
             s = nbr_sum[cand]
             q = nbr_sqsum[cand]
             disc = 2 * q - s * s  # (a - b)^2, exact in int64
-            d = np.rint(np.sqrt(disc.astype(np.float64))).astype(np.int64)
+            # np.sqrt(int64) yields float64 directly; the int64 round-trip
+            # is the point of the statement (one conversion per O(log n)
+            # round over the shrinking candidate set, not per element-loop).
+            d = np.rint(np.sqrt(disc)).astype(np.int64)  # noqa: RPR202 -- conversion is the op
             # correct any float rounding (at most off by one)
             d += (d + 1) * (d + 1) <= disc
             d -= d * d > disc

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
 from repro.core.sequf import sequf
 from repro.errors import InvalidTreeError
 from repro.runtime.cost_model import CostTracker, active_tracker
@@ -63,6 +64,14 @@ _WIDE_INPUT = 98304
     vars=("n",),
     theorem="Section 1 baseline, batched: same O(n log n) sort + merge "
     "semantics as sequf, applied window-at-a-time",
+)
+@slab_contract(
+    dtypes={
+        "tree.edges": "int64",
+        "tree.ranks": "int64",
+        "tree.weights": "float64",
+    },
+    returns="int64",
 )
 def sequf_fast(
     tree: WeightedTree,
@@ -103,6 +112,11 @@ def sequf_fast(
     theorem="windowed replay of the sequential merge loop; each round is "
     "O(window) vectorized work",
 )
+@slab_contract(
+    dtypes={"tree.edges": "int64", "order": "int64", "parents": "int64"},
+    contiguous=("order", "parents"),
+    writes=("parents",),
+)
 def _merge_windowed(
     tree: WeightedTree,
     order: np.ndarray,
@@ -125,8 +139,8 @@ def _merge_windowed(
     arrays wholesale at the end.
     """
     m = tree.m
-    eu = np.ascontiguousarray(tree.edges[:, 0]).astype(np.int64)
-    ev = np.ascontiguousarray(tree.edges[:, 1]).astype(np.int64)
+    eu = np.ascontiguousarray(tree.edges[:, 0], dtype=np.int64)
+    ev = np.ascontiguousarray(tree.edges[:, 1], dtype=np.int64)
     uf_parent = np.arange(tree.n, dtype=np.int64)
     # top[r] = most recent merge node inside the cluster rooted at r.
     top = np.full(tree.n, -1, dtype=np.int64)
@@ -222,7 +236,12 @@ def _merge_windowed(
                 minpos[flat[::-1]] = rep[::-1]
                 ch = np.flatnonzero(hard)
                 c_sel = ch[(minpos[ru[ch]] == ch) & (minpos[rv[ch]] == ch)]
-                pidx = np.concatenate((np.flatnonzero(~mu & ~mv), c_sel))
+                # A edges and mutual-minima C edges touch disjoint roots,
+                # so their merge order is immaterial: fold c_sel into the
+                # A mask instead of concatenating a fresh array per round.
+                pmask = ~mu & ~mv
+                pmask[c_sel] = True
+                pidx = np.flatnonzero(pmask)
                 need_find = c_sel.size > 0
             else:
                 pidx = np.flatnonzero(~mu & ~mv)
@@ -333,6 +352,17 @@ def _merge_windowed(
     theorem="contracted scalar replay of the reference merge loop over "
     "relabeled cluster ids",
 )
+@slab_contract(
+    dtypes={
+        "w": "int64",
+        "ru": "int64",
+        "rv": "int64",
+        "lparent": "int64",
+        "ltop": "int64",
+        "parents": "int64",
+    },
+    writes=("lparent", "ltop", "parents"),
+)
 def _drain_local(
     w: np.ndarray,
     ru: np.ndarray,
@@ -353,11 +383,14 @@ def _drain_local(
     both = np.concatenate((ru, rv))
     uniq, inv = np.unique(both, return_inverse=True)
     kk = w.size
-    lu = inv[:kk].tolist()
-    lv = inv[kk:].tolist()
+    # The scalar drain is the point of this helper: the residue is small,
+    # and CPython-level list walking beats vectorized passes below ~128
+    # elements (measured, see drain_below).  Host handoff is deliberate.
+    lu = inv[:kk].tolist()  # noqa: RPR205 -- scalar drain by design
+    lv = inv[kk:].tolist()  # noqa: RPR205 -- scalar drain by design
     lp = list(range(uniq.size))
-    lt = ltop[uniq].tolist()
-    edges = w.tolist()
+    lt = ltop[uniq].tolist()  # noqa: RPR205 -- scalar drain by design
+    edges = w.tolist()  # noqa: RPR205 -- scalar drain by design
     out_idx: list[int] = []
     out_val: list[int] = []
     ap_i = out_idx.append

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
 from repro.core.rctt import rctt
 from repro.core.tree_contraction_sld import sld_tree_contraction
 from repro.runtime.cost_model import CostTracker, active_tracker
@@ -51,6 +52,14 @@ __all__ = ["tree_contraction_fast", "rctt_fast"]
     vars=("n", "h"),
     theorem="Theorem 3.7, array-driven: the heap-mode merge replayed from "
     "the RC-tree arrays with pooled heaps",
+)
+@slab_contract(
+    dtypes={
+        "tree.edges": "int64",
+        "tree.ranks": "int64",
+        "tree.weights": "float64",
+    },
+    returns="int64",
 )
 def tree_contraction_fast(
     tree: WeightedTree,
@@ -95,13 +104,16 @@ def tree_contraction_fast(
         rc_edge = rct.edge
         contracted = np.flatnonzero(rc_edge >= 0)
         by_round = contracted[np.argsort(rct.round_of[contracted], kind="stable")]
-        vl = by_round.tolist()
-        ul = rct.parent[by_round].tolist()
-        el = rc_edge[by_round].tolist()
-        kl = tree.ranks[rc_edge[by_round]].tolist()
+        # The merge walk is scalar by design: per contracted vertex it does
+        # O(log)-ish pool work keyed by Python ints, so the driver unboxes
+        # the round-ordered columns once instead of per access.
+        vl = by_round.tolist()  # noqa: RPR205 -- scalar merge driver by design
+        ul = rct.parent[by_round].tolist()  # noqa: RPR205 -- scalar merge driver
+        el = rc_edge[by_round].tolist()  # noqa: RPR205 -- scalar merge driver
+        kl = tree.ranks[rc_edge[by_round]].tolist()  # noqa: RPR205 -- scalar driver
         pool = pool_cls(m)
         spine = [-1] * rct.n
-        out = parents.tolist()
+        out = parents.tolist()  # noqa: RPR205 -- scalar merge driver by design
         filter_and_insert = pool.filter_and_insert
         meld = pool.meld
         for v, u, e, k in zip(vl, ul, el, kl):
@@ -135,6 +147,14 @@ def tree_contraction_fast(
     vars=("n",),
     theorem="Section 4.2, Algorithm 6: compacted-index trace + "
     "composite-key bucket sort",
+)
+@slab_contract(
+    dtypes={
+        "tree.edges": "int64",
+        "tree.ranks": "int64",
+        "tree.weights": "float64",
+    },
+    returns="int64",
 )
 def rctt_fast(
     tree: WeightedTree,

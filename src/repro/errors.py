@@ -53,6 +53,19 @@ class RaceCheckError(ReproError):
     """Misuse of the race-checking API (e.g. nested recorder installs)."""
 
 
+class SlabContractError(ReproError):
+    """A ``@slab_contract`` declaration was violated (or is malformed).
+
+    Raised at decoration time when a contract names a parameter the
+    function does not have, and at call time (checked mode only) when an
+    argument's dtype/typecode disagrees with the declaration, a slab
+    declared ``contiguous`` is not C-contiguous, or the return dtype
+    drifts.  Undeclared writes to locked input slabs surface as NumPy's
+    ``ValueError: assignment destination is read-only`` from the offending
+    statement itself, which pins the exact line.
+    """
+
+
 class RaceConditionError(ReproError):
     """The round-race detector found conflicting accesses within one round.
 

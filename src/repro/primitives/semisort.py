@@ -64,7 +64,7 @@ def group_by(
     if keys.ndim != 1:
         raise ValueError(f"group_by expects 1-D keys, got shape {keys.shape}")
     if values is None:
-        values = np.arange(keys.shape[0])
+        values = np.arange(keys.shape[0], dtype=np.intp)
     else:
         values = np.asarray(values)
         if values.shape[0] != keys.shape[0]:
@@ -72,7 +72,23 @@ def group_by(
     if tracker is not None:
         k = keys.shape[0]
         tracker.add(WorkDepth(float(max(k, 1)), float(log2ceil(max(k, 2)) + 1)))
-    out: dict = {}
-    for key, val in zip(keys.tolist(), values):
-        out.setdefault(key, []).append(val)
-    return {k: np.asarray(v) for k, v in out.items()}
+    n = keys.shape[0]
+    if n == 0:
+        return {}
+    # Vectorized grouping: rank groups by first appearance (as semisort
+    # does), stable-sort the values into group-contiguous order, and slice
+    # at the group boundaries -- no per-element Python loop.
+    _, first_idx, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    group_rank = np.argsort(np.argsort(first_idx))
+    ranks = group_rank[inverse]
+    order = np.argsort(ranks, kind="stable")
+    sorted_vals = values[order]
+    sorted_ranks = ranks[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_ranks[1:] != sorted_ranks[:-1]
+    bounds = np.flatnonzero(starts)
+    groups = np.split(sorted_vals, bounds[1:])
+    # Dict keys are host-side Python objects by contract.
+    group_keys = keys[order[bounds]].tolist()  # noqa: RPR205 -- host handoff
+    return dict(zip(group_keys, groups))

@@ -28,9 +28,13 @@ __all__ = [
 ]
 
 
-def make_heap(kind: str):
+def make_heap(kind: str) -> "BinomialHeap | PairingHeap | SkewHeap":
     """Construct an empty meldable heap by name (``binomial``/``pairing``/``skew``)."""
-    kinds = {"binomial": BinomialHeap, "pairing": PairingHeap, "skew": SkewHeap}
+    kinds: dict[str, type[BinomialHeap] | type[PairingHeap] | type[SkewHeap]] = {
+        "binomial": BinomialHeap,
+        "pairing": PairingHeap,
+        "skew": SkewHeap,
+    }
     try:
         return kinds[kind]()
     except KeyError:

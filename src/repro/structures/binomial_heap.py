@@ -20,7 +20,7 @@ degree + pairwise linking).
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
@@ -73,7 +73,7 @@ class BinomialHeap:
         return self._size == 0
 
     @classmethod
-    def from_items(cls, pairs) -> "BinomialHeap":
+    def from_items(cls, pairs: Iterable[tuple[int, object]]) -> "BinomialHeap":
         """Build a heap from an iterable of ``(key, item)`` pairs."""
         heap = cls()
         trees = [_Node(k, v) for k, v in pairs]

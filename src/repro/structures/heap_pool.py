@@ -34,8 +34,19 @@ from __future__ import annotations
 from array import array
 
 from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
 
 __all__ = ["HeapPool", "EMPTY"]
+
+#: Shared slab declaration of every public method: the five parallel
+#: int32 ('i') slabs plus the scalar handle/key/item arguments.
+_SLABS = {
+    "self.key": "i",
+    "self.item": "i",
+    "self.degree": "i",
+    "self.child": "i",
+    "self.sibling": "i",
+}
 
 #: Handle of the empty heap.
 EMPTY = -1
@@ -62,6 +73,10 @@ class HeapPool:
         self._next = 0
 
     # -- allocation ---------------------------------------------------------
+    @slab_contract(
+        dtypes=_SLABS | {"key": "int", "item": "int"},
+        writes=("self.key", "self.item", "self.degree", "self.child", "self.sibling"),
+    )
     def alloc(self, key: int, item: int) -> int:
         """Bump-allocate one singleton node; returns its index."""
         i = self._next
@@ -79,6 +94,7 @@ class HeapPool:
         return self._next
 
     # -- queries ------------------------------------------------------------
+    @slab_contract(dtypes=_SLABS | {"heap": "int"})
     def roots(self, heap: int) -> list[int]:
         """The root list of ``heap`` as node indices (increasing degree)."""
         sibling = self.sibling
@@ -88,6 +104,7 @@ class HeapPool:
             heap = sibling[heap]
         return out
 
+    @slab_contract(dtypes=_SLABS | {"heap": "int"})
     def find_min(self, heap: int) -> tuple[int, int]:
         """``(key, item)`` of the minimum element of ``heap``."""
         from repro.errors import EmptyHeapError
@@ -101,11 +118,13 @@ class HeapPool:
                 best = r
         return key[best], self.item[best]
 
+    @slab_contract(dtypes=_SLABS | {"heap": "int"})
     def size(self, heap: int) -> int:
         """Element count of ``heap`` (sum of ``2**degree`` over roots)."""
         degree = self.degree
         return sum(1 << degree[r] for r in self.roots(heap))
 
+    @slab_contract(dtypes=_SLABS | {"heap": "int"})
     def items(self, heap: int) -> list[tuple[int, int]]:
         """All ``(key, item)`` pairs of ``heap``, in arbitrary order."""
         key = self.key
@@ -126,6 +145,10 @@ class HeapPool:
     # -- mutating operations ------------------------------------------------
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="Section 2.2: binomial-heap insert is O(log s)")
+    @slab_contract(
+        dtypes=_SLABS | {"heap": "int", "key": "int", "item": "int"},
+        writes=("self.key", "self.item", "self.degree", "self.child", "self.sibling"),
+    )
     def insert(self, heap: int, key: int, item: int) -> int:
         """Insert ``(key, item)``; returns the new heap handle."""
         node = self.alloc(key, item)
@@ -135,6 +158,10 @@ class HeapPool:
 
     @cost_bound(work="log(s)", depth="log(s)", vars=("s",), kind="structure_op",
                 theorem="Section 2.2: meld of binomial heaps is O(log s)")
+    @slab_contract(
+        dtypes=_SLABS | {"a": "int", "b": "int"},
+        writes=("self.degree", "self.child", "self.sibling"),
+    )
     def meld(self, a: int, b: int) -> int:
         """Meld two heaps; both input handles are consumed."""
         if a == -1:
@@ -145,6 +172,10 @@ class HeapPool:
 
     @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
                 theorem="Section 2.2: filter extracting k of s is O(k log s) work")
+    @slab_contract(
+        dtypes=_SLABS | {"heap": "int", "threshold": "int"},
+        writes=("self.degree", "self.child", "self.sibling"),
+    )
     def filter(self, heap: int, threshold: int) -> tuple[int, list[tuple[int, int]]]:
         """Remove all elements with ``key < threshold``.
 
@@ -188,6 +219,10 @@ class HeapPool:
 
     @cost_bound(work="k * log(s)", depth="log(s)**2", vars=("k", "s"), kind="structure_op",
                 theorem="Algorithms 3-4, lines 2/5: insert then filter at the same key")
+    @slab_contract(
+        dtypes=_SLABS | {"heap": "int", "key": "int", "item": "int"},
+        writes=("self.key", "self.item", "self.degree", "self.child", "self.sibling"),
+    )
     def filter_and_insert(self, heap: int, key: int, item: int) -> tuple[int, list[tuple[int, int]]]:
         """Insert ``(key, item)`` then filter at ``key``; the inserted node
         stays as the new spine bottom.  Fused so the common case (empty or

@@ -12,7 +12,7 @@ paths cannot hit Python's recursion limit.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
@@ -64,7 +64,7 @@ class PairingHeap:
         return self._root is None
 
     @classmethod
-    def from_items(cls, pairs) -> "PairingHeap":
+    def from_items(cls, pairs: Iterable[tuple[int, object]]) -> "PairingHeap":
         heap = cls()
         for k, v in pairs:
             heap.insert(k, v)

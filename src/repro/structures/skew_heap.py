@@ -8,7 +8,7 @@ is the classic top-down skew-heap merge.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
@@ -70,7 +70,7 @@ class SkewHeap:
         return self._root is None
 
     @classmethod
-    def from_items(cls, pairs) -> "SkewHeap":
+    def from_items(cls, pairs: Iterable[tuple[int, object]]) -> "SkewHeap":
         heap = cls()
         for k, v in pairs:
             heap.insert(k, v)

@@ -1,0 +1,27 @@
+"""RPR201 fixture: numpy allocation without an explicit dtype."""
+
+import numpy as np
+
+
+def bad_alloc():
+    return np.zeros(4)
+
+
+def bad_arange():
+    return np.arange(10)
+
+
+def suppressed_alloc():
+    return np.zeros(4)  # noqa: RPR201
+
+
+def explicit_alloc():
+    return np.zeros(4, dtype=np.int64)
+
+
+def positional_dtype_ok():
+    return np.full(4, -1, np.int64)
+
+
+def inherit_ok(xs):
+    return np.asarray(xs)

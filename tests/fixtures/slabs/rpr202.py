@@ -1,0 +1,25 @@
+"""RPR202 fixture: ``.astype`` conversion copies inside a loop."""
+
+import numpy as np
+
+
+def bad_loop_astype(xs):
+    total = 0.0
+    for _ in range(3):
+        total += float(xs.astype(np.float64).sum())
+    return total
+
+
+def suppressed_loop_astype(xs):
+    total = 0.0
+    for _ in range(3):
+        total += float(xs.astype(np.float64).sum())  # noqa: RPR202
+    return total
+
+
+def hoisted_ok(xs):
+    converted = xs.astype(np.float64)
+    total = 0.0
+    for _ in range(3):
+        total += float(converted.sum())
+    return total

@@ -1,0 +1,21 @@
+"""RPR203 fixture: mutation through a fancy-indexed temporary copy."""
+
+
+def bad_chained_store(a, mask):
+    a[mask > 0][0] = 1.0
+    return a
+
+
+def bad_inplace_method(a, mask):
+    a[mask > 0].sort()
+    return a
+
+
+def suppressed_chained_store(a, mask):
+    a[mask > 0][0] = 1.0  # noqa: RPR203
+    return a
+
+
+def view_store_ok(a):
+    a[1:3][0] = 1.0  # plain slices are views
+    return a

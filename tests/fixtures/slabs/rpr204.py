@@ -1,0 +1,21 @@
+"""RPR204 fixture: array concatenation growth inside a loop."""
+
+import numpy as np
+
+
+def bad_growth(chunks):
+    out = np.zeros(1, dtype=np.int64)
+    for chunk in chunks:
+        out = np.concatenate((out, chunk))
+    return out
+
+
+def suppressed_growth(chunks):
+    out = np.zeros(1, dtype=np.int64)
+    for chunk in chunks:
+        out = np.concatenate((out, chunk))  # noqa: RPR204
+    return out
+
+
+def batched_ok(chunks):
+    return np.concatenate(list(chunks))

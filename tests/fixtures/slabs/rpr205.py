@@ -1,0 +1,43 @@
+"""RPR205 fixture: object-layer leaks out of ndarrays."""
+
+import numpy as np
+
+
+def bad_tolist():
+    xs = np.arange(8, dtype=np.int64)
+    return xs.tolist()
+
+
+def bad_scalar_loop():
+    xs = np.arange(8, dtype=np.int64)
+    total = 0
+    for x in xs:
+        total += int(x)
+    return total
+
+
+def bad_zip_loop():
+    xs = np.arange(8, dtype=np.int64)
+    ys = np.arange(8, dtype=np.int64)
+    pairs = []
+    for x, y in zip(xs, ys):
+        pairs.append((x, y))
+    return pairs
+
+
+def suppressed_tolist():
+    xs = np.arange(8, dtype=np.int64)
+    return xs.tolist()  # noqa: RPR205
+
+
+def suppressed_scalar_loop():
+    xs = np.arange(8, dtype=np.int64)
+    total = 0
+    for x in xs:  # noqa: RPR205
+        total += int(x)
+    return total
+
+
+def vectorized_ok():
+    xs = np.arange(8, dtype=np.int64)
+    return int(xs.sum())

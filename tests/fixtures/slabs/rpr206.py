@@ -1,0 +1,27 @@
+"""RPR206 fixture: silent dtype promotion in mixed arithmetic."""
+
+import numpy as np
+
+
+def bad_mixed_add():
+    a = np.zeros(4, dtype=np.int32)
+    b = np.zeros(4, dtype=np.int64)
+    return a + b
+
+
+def suppressed_mixed_add():
+    a = np.zeros(4, dtype=np.int32)
+    b = np.zeros(4, dtype=np.int64)
+    return a + b  # noqa: RPR206
+
+
+def same_dtype_ok():
+    a = np.zeros(4, dtype=np.int64)
+    b = np.ones(4, dtype=np.int64)
+    return a + b
+
+
+def bool_operand_ok():
+    d = np.zeros(4, dtype=np.int64)
+    mask = d > 1
+    return d + mask  # mask arithmetic is idiomatic

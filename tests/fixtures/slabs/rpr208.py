@@ -1,0 +1,29 @@
+"""RPR208 fixture: host effects inside contract kernels."""
+
+from repro.checkers.contracts import slab_contract
+
+_CALLS = 0
+
+
+@slab_contract(dtypes={"xs": "int64"})
+def bad_global_kernel(xs):
+    global _CALLS
+    _CALLS += 1
+    return xs
+
+
+@slab_contract(dtypes={"xs": "int64"})
+def bad_print_kernel(xs):
+    print(xs.shape)
+    return xs
+
+
+@slab_contract(dtypes={"xs": "int64"})
+def suppressed_kernel(xs):
+    print(xs.shape)  # noqa: RPR208
+    return xs
+
+
+def undecorated_ok(xs):
+    print(xs.shape)  # host effects are fine outside contracts
+    return xs

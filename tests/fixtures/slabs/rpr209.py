@@ -1,0 +1,44 @@
+"""RPR209 fixture: missing ``@slab_contract`` annotations."""
+
+import numpy as np
+
+from repro.checkers.contracts import slab_contract
+
+
+def demo_fast(tree, tracker=None):
+    del tracker
+    return np.asarray(tree.edges)
+
+
+def suppressed_fast(tree, tracker=None):  # noqa: RPR209
+    del tracker
+    return np.asarray(tree.edges)
+
+
+@slab_contract(dtypes={"tree.edges": "int64"})
+def annotated_fast(tree, tracker=None):
+    del tracker
+    return np.asarray(tree.edges)
+
+
+def helper(tree):  # not *_fast: no contract required
+    return tree
+
+
+class ScratchPool:
+    def alloc(self, key):
+        return key
+
+    def suppressed_alloc(self, key):  # noqa: RPR209
+        return key
+
+    @slab_contract(dtypes={"key": "int"})
+    def annotated_alloc(self, key):
+        return key
+
+    @property
+    def allocated(self):  # properties are exempt
+        return 0
+
+    def _internal(self, key):  # private methods are exempt
+        return key

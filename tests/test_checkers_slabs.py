@@ -1,0 +1,281 @@
+"""Tests for the RPR2xx slab & effect static pass (repro.checkers.slabs)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.slabs import (
+    DEFAULT_SLAB_TARGETS,
+    SLAB_CODES,
+    default_slab_paths,
+    slab_lint_file,
+    slab_lint_paths,
+    slab_lint_source,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "slabs"
+
+ALL_FIXTURE_CODES = tuple(code for code in SLAB_CODES)
+
+
+class TestFixtures:
+    """One fixture file per code: positives fire, noqa'd twins stay quiet."""
+
+    @pytest.mark.parametrize("code", ALL_FIXTURE_CODES)
+    def test_fixture_triggers_exactly_its_code(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        findings = slab_lint_file(path)
+        assert findings, f"{path.name} produced no findings"
+        assert {d.code for d in findings} == {code}
+
+    @pytest.mark.parametrize("code", ALL_FIXTURE_CODES)
+    def test_noqa_suppresses_the_twin(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        source = path.read_text(encoding="utf-8")
+        findings = slab_lint_file(path)
+        flagged_lines = {d.line for d in findings}
+        lines = source.splitlines()
+        for lineno in flagged_lines:
+            assert "noqa" not in lines[lineno - 1], (
+                f"{path.name}:{lineno} carries a noqa but still fired"
+            )
+        # Every fixture contains at least one suppressed twin of its code.
+        assert f"noqa: {code}" in source
+
+    @pytest.mark.parametrize("code", ALL_FIXTURE_CODES)
+    def test_noqa_module_silences_the_file(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        source = f"# noqa-module: {code}\n" + path.read_text(encoding="utf-8")
+        assert slab_lint_source(source, str(path)) == []
+
+
+class TestRules:
+    def test_rpr201_positional_dtype_accepted(self):
+        src = "import numpy as np\n\ndef f():\n    return np.full(4, -1, np.int64)\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr201_asarray_exempt(self):
+        src = "import numpy as np\n\ndef f(xs):\n    return np.asarray(xs)\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr202_hoisted_conversion_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    ys = xs.astype(np.float64)\n"
+            "    for _ in range(3):\n"
+            "        ys = ys + 1\n"
+            "    return ys\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_rpr202_while_loop_counts(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    while xs.size:\n"
+            "        xs = xs[1:].astype(np.int64)\n"
+            "    return xs\n"
+        )
+        assert [d.code for d in slab_lint_source(src)] == ["RPR202"]
+
+    def test_rpr203_plain_slice_store_clean(self):
+        src = "def f(a):\n    a[1:3][0] = 1.0\n    return a\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr203_list_of_lists_clean(self):
+        src = "def f(grid, i, j, v):\n    grid[i][j] = v\n    return grid\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr204_outside_loop_clean(self):
+        src = "import numpy as np\n\ndef f(a, b):\n    return np.concatenate((a, b))\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr204_iterable_expression_not_in_loop(self):
+        # The for-iterable is evaluated once, before the loop body runs.
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    for x in np.concatenate((a, b)):\n"
+            "        pass\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_rpr205_tracks_through_producers(self):
+        src = (
+            "import numpy as np\n"
+            "def f(mask):\n"
+            "    idx = np.flatnonzero(mask)\n"
+            "    for i in idx:\n"
+            "        print(i)\n"
+        )
+        assert "RPR205" in {d.code for d in slab_lint_source(src)}
+
+    def test_rpr206_bool_mask_arithmetic_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    d = np.zeros(4, dtype=np.int64)\n"
+            "    m = d > 1\n"
+            "    return d + m\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_rpr206_reassignment_clears_tracking(self):
+        src = (
+            "import numpy as np\n"
+            "def f(opaque):\n"
+            "    a = np.zeros(4, dtype=np.int32)\n"
+            "    a = opaque()\n"
+            "    b = np.zeros(4, dtype=np.int64)\n"
+            "    return a + b\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_rpr207_delegation_guard_exempt(self):
+        src = (
+            "from repro.checkers.contracts import slab_contract\n"
+            "from repro.runtime.cost_model import active_tracker\n"
+            "@slab_contract(dtypes={'xs': 'int64'})\n"
+            "def k_fast_helper(xs, tracker=None):\n"
+            "    if active_tracker(tracker) is not None:\n"
+            "        return xs\n"
+            "    return xs + 1\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_rpr208_only_inside_contracts(self):
+        src = "def f(xs):\n    print(xs)\n    return xs\n"
+        assert slab_lint_source(src) == []
+
+    def test_rpr209_private_and_property_exempt(self):
+        src = (
+            "class ScratchPool:\n"
+            "    def _hidden(self):\n"
+            "        return 0\n"
+            "    @property\n"
+            "    def allocated(self):\n"
+            "        return 0\n"
+        )
+        assert slab_lint_source(src) == []
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = slab_lint_source("def broken(:\n")
+        assert [d.code for d in findings] == ["RPR000"]
+
+
+class TestSelfLint:
+    def test_repo_backends_are_clean(self):
+        assert slab_lint_paths(default_slab_paths()) == []
+
+    def test_default_targets_exist(self):
+        paths = default_slab_paths()
+        assert len(paths) == len(DEFAULT_SLAB_TARGETS)
+        for p in paths:
+            assert p.exists(), f"default slab target {p} is missing"
+
+
+class TestRunnerIntegration:
+    def test_check_slabs_clean_repo(self, capsys):
+        from repro.checkers.runner import run_check
+
+        assert run_check(lint=False, races=False, slabs=True) == 0
+        assert "repro check: OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("code", ALL_FIXTURE_CODES)
+    def test_check_slabs_fails_on_each_fixture(self, code, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / f"{code.lower()}.py")
+        assert run_check(paths=[path], lint=False, races=False, slabs=True) == 1
+        assert code in capsys.readouterr().out
+
+    def test_json_report_shape(self, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / "rpr201.py")
+        code = run_check(
+            paths=[path], lint=False, races=False, slabs=True, json_output=True
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert payload["ok"] is False
+        assert payload["slabs"]["enabled"] is True
+        assert payload["slabs"]["count"] == len(payload["slabs"]["findings"])
+        assert payload["slabs"]["count"] > 0
+        assert {f["code"] for f in payload["slabs"]["findings"]} == {"RPR201"}
+
+    def test_json_clean_repo(self, capsys):
+        from repro.checkers.runner import run_check
+
+        code = run_check(lint=False, races=False, slabs=True, json_output=True)
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["slabs"] == {"enabled": True, "count": 0, "findings": []}
+
+    def test_slabs_off_by_default(self, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / "rpr201.py")
+        # Without --slabs the fixture passes the (lint-only) check.
+        assert run_check(paths=[path], lint=True, races=False) == 0
+        capsys.readouterr()
+
+    def test_cli_slabs_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--slabs", "--no-lint", "--no-races"]) == 0
+        capsys.readouterr()
+        path = str(FIXTURES / "rpr209.py")
+        assert main(["check", "--slabs", "--no-lint", "--no-races", path]) == 1
+        assert "RPR209" in capsys.readouterr().out
+
+
+class TestContractPresence:
+    """Acceptance: every fast kernel and pool method carries a contract."""
+
+    def test_fast_algorithms_all_declared(self):
+        from repro.checkers.contracts import get_contract
+        from repro.core.api import FAST_ALGORITHMS
+
+        for name, fn in FAST_ALGORITHMS.items():
+            contract = get_contract(fn)
+            assert contract is not None, f"FAST_ALGORITHMS[{name!r}] lacks @slab_contract"
+            assert contract.dtypes.get("tree.edges") == ("int64",)
+            assert contract.dtypes.get("tree.weights") == ("float64",)
+
+    def test_heap_pool_public_methods_all_declared(self):
+        import inspect
+
+        from repro.checkers.contracts import get_contract
+        from repro.structures.heap_pool import HeapPool
+
+        public = [
+            (name, member)
+            for name, member in vars(HeapPool).items()
+            if not name.startswith("_") and inspect.isfunction(member)
+        ]
+        assert {name for name, _ in public} == {
+            "alloc",
+            "roots",
+            "find_min",
+            "size",
+            "items",
+            "insert",
+            "meld",
+            "filter",
+            "filter_and_insert",
+        }
+        for name, member in public:
+            assert get_contract(member) is not None, f"HeapPool.{name} lacks @slab_contract"
+
+    def test_build_rc_tree_fast_declared(self):
+        from repro.checkers.contracts import get_contract
+        from repro.contraction.fast import build_rc_tree_fast
+
+        assert get_contract(build_rc_tree_fast) is not None
