@@ -74,6 +74,15 @@ def _pa_graph(n: int) -> tuple[int, np.ndarray, np.ndarray]:
     return nn, edges, weights
 
 
+def _run_paruf_threaded(tree: Any, tracker: CostTracker | None) -> np.ndarray:
+    from repro.core.paruf_threaded import paruf_threaded
+
+    # The OS thread schedule admits no deterministic charged bound, so the
+    # tracker is deliberately unused; work/depth report as a stable zero
+    # and the regression gate tracks the wall numbers only.
+    return paruf_threaded(tree, num_threads=4)
+
+
 def _run_kruskal(
     payload: tuple[int, np.ndarray, np.ndarray], tracker: CostTracker | None
 ) -> np.ndarray:
@@ -93,6 +102,7 @@ def _run_boruvka(
 KERNELS: tuple[Kernel, ...] = (
     Kernel("sequf", 8192, 2048, _ladder_tree, _algo_runner("sequf")),
     Kernel("paruf", 2048, 512, _ladder_tree, _algo_runner("paruf", seed=0)),
+    Kernel("paruf-threaded", 2048, 512, _ladder_tree, _run_paruf_threaded),
     Kernel("rctt", 4096, 1024, _ladder_tree, _algo_runner("rctt", seed=0)),
     Kernel(
         "tree-contraction",

@@ -24,6 +24,15 @@ Two layers, both surfaced through ``python -m repro check``:
   ``@slab_contract`` decorator that verifies declared slab dtypes /
   contiguity / write footprints when ``REPRO_SLAB_CONTRACTS`` is set.
 
+* **Parallel-safety analysis** (:mod:`repro.checkers.parsafe`,
+  :mod:`repro.checkers.ownership`) -- AST checks RPR301..RPR308 over the
+  concurrency layers (closure capture, undeclared shared-slab writes,
+  order-dependent reductions, fork-unsafe resources, missing barriers,
+  GIL-atomicity assumptions, completion-order merges) paired with the
+  runtime ``@owns`` ownership-window decorator (verified when
+  ``REPRO_OWNERSHIP_CHECKS`` is set) and the adversarial-interleaving
+  battery of :func:`repro.checkers.parsafe.run_interleaving_battery`.
+
 This module must stay import-light: the instrumented structures import
 :mod:`repro.checkers.access` at module load.
 """
@@ -43,6 +52,14 @@ from repro.checkers.contracts import (
     get_contract,
     slab_contract,
 )
+from repro.checkers.ownership import (
+    OwnsDecl,
+    WindowSpec,
+    checked_owns,
+    get_owns,
+    owns,
+    ownership_enabled,
+)
 from repro.checkers.races import Conflict, check_recorder, find_conflicts
 
 __all__ = [
@@ -60,4 +77,10 @@ __all__ = [
     "checked",
     "contracts_enabled",
     "get_contract",
+    "OwnsDecl",
+    "WindowSpec",
+    "owns",
+    "checked_owns",
+    "get_owns",
+    "ownership_enabled",
 ]

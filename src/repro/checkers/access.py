@@ -48,6 +48,7 @@ __all__ = [
     "WRITE",
     "ATOMIC",
     "Cell",
+    "SlabWindow",
     "TaskAccessLog",
     "RoundRecorder",
     "RECORDER",
@@ -57,6 +58,8 @@ __all__ = [
     "record_read",
     "record_write",
     "record_atomic",
+    "record_slab_read",
+    "record_slab_write",
     "register",
     "commit_phase",
 ]
@@ -68,11 +71,17 @@ ATOMIC = "atomic"
 #: A shadow memory cell: ``(provenance label, field)``.
 Cell = tuple[str, Any]
 
+#: A half-open index window of one slab: ``(provenance label, lo, hi)``.
+#: Windows generalize point cells to the flat-array backends, where a
+#: worker's footprint is a contiguous partition ``parents[lo:hi]`` rather
+#: than an enumerable set of cells (see :mod:`repro.checkers.ownership`).
+SlabWindow = tuple[str, int, int]
+
 
 class TaskAccessLog:
     """Read/write/atomic shadow sets of one task of one round."""
 
-    __slots__ = ("index", "label", "reads", "writes", "atomics")
+    __slots__ = ("index", "label", "reads", "writes", "atomics", "slab_reads", "slab_writes")
 
     def __init__(self, index: int, label: str | None = None) -> None:
         self.index = index
@@ -80,6 +89,8 @@ class TaskAccessLog:
         self.reads: set[Cell] = set()
         self.writes: set[Cell] = set()
         self.atomics: set[Cell] = set()
+        self.slab_reads: set[SlabWindow] = set()
+        self.slab_writes: set[SlabWindow] = set()
 
     def cells(self) -> set[Cell]:
         """Every cell this task touched, regardless of access kind."""
@@ -88,7 +99,8 @@ class TaskAccessLog:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TaskAccessLog({self.label}: {len(self.reads)}r "
-            f"{len(self.writes)}w {len(self.atomics)}a)"
+            f"{len(self.writes)}w {len(self.atomics)}a "
+            f"{len(self.slab_reads)}sr {len(self.slab_writes)}sw)"
         )
 
 
@@ -162,6 +174,17 @@ class RoundRecorder:
         else:
             cur.atomics.add(cell)
 
+    def record_window(self, obj: object, lo: int, hi: int, kind: str) -> None:
+        """Record an access to the half-open slab window ``obj[lo:hi]``."""
+        cur = self._current
+        if cur is None or self._commit_depth or hi <= lo:
+            return
+        window = (self.label_for(obj), int(lo), int(hi))
+        if kind == READ:
+            cur.slab_reads.add(window)
+        else:
+            cur.slab_writes.add(window)
+
 
 #: The currently installed recorder, or ``None``.  Instrumented code reads
 #: this global inline (``if _access.RECORDER is not None: ...``) so the
@@ -226,6 +249,26 @@ def record_atomic(obj: object, field: Any = "value") -> None:
     rec = RECORDER
     if rec is not None:
         rec.record(obj, field, ATOMIC)
+
+
+def record_slab_read(obj: object, lo: int, hi: int) -> None:
+    """Record a shared read of the slab window ``obj[lo:hi]`` (half-open)."""
+    rec = RECORDER
+    if rec is not None:
+        rec.record_window(obj, lo, hi, READ)
+
+
+def record_slab_write(obj: object, lo: int, hi: int) -> None:
+    """Record a plain shared write of the slab window ``obj[lo:hi]``.
+
+    ``@owns``-decorated kernels report their declared partitions through
+    this hook automatically (see :mod:`repro.checkers.ownership`), so two
+    same-round tasks whose declared windows overlap raise a round race
+    even before any element-level write is observed.
+    """
+    rec = RECORDER
+    if rec is not None:
+        rec.record_window(obj, lo, hi, WRITE)
 
 
 @contextmanager

@@ -1,0 +1,728 @@
+"""Parallel-safety static analysis (codes RPR301..RPR308) + interleaving battery.
+
+ROADMAP item 4 (real multicore execution on the slabs) needs the
+discipline GBBS-style codebases enforce by convention: every worker owns
+a declared, disjoint partition of each shared slab, results are merged in
+submission order, and nothing order- or fork-sensitive crosses a worker
+boundary.  This pass walks the concurrency surface (thread pool,
+scheduler, the ParUF family, the flat-array backends) and flags the
+hazards that survive review because CPython's GIL hides them:
+
+* **RPR301** (late-binding capture) -- a ``lambda`` submitted to a
+  parallel primitive from inside a loop that closes over the loop
+  variable: every task sees the *final* value, the classic
+  ``pool.submit(lambda: f(i))`` bug.  Bind eagerly with
+  ``functools.partial`` or default arguments.
+* **RPR302** (undeclared slab write) -- a worker function that carries an
+  ``@owns(...)`` declaration writes a *different* shared slab than it
+  declared (plain subscript stores and ``out=`` kwargs count; writes
+  under a lock are exempt).  The declaration is the license; an
+  undeclared write voids it.
+* **RPR303** (order-dependent reduction) -- a worker accumulates into a
+  shared scalar (``total += part``).  Float addition does not commute
+  robustly and the merge order is the thread schedule; reduce per-worker
+  and combine after the barrier.
+* **RPR304** (fork-unsafe resource) -- a worker uses global RNG state
+  (``random.random``/``np.random.shuffle`` and friends -- seeded
+  ``Random``/``default_rng`` instances are fine) or a file handle opened
+  outside the worker.  Both break under fork start methods and make
+  results schedule-dependent.
+* **RPR305** (missing barrier) -- a function starts threads
+  (``t.start()``) but never joins them (no ``.join()``/``.result()``/
+  ``.shutdown()``): the dependent phase races the workers it spawned.
+* **RPR306** (GIL-atomicity assumption) -- a worker performs a
+  read-modify-write on a shared container (``counts[i] += 1``) outside a
+  lock and outside its declared ``@owns`` partition.  Bytecode-level
+  atomicity is an implementation accident, not a memory model.
+* **RPR307** (completion-order merge) -- results collected by iterating
+  ``as_completed(...)`` into an ordered container; the output order is
+  the thread schedule.  Collect by submission index instead.
+* **RPR308** (missing ownership declaration) -- a worker function writes
+  shared slabs but declares no ``@owns`` partition at all; every public
+  parallel kernel must state *which* slab regions it may write (see
+  :mod:`repro.checkers.ownership`).
+
+A *worker function* is one handed to a parallel primitive --
+``parallel_map``/``parallel_for`` (first argument), ``pool.submit``
+(first argument), ``threading.Thread(target=...)`` -- or any function
+already carrying ``@owns`` (the decorator self-declares it parallel).
+Analysis is per-function and name-based, the same
+soundness-for-signal trade as :mod:`repro.checkers.slabs`; suppression
+reuses the shared noqa machinery (``# noqa: RPR30x`` on the logical
+line, ``# noqa-module: RPR30x`` file-wide).  Run it via
+``python -m repro check --parsafe``.
+
+The runtime half of the gate lives in :func:`run_interleaving_battery`:
+it replays every parallel algorithm under >= 20 seeded hostile schedules
+(:mod:`repro.runtime.interleave`: permuted task orders plus injected
+delays) and demands bit-identical dendrograms -- the dynamic counterpart
+of the static claims above.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.checkers.lint import LintDiagnostic, _ImportMap, apply_noqa
+
+__all__ = [
+    "PARSAFE_CODES",
+    "DEFAULT_PARSAFE_TARGETS",
+    "parsafe_lint_source",
+    "parsafe_lint_file",
+    "parsafe_lint_paths",
+    "default_parsafe_paths",
+    "run_interleaving_battery",
+]
+
+PARSAFE_CODES = (
+    "RPR301",
+    "RPR302",
+    "RPR303",
+    "RPR304",
+    "RPR305",
+    "RPR306",
+    "RPR307",
+    "RPR308",
+)
+
+#: The concurrency surface swept by ``repro check --parsafe`` when no
+#: explicit paths are given; relative to the installed ``repro`` root.
+DEFAULT_PARSAFE_TARGETS = (
+    "runtime/pool.py",
+    "runtime/scheduler.py",
+    "runtime/interleave.py",
+    "core/paruf.py",
+    "core/paruf_sync.py",
+    "core/paruf_threaded.py",
+    "core/fast.py",
+    "core/fast_contraction.py",
+    "structures/heap_pool.py",
+    "cluster/knn.py",
+)
+
+#: Module-level functions that accept a task function as first argument.
+_SUBMIT_FNS = {"parallel_map", "parallel_for"}
+
+#: Seeded RNG constructors that are safe to use inside workers; anything
+#: else reached through the ``random``/``numpy.random`` module namespaces
+#: is global-state RNG (RPR304).
+_SAFE_RNG = {
+    "Random",
+    "SystemRandom",
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+}
+
+#: Calls that act as a barrier for started/submitted workers (RPR305).
+_BARRIER_METHODS = {"join", "result", "shutdown"}
+
+#: Ordered-container mutators that make an as_completed loop a
+#: completion-order merge (RPR307).
+_ORDERED_SINKS = {"append", "extend", "insert", "add"}
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _decorator_call_name(dec: ast.expr) -> str | None:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _owns_targets(node: _FunctionNode) -> set[str] | None:
+    """Declared slab head-names of ``@owns`` on ``node``; None if absent."""
+    for dec in node.decorator_list:
+        if _decorator_call_name(dec) != "owns":
+            continue
+        targets: set[str] = set()
+        if isinstance(dec, ast.Call):
+            for arg in dec.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    head = arg.value.split("[", 1)[0].strip()
+                    targets.add(head.partition(".")[0])
+        return targets
+    return None
+
+
+def _bound_names(target: ast.expr) -> list[str]:
+    """Names *bound* by an assignment/loop target (subscript bases are not)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [name for elt in target.elts for name in _bound_names(elt)]
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return []
+
+
+def _own_nodes(fn: _FunctionNode) -> list[ast.AST]:
+    """Every AST node of ``fn``'s body, not descending into nested defs."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Heuristic: a ``with`` context whose name mentions a lock."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    return name is not None and "lock" in name.lower()
+
+
+class _WorkerChecker:
+    """RPR302/303/304/306/308 over one worker function's own body."""
+
+    def __init__(
+        self,
+        fn: _FunctionNode,
+        imports: _ImportMap,
+        open_names: set[str],
+        report: Callable[[ast.AST, str, str], None],
+    ) -> None:
+        self.fn = fn
+        self.imports = imports
+        self.open_names = open_names
+        self.report = report
+        self.owns = _owns_targets(fn)
+        self.locals = self._collect_locals()
+        #: Shared slab names plain-written without any @owns (RPR308).
+        self.undeclared_writes: set[str] = set()
+
+    def _collect_locals(self) -> set[str]:
+        args = self.fn.args
+        names = {
+            a.arg
+            for a in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            )
+        }
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(_bound_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                names.update(_bound_names(node.target))
+            elif isinstance(node, ast.NamedExpr):
+                names.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                names.update(_bound_names(node.optional_vars))
+            elif isinstance(node, ast.comprehension):
+                names.update(_bound_names(node.target))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).partition(".")[0])
+        # Direct child defs are locals even though _own_nodes skips them.
+        for stmt in self.fn.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+        # nonlocal/global declarations make a name shared no matter how
+        # often it is assigned here.
+        for node in _own_nodes(self.fn):
+            if isinstance(node, (ast.Nonlocal, ast.Global)):
+                names.difference_update(node.names)
+        return names
+
+    def _shared(self, name: str) -> bool:
+        return name not in self.locals
+
+    def _shared_sub_base(self, expr: ast.expr) -> str | None:
+        """The shared base name of ``name[...]``, else None."""
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.value, ast.Name)
+            and self._shared(expr.value.id)
+        ):
+            return expr.value.id
+        return None
+
+    def _check_plain_write(self, node: ast.AST, base: str, locked: bool) -> None:
+        if locked:
+            return
+        if self.owns is None:
+            self.undeclared_writes.add(base)
+            return
+        if base not in self.owns:
+            self.report(
+                node,
+                "RPR302",
+                f"worker {self.fn.name!r} writes shared slab {base!r} which "
+                f"is not in its @owns declaration ({sorted(self.owns)}); "
+                "declare the partition or stop writing it",
+            )
+
+    def run(self) -> None:
+        self._scan(self.fn.body, locked=False)
+        if self.owns is None and self.undeclared_writes:
+            slabs = ", ".join(sorted(self.undeclared_writes))
+            self.report(
+                self.fn,
+                "RPR308",
+                f"parallel worker {self.fn.name!r} writes shared slab(s) "
+                f"{slabs} but declares no @owns ownership partition; "
+                "annotate with @owns(\"name[lo:hi]\", ...)",
+            )
+
+    def _scan(self, stmts, locked: bool) -> None:
+        for stmt in stmts:
+            self._scan_stmt(stmt, locked)
+
+    def _scan_stmt(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(_is_lockish(item.context_expr) for item in node.items)
+            for item in node.items:
+                self._scan_expr(item.context_expr, locked)
+            self._scan(node.body, inner)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                base = self._shared_sub_base(target)
+                if base is not None:
+                    self._check_plain_write(node, base, locked)
+            self._scan_expr(node.value, locked)
+            return
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and self._shared(node.target.id):
+                if not locked:
+                    self.report(
+                        node,
+                        "RPR303",
+                        f"worker {self.fn.name!r} accumulates into shared "
+                        f"{node.target.id!r}; the merge order is the thread "
+                        "schedule (float addition does not commute robustly) "
+                        "-- reduce per-worker and combine after the barrier",
+                    )
+            base = self._shared_sub_base(node.target)
+            if base is not None and not locked and (self.owns is None or base not in self.owns):
+                self.report(
+                    node,
+                    "RPR306",
+                    f"worker {self.fn.name!r} read-modify-writes shared "
+                    f"{base!r}[...] outside a lock; GIL bytecode atomicity "
+                    "is not a memory model -- guard with a lock or own the "
+                    "partition exclusively",
+                )
+            self._scan_expr(node.value, locked)
+            return
+        # Generic node: dispatch children (covers If/Try/ExceptHandler/...).
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, locked)
+            else:
+                self._scan_stmt(child, locked)
+
+    def _scan_expr(self, expr: ast.expr, locked: bool) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                self._check_call(node, locked)
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and self._shared(node.id)
+                and node.id in self.open_names
+            ):
+                self.report(
+                    node,
+                    "RPR304",
+                    f"worker {self.fn.name!r} uses file handle {node.id!r} "
+                    "opened outside the worker; handles are fork-unsafe and "
+                    "their cursors are shared -- open per worker",
+                )
+
+    def _check_call(self, node: ast.Call, locked: bool) -> None:
+        dotted = self.imports.resolve_call(node.func)
+        if dotted is not None:
+            tail: str | None = None
+            if dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+            elif dotted.startswith("random."):
+                tail = dotted[len("random."):]
+            if tail is not None and "." not in tail and tail not in _SAFE_RNG:
+                self.report(
+                    node,
+                    "RPR304",
+                    f"worker {self.fn.name!r} calls {dotted}(): module-level "
+                    "RNG state is shared across workers and fork-unsafe; "
+                    "pass a seeded Generator/Random instance instead",
+                )
+        for kw in node.keywords:
+            if kw.arg != "out":
+                continue
+            value = kw.value
+            base = self._shared_sub_base(value)
+            if base is None and isinstance(value, ast.Name) and self._shared(value.id):
+                base = value.id
+            if base is not None:
+                self._check_plain_write(node, base, locked)
+
+
+class _ParsafeChecker(ast.NodeVisitor):
+    """Module pass: submission sites, RPR301/305/307, worker collection."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.imports = _ImportMap()
+        self.diagnostics: list[LintDiagnostic] = []
+        #: Names submitted to a parallel primitive somewhere in the module.
+        self.worker_names: set[str] = set()
+        #: Names assigned from open(...) anywhere in the module.
+        self.open_names: set[str] = set()
+        #: Loop-variable names of the enclosing for-loops at this point.
+        self._loop_targets: list[list[str]] = []
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(
+            LintDiagnostic(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0) + 1,
+                code,
+                message,
+            )
+        )
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- loop context for RPR301 -------------------------------------------
+    def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
+        self.visit(node.iter)
+        self._loop_targets.append(_bound_names(node.target))
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._loop_targets.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_for(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_for(node)
+
+    # -- assignments: track open() handles ----------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "open"
+        ):
+            for target in node.targets:
+                self.open_names.update(_bound_names(target))
+        self.generic_visit(node)
+
+    # -- submission sites ----------------------------------------------------
+    def _submitted_exprs(self, node: ast.Call) -> list[ast.expr]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        dotted = self.imports.resolve_call(func)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else name
+        out: list[ast.expr] = []
+        if tail in _SUBMIT_FNS and node.args:
+            out.append(node.args[0])
+        elif isinstance(func, ast.Attribute) and name == "submit" and node.args:
+            out.append(node.args[0])
+        elif tail == "Thread" or dotted == "threading.Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    out.append(kw.value)
+        return out
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for expr in self._submitted_exprs(node):
+            if isinstance(expr, ast.Lambda):
+                self._check_lambda_capture(expr)
+            elif isinstance(expr, ast.Name):
+                self.worker_names.add(expr.id)
+        self.generic_visit(node)
+
+    def _check_lambda_capture(self, lam: ast.Lambda) -> None:
+        params = {
+            a.arg
+            for a in (
+                *lam.args.posonlyargs,
+                *lam.args.args,
+                *lam.args.kwonlyargs,
+                *((lam.args.vararg,) if lam.args.vararg else ()),
+                *((lam.args.kwarg,) if lam.args.kwarg else ()),
+            )
+        }
+        # Loop vars bound through default values land in ``params`` via the
+        # arg list, so the sanctioned ``lambda i=i: ...`` fix passes.
+        active = {name for frame in self._loop_targets for name in frame}
+        captured = sorted(
+            {
+                sub.id
+                for sub in ast.walk(lam.body)
+                if isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in active
+                and sub.id not in params
+            }
+        )
+        if captured:
+            self.report(
+                lam,
+                "RPR301",
+                f"lambda submitted to a parallel primitive captures loop "
+                f"variable(s) {', '.join(captured)} by reference; every task "
+                "sees the final value -- bind eagerly with functools.partial "
+                "or a default argument",
+            )
+
+    # -- RPR305 / RPR307: per-function structural checks ---------------------
+    def _check_barriers(self, fn: _FunctionNode) -> None:
+        has_start = False
+        has_barrier = False
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "start" and not node.args:
+                    has_start = True
+                elif node.func.attr in _BARRIER_METHODS:
+                    has_barrier = True
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                # "with ThreadPoolExecutor(...)" joins at block exit.
+                for item in node.items:
+                    ctx = item.context_expr
+                    if isinstance(ctx, ast.Call):
+                        ctx_dotted = self.imports.resolve_call(ctx.func)
+                        ctx_tail = (
+                            ctx_dotted.rsplit(".", 1)[-1]
+                            if ctx_dotted
+                            else getattr(ctx.func, "attr", getattr(ctx.func, "id", None))
+                        )
+                        if ctx_tail in ("ThreadPoolExecutor", "ProcessPoolExecutor"):
+                            has_barrier = True
+        if has_start and not has_barrier:
+            self.report(
+                fn,
+                "RPR305",
+                f"{fn.name}() starts workers but never joins them (no "
+                ".join()/.result()/.shutdown()); the dependent phase races "
+                "the workers it spawned -- add a round barrier",
+            )
+
+    def _check_completion_merge(self, fn: _FunctionNode) -> None:
+        for node in _own_nodes(fn):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            it = node.iter
+            if not isinstance(it, ast.Call):
+                continue
+            dotted = self.imports.resolve_call(it.func)
+            tail = (
+                dotted.rsplit(".", 1)[-1]
+                if dotted
+                else getattr(it.func, "attr", getattr(it.func, "id", None))
+            )
+            if tail != "as_completed":
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ORDERED_SINKS
+                ):
+                    self.report(
+                        node,
+                        "RPR307",
+                        f"{fn.name}() merges as_completed() results into an "
+                        "ordered container; the output order is the thread "
+                        "schedule -- collect by submission index instead",
+                    )
+                    break
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_barriers(node)
+        self._check_completion_merge(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_barriers(node)
+        self._check_completion_merge(node)
+        self.generic_visit(node)
+
+
+def parsafe_lint_source(source: str, path: str = "<string>") -> list[LintDiagnostic]:
+    """Parsafe-lint one source string; returns surviving (non-noqa) findings."""
+    norm = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                path, exc.lineno or 0, (exc.offset or 0), "RPR000", f"syntax error: {exc.msg}"
+            )
+        ]
+    checker = _ParsafeChecker(norm)
+    checker.visit(tree)
+    # Second pass: analyze every worker function's body.  A worker is a
+    # function whose name was submitted to a parallel primitive anywhere
+    # in the module, or one that carries @owns (self-declared parallel).
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name in checker.worker_names or _owns_targets(node) is not None:
+            _WorkerChecker(
+                node, checker.imports, checker.open_names, checker.report
+            ).run()
+    checker.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    return apply_noqa(source, checker.diagnostics)
+
+
+def parsafe_lint_file(path: str | Path) -> list[LintDiagnostic]:
+    p = Path(path)
+    return parsafe_lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def parsafe_lint_paths(paths: list[str | Path] | list[Path]) -> list[LintDiagnostic]:
+    """Parsafe-lint files and directory trees (``*.py``, recursively)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[LintDiagnostic] = []
+    for f in files:
+        out.extend(parsafe_lint_file(f))
+    return out
+
+
+def default_parsafe_paths() -> list[Path]:
+    """The concurrency surface swept when no explicit paths are given."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    return [root / rel for rel in DEFAULT_PARSAFE_TARGETS]
+
+
+# ---------------------------------------------------------------------------
+# Runtime half: the adversarial-interleaving battery.
+# ---------------------------------------------------------------------------
+
+
+def run_interleaving_battery(seeds: int = 20, num_threads: int = 4) -> list[str]:
+    """Replay every parallel algorithm under seeded hostile schedules.
+
+    For each of a small family of adversarial trees, computes the
+    reference dendrogram (``sequf``) once, then for every seed in
+    ``range(seeds)`` activates :func:`repro.runtime.interleave.hostile_schedule`
+    and re-runs each parallel algorithm -- ``paruf`` with randomized
+    worklist order, ``paruf_sync`` (scheduler rounds hostile-permuted),
+    ``paruf_threaded`` on real threads with injected delays, and ``rctt``
+    (contraction rounds hostile-permuted) -- plus the thread-pool path
+    (:func:`repro.cluster.knn.pairwise_distances`).  Any deviation from
+    the reference is returned as a human-readable failure string; an
+    empty list is the pass verdict.
+    """
+    import numpy as np
+
+    from repro.cluster.knn import pairwise_distances
+    from repro.core import paruf, paruf_sync, paruf_threaded, rctt, sequf
+    from repro.runtime.interleave import hostile_schedule
+    from repro.trees.generators import caterpillar, path_tree, random_tree
+    from repro.trees.wtree import WeightedTree
+
+    rng = np.random.default_rng(20240613)
+
+    def with_distinct_weights(tree: WeightedTree) -> WeightedTree:
+        w = rng.permutation(tree.m).astype(np.float64) + 1.0
+        return WeightedTree(tree.n, tree.edges, w)
+
+    trees = [
+        ("path-17", with_distinct_weights(path_tree(17))),
+        ("caterpillar-24", with_distinct_weights(caterpillar(24))),
+        ("random-33", with_distinct_weights(random_tree(33, seed=7))),
+    ]
+
+    failures: list[str] = []
+
+    def check(label: str, tree_name: str, seed: int, got: np.ndarray, want: np.ndarray) -> None:
+        if not np.array_equal(got, want):
+            bad = int(np.flatnonzero(got != want)[0])
+            failures.append(
+                f"{label} on {tree_name} diverged under hostile schedule "
+                f"seed={seed}: parents[{bad}] = {int(got[bad])}, expected "
+                f"{int(want[bad])}"
+            )
+
+    for tree_name, tree in trees:
+        want = sequf(tree)
+        for seed in range(seeds):
+            with hostile_schedule(seed):
+                check(
+                    "paruf(order=random)", tree_name, seed,
+                    paruf(tree, order="random", seed=seed), want,
+                )
+                check(
+                    "paruf_sync(shuffle)", tree_name, seed,
+                    paruf_sync(tree, shuffle=True, seed=seed), want,
+                )
+                check(
+                    "paruf_sync", tree_name, seed,
+                    paruf_sync(tree), want,
+                )
+                check(
+                    "paruf_threaded", tree_name, seed,
+                    paruf_threaded(tree, num_threads=num_threads), want,
+                )
+                check("rctt", tree_name, seed, rctt(tree, seed=seed), want)
+
+    # The pool path: chunked pairwise distances must not depend on the
+    # submission permutation or injected delays.
+    pts = np.asarray(rng.standard_normal((48, 4)), dtype=np.float64)
+    want_d = pairwise_distances(pts, chunk=8, workers=1)
+    for seed in range(seeds):
+        with hostile_schedule(seed):
+            got_d = pairwise_distances(pts, chunk=8, workers=4)
+        if not np.array_equal(got_d, want_d):
+            failures.append(
+                f"pairwise_distances diverged under hostile schedule "
+                f"seed={seed} (max abs diff "
+                f"{float(np.max(np.abs(got_d - want_d)))})"
+            )
+    return failures

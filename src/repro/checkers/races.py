@@ -53,11 +53,61 @@ class Conflict:
         )
 
 
+#: One interval participant: ``(lo, hi, log, is_write, is_window)``.
+_Span = tuple[int, int, TaskAccessLog, bool, bool]
+
+
+def _window_conflicts(logs: Sequence[TaskAccessLog]) -> list[Conflict]:
+    """Conflicts involving half-open slab windows (``parents[lo:hi]``).
+
+    Two same-round accesses to one slab label conflict when their index
+    intervals overlap, the tasks differ, at least one access is a plain
+    write, and at least one side is a genuine window (point-cell pairs are
+    the existing cell pass's job).  Point cells with integer fields join
+    as degenerate ``[i, i+1)`` intervals so a scalar ``status[7]`` write
+    races against another task's declared ``status[0:16]`` partition.
+    """
+    spans: dict[str, list[_Span]] = {}
+    for log in logs:
+        for label, lo, hi in log.slab_writes:
+            spans.setdefault(label, []).append((lo, hi, log, True, True))
+        for label, lo, hi in log.slab_reads:
+            spans.setdefault(label, []).append((lo, hi, log, False, True))
+        for label, field in log.writes:
+            if isinstance(field, int):
+                spans.setdefault(label, []).append((field, field + 1, log, True, False))
+        for label, field in log.reads:
+            if isinstance(field, int):
+                spans.setdefault(label, []).append((field, field + 1, log, False, False))
+
+    conflicts: list[Conflict] = []
+    seen: set[tuple[str, str]] = set()
+    for label in sorted(spans):
+        entries = sorted(spans[label], key=lambda s: (s[0], s[1], s[2].index))
+        for i, (alo, ahi, alog, awrite, awin) in enumerate(entries):
+            for blo, bhi, blog, bwrite, bwin in entries[i + 1 :]:
+                if blo >= ahi:
+                    break  # sorted by lo: nothing further overlaps a
+                if blog is alog or not (awin or bwin) or not (awrite or bwrite):
+                    continue
+                kind = WRITE_WRITE if (awrite and bwrite) else READ_WRITE
+                if (label, kind) in seen:
+                    continue
+                seen.add((label, kind))
+                overlap = f"{max(alo, blo)}:{min(ahi, bhi)}"
+                first, second = (alog, blog) if awrite else (blog, alog)
+                conflicts.append(Conflict(kind, label, overlap, first.label, second.label))
+    return conflicts
+
+
 def find_conflicts(logs: Sequence[TaskAccessLog]) -> list[Conflict]:
     """All conflicts among the task access sets of one round.
 
     Reports at most one conflict per ``(cell, kind)`` (the first offending
-    task pair in log order) so pathological rounds stay readable.
+    task pair in log order) so pathological rounds stay readable.  Slab
+    windows are checked for interval overlap against other windows and
+    against integer point cells of the same label (at most one conflict
+    per ``(label, kind)``).
     """
     if len(logs) < 2:
         return []
@@ -95,6 +145,7 @@ def find_conflicts(logs: Sequence[TaskAccessLog]) -> list[Conflict]:
                 conflicts.append(
                     Conflict(ATOMIC_PLAIN, obj, field, ats[0].label, plain.label)
                 )
+    conflicts.extend(_window_conflicts(logs))
     return conflicts
 
 

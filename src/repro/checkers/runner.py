@@ -28,6 +28,13 @@ Composes the two checker layers into one pass/fail gate:
   pass of :mod:`repro.checkers.slabs` over the array-backend layers
   (default) or over the given explicit paths.
 
+* **Parallel-safety pass** (``--parsafe``) -- the RPR301..RPR308 static
+  race/effect analysis of :mod:`repro.checkers.parsafe` over the
+  concurrency surface (default) or the given explicit paths, plus (in
+  the default run only) the adversarial-interleaving battery: every
+  parallel algorithm must produce a bit-identical dendrogram under 20
+  seeded hostile schedules.
+
 * **Corpus replay** (default run only) -- every committed fuzz corpus
   entry under ``tests/fixtures/corpus/`` is replayed through the
   ``repro.fuzz`` battery; a finding means a previously fixed bug has
@@ -43,8 +50,8 @@ Exit-code contract (stable; CI and the tests rely on it):
 
 ``--json`` replaces the line-oriented output with one JSON object
 (``{"lint": ..., "races": ..., "corpus": ..., "bounds": ..., "slabs":
-..., "ok": ..., "exit_code": ...}``) on stdout; the exit code is
-unchanged.
+..., "parsafe": ..., "interleaving": ..., "ok": ..., "exit_code":
+...}``) on stdout; the exit code is unchanged.
 """
 
 from __future__ import annotations
@@ -197,6 +204,7 @@ def run_check(
     races: bool = True,
     bounds: bool = False,
     slabs: bool = False,
+    parsafe: bool = False,
     json_output: bool = False,
     bounds_report: str | Path = DEFAULT_BOUNDS_REPORT,
 ) -> int:
@@ -254,6 +262,24 @@ def run_check(
         for d in slab_findings:
             emit(d.format())
 
+    parsafe_findings: list[LintDiagnostic] = []
+    interleave_failures: list[str] = []
+    if parsafe:
+        from repro.checkers.parsafe import (
+            default_parsafe_paths,
+            parsafe_lint_paths,
+            run_interleaving_battery,
+        )
+
+        parsafe_targets = list(targets) if explicit else default_parsafe_paths()
+        parsafe_findings = parsafe_lint_paths(parsafe_targets)
+        for d in parsafe_findings:
+            emit(d.format())
+        if not explicit:
+            interleave_failures = run_interleaving_battery()
+            for f in interleave_failures:
+                emit(f"INTERLEAVE {f}")
+
     fit_report = None
     if bounds:
         from repro.checkers.fit import run_fit
@@ -267,8 +293,18 @@ def run_check(
     n_race = len(race_failures)
     n_corpus = len(corpus_failures)
     n_slab = len(slab_findings)
+    n_parsafe = len(parsafe_findings)
+    n_inter = len(interleave_failures)
     n_bound = len(fit_report.failures) if fit_report is not None else 0
-    ok = n_lint == 0 and n_race == 0 and n_corpus == 0 and n_slab == 0 and n_bound == 0
+    ok = (
+        n_lint == 0
+        and n_race == 0
+        and n_corpus == 0
+        and n_slab == 0
+        and n_parsafe == 0
+        and n_inter == 0
+        and n_bound == 0
+    )
     exit_code = 0 if ok else 1
 
     if json_output:
@@ -289,6 +325,16 @@ def run_check(
                 "count": n_slab,
                 "findings": [vars(d) | {} for d in slab_findings],
             },
+            "parsafe": {
+                "enabled": parsafe,
+                "count": n_parsafe,
+                "findings": [vars(d) | {} for d in parsafe_findings],
+            },
+            "interleaving": {
+                "enabled": parsafe and not explicit,
+                "count": n_inter,
+                "failures": interleave_failures,
+            },
             "bounds": fit_report.to_dict() if fit_report is not None else None,
             "ok": ok,
             "exit_code": exit_code,
@@ -304,6 +350,10 @@ def run_check(
         parts.append(f"{n_corpus} corpus regression(s)")
     if slabs:
         parts.append(f"{n_slab} slab finding(s)")
+    if parsafe:
+        parts.append(f"{n_parsafe} parsafe finding(s)")
+        if n_inter:
+            parts.append(f"{n_inter} interleaving failure(s)")
     if fit_report is not None:
         parts.append(f"{n_bound} bound fit(s) over tolerance")
     print(f"repro check: {', '.join(parts)}")

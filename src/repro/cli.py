@@ -94,9 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_pr5.json",
+        default="BENCH_pr7.json",
         metavar="PATH",
-        help="where to write the fresh benchmark JSON (default: BENCH_pr5.json)",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr7.json)",
     )
     bench.add_argument(
         "--backend",
@@ -162,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the RPR2xx slab/effect lint over the array-backend layers "
         "(or over the given paths)",
+    )
+    check.add_argument(
+        "--parsafe",
+        action="store_true",
+        help="run the RPR3xx parallel-safety lint over the concurrency "
+        "layers (or over the given paths) plus, in the default run, the "
+        "adversarial-interleaving battery",
     )
     check.add_argument(
         "--json",
@@ -446,6 +453,7 @@ def _cmd_check(args) -> int:
         races=not args.no_races,
         bounds=args.bounds,
         slabs=args.slabs,
+        parsafe=args.parsafe,
         json_output=args.json_output,
         bounds_report=args.bounds_report or DEFAULT_BOUNDS_REPORT,
     )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.ownership import owns
 from repro.errors import InvalidGraphError
 from repro.structures.unionfind import UnionFind
 
@@ -36,6 +37,9 @@ def pairwise_distances(
     sq = np.einsum("ij,ij->i", pts, pts)
     out = np.empty((n, n), dtype=np.float64)
 
+    # Each pool worker owns the disjoint row partition out[lo:hi]; the
+    # declaration is what licenses running fill on concurrent threads.
+    @owns("out[lo:hi]")
     def fill(lo: int, hi: int) -> None:
         for block_lo in range(lo, hi, chunk):
             block_hi = min(block_lo + chunk, hi)

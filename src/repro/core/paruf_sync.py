@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.checkers import access as _access
 from repro.checkers.bounds import cost_bound
+from repro.checkers.ownership import owns
 from repro.core.paruf import ParUFStats
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker, log_cost
@@ -120,6 +121,10 @@ def paruf_sync(
     def make_task(
         cur: int,
     ) -> Callable[[], tuple[tuple[int, int, float], WorkDepth]]:
+        # The claiming task owns exactly its edge's status cell; distinct
+        # ready edges have distinct cells (Lemma 4.1), so the declared
+        # windows of one round are pairwise disjoint.
+        @owns("status[cur:cur+1]")
         def task() -> tuple[tuple[int, int, float], WorkDepth]:
             # CAS(status[cur], 2, -1): the claiming task owns the edge.
             _access.record_write("status", cur)

@@ -28,7 +28,9 @@ from collections import deque
 
 import numpy as np
 
+from repro.checkers.ownership import owns
 from repro.core.paruf import ParUFStats
+from repro.runtime.interleave import maybe_delay
 from repro.structures import make_heap
 from repro.structures.unionfind import UnionFind
 from repro.trees.wtree import WeightedTree
@@ -79,7 +81,9 @@ def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread sch
     worklist: deque[int] = deque(ready)
     status_lock = threading.Lock()  # models the paper's atomics on status(.)
     remaining = [m]  # edges not yet fully processed (under status_lock)
-    errors: list[BaseException] = []
+    # Keyed by worker index so the caller sees a deterministic exception
+    # (lowest worker id) instead of whichever thread crashed first.
+    errors: dict[int, BaseException] = {}
 
     def try_claim(e: int) -> bool:
         """CAS(status(e), 2, -1)."""
@@ -110,7 +114,12 @@ def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread sch
             remaining[0] -= 1
             return remaining[0] == 0
 
-    def worker() -> None:
+    # Whole-slab declaration: ownership of parents cells is dynamic here
+    # (the thread that wins the CAS on status(e) owns parents[e] for the
+    # chain it follows -- Lemma 4.1 exclusivity), so no static window is
+    # narrower than the full slab.
+    @owns("parents[:]")
+    def worker(worker_id: int) -> None:
         try:
             while True:
                 with status_lock:
@@ -120,9 +129,11 @@ def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread sch
                 if cur is None:
                     time.sleep(0)  # noqa: RPR001 -- real-thread yield is the point here
                     continue
+                maybe_delay("between pop and claim")
                 if not try_claim(cur):
                     continue
                 while True:
+                    maybe_delay("after winning the claim CAS")
                     u, v = int(edges[cur, 0]), int(edges[cur, 1])
                     ru, rv = uf.find(u), uf.find(v)
                     # Unlocked by design: the status protocol guarantees
@@ -139,6 +150,7 @@ def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread sch
                     _, new_cur = heaps[w].find_min()
                     new_cur = int(new_cur)
                     parents[cur] = new_cur
+                    maybe_delay("between parent write and activation")
                     if activate(new_cur):
                         if try_claim(new_cur):
                             cur = new_cur  # follow the chain (Alg. 5 line 20)
@@ -148,16 +160,19 @@ def paruf_threaded(  # noqa: RPR003, RPR101 -- cost depends on the OS thread sch
                         return
                     break
         except BaseException as exc:  # surface worker crashes to the caller
-            errors.append(exc)
             with status_lock:
+                errors[worker_id] = exc
                 remaining[0] = 0
 
-    threads = [threading.Thread(target=worker, name=f"paruf-{i}") for i in range(num_threads)]
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"paruf-{i}")
+        for i in range(num_threads)
+    ]
     for t in threads:
         t.start()
     for t in threads:
         t.join()
     if errors:
-        raise errors[0]
+        raise errors[min(errors)]
     stats.processed_async = m
     return parents

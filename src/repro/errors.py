@@ -66,6 +66,18 @@ class SlabContractError(ReproError):
     """
 
 
+class OwnershipError(ReproError):
+    """An ``@owns`` ownership declaration was violated (or is malformed).
+
+    Raised at decoration time when a window spec names a parameter the
+    function cannot resolve (neither a parameter nor a closure variable),
+    and at call time (checked mode only) when a kernel writes an owned
+    slab *outside* its declared ``name[lo:hi]`` partition -- the exact
+    hazard that makes naive shared-memory parallelization of the windowed
+    kernels unsound.
+    """
+
+
 class RaceConditionError(ReproError):
     """The round-race detector found conflicting accesses within one round.
 

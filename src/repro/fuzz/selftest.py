@@ -1,8 +1,8 @@
 """Fuzzer selftest: inject known mutants, fail unless every one is caught.
 
 A fuzzer that silently stops finding bugs is worse than none, so
-``python -m repro fuzz --selftest`` resurrects seven known bug patterns --
-four algorithmic, three being the exact io bugs this subsystem originally
+``python -m repro fuzz --selftest`` resurrects eight known bug patterns --
+five algorithmic, three being the exact io bugs this subsystem originally
 caught -- injects them through the runner's ``algorithms``/``loader``
 injection points, and requires the standard battery to flag each one
 within a bounded number of cases.
@@ -19,6 +19,15 @@ Algorithm mutants:
 * ``label-tiebreak`` -- weight ties broken by endpoint vertex ids; caught
   by the *leaf-relabeling* metamorphic relation with the oracle disabled,
   proving the relations carry detection power of their own.
+* ``windowed-lost-update`` -- the rank-ordered merge runs in windows of 8
+  whose edges are applied in a hostile-permuted order
+  (:class:`~repro.runtime.interleave.HostileSchedule` with a fixed seed):
+  the exact lost-update race the adversarial-interleaving sanitizer
+  exists to catch.  Under the identity permutation the result is
+  bit-identical to ``sequf``; whenever two same-window edges extend the
+  same cluster chain, the permutation swaps their merges and the chain's
+  parent pointers come out wrong -- deterministically, so the shrunken
+  corpus entry is byte-stable.
 * ``heap-pool-broken-carry`` -- the slab heap pool's binary-carry link
   skips the key comparison, so rebuilt trees violate heap order and
   ``filter``'s pruning stops descending too early.  Structure-only pool
@@ -103,6 +112,26 @@ def mutant_label_tiebreak(tree: WeightedTree) -> np.ndarray:
     key = np.maximum(tree.edges[:, 0], tree.edges[:, 1])
     order = np.lexsort((key, tree.weights))
     return _uf_sld(tree, order)
+
+
+def mutant_windowed_lost_update(tree: WeightedTree) -> np.ndarray:
+    """Rank-ordered UF merge in windows of 8, each window hostile-permuted.
+
+    Models workers that grab a window of the ready queue and apply its
+    merges in whatever order the scheduler hands them, without the
+    ownership discipline that would make same-window merges commute.
+    """
+    from repro.runtime.interleave import HostileSchedule
+
+    schedule = HostileSchedule(7, delays=False)
+    order = np.argsort(tree.ranks, kind="stable")
+    permuted = np.empty_like(order)
+    window = 8
+    for lo in range(0, order.size, window):
+        hi = min(lo + window, order.size)
+        perm = np.asarray(schedule.permutation(hi - lo), dtype=np.int64)
+        permuted[lo:hi] = order[lo:hi][perm]
+    return _uf_sld(tree, permuted)
 
 
 class _BrokenCarryPool(HeapPool):
@@ -285,6 +314,7 @@ MUTANTS: tuple[Mutant, ...] = (
     # Oracle disabled: the leaf-relabeling relation alone must catch it.
     _alg_mutant("label-tiebreak", mutant_label_tiebreak, tree_checks=("relations",)),
     _alg_mutant("heap-pool-broken-carry", mutant_heap_pool_broken_carry),
+    _alg_mutant("windowed-lost-update", mutant_windowed_lost_update),
     Mutant(
         name="csv-header-kept",
         kwargs={

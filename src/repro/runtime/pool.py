@@ -18,6 +18,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from functools import partial
 from typing import Any, TypeVar
 
+from repro.runtime import interleave
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -57,6 +59,40 @@ def _run_windowed(
     return results
 
 
+def _run_hostile(
+    pool: ThreadPoolExecutor,
+    thunks: Sequence[Callable[[], R]],
+    schedule: interleave.HostileSchedule,
+) -> list[R]:
+    """Submit thunks in a hostile permutation; collect in submission order.
+
+    The adversarial-interleaving sanitizer's pool path: tasks are handed
+    to the executor in a seeded permutation and each task start is
+    preceded by an injected delay, but results are still gathered by
+    *original* index -- merging in completion order would itself be the
+    RPR307 hazard this machinery exists to catch.  Exceptions propagate in
+    original-index order, so a failing schedule reports deterministically.
+    """
+    order = schedule.permutation(len(thunks))
+
+    def run(thunk: Callable[[], R]) -> R:
+        interleave.maybe_delay("pool task start")
+        return thunk()
+
+    futures: dict[int, Future[R]] = {}
+    for i in order:
+        futures[i] = pool.submit(run, thunks[i])
+    results: list[R] = []
+    try:
+        for i in range(len(thunks)):
+            results.append(futures[i].result())
+    except BaseException:
+        for fut in futures.values():
+            fut.cancel()
+        raise
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -76,6 +112,9 @@ def parallel_map(
         return [fn(x) for x in items]
     workers = min(workers, n)
     with ThreadPoolExecutor(max_workers=workers) as pool:
+        schedule = interleave.current()
+        if schedule is not None:
+            return _run_hostile(pool, [partial(fn, x) for x in items], schedule)
         return _run_windowed(pool, (partial(fn, x) for x in items), 2 * workers)
 
 
@@ -102,6 +141,10 @@ def parallel_for(
     ranges = [(lo, min(lo + block, n)) for lo in range(0, n, block)]
     workers = min(workers, len(ranges))
     with ThreadPoolExecutor(max_workers=workers) as pool:
+        schedule = interleave.current()
+        if schedule is not None:
+            _run_hostile(pool, [partial(fn, lo, hi) for lo, hi in ranges], schedule)
+            return
         thunks: Iterable[Callable[[], Any]] = (
             partial(fn, lo, hi) for lo, hi in ranges
         )

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.checkers import access as _access
 from repro.checkers.races import check_recorder
+from repro.runtime import interleave
 from repro.runtime.cost_model import CostTracker, WorkDepth, combine_parallel
 from repro.util import check_random_state
 
@@ -82,6 +83,14 @@ class Scheduler:
         order = np.arange(n)
         if self.shuffle and n > 1:
             self._rng.shuffle(order)
+        elif n > 1:
+            # Under an adversarial-interleaving sanitizer, a scheduler that
+            # was not explicitly asked to shuffle still executes the round
+            # in a hostile permutation: round tasks claim independence, so
+            # no order may change the result.
+            hostile = interleave.current()
+            if hostile is not None:
+                order = np.asarray(hostile.permutation(n), dtype=order.dtype)
         self.last_order = order
         values: list[Any] = [None] * n
         costs: list[WorkDepth] = [WorkDepth.zero()] * n

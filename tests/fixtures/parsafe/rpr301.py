@@ -1,0 +1,27 @@
+"""RPR301 fixture: lambda submitted from a loop captures the loop variable."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def bad_submit(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = []
+        for i in range(len(items)):
+            futures.append(pool.submit(lambda: items[i]))
+        return [f.result() for f in futures]
+
+
+def suppressed_submit(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = []
+        for i in range(len(items)):
+            futures.append(pool.submit(lambda: items[i]))  # noqa: RPR301
+        return [f.result() for f in futures]
+
+
+def bound_ok(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = []
+        for i in range(len(items)):
+            futures.append(pool.submit(lambda i=i: items[i]))
+        return [f.result() for f in futures]

@@ -1,0 +1,45 @@
+"""RPR302 fixture: @owns worker writes a shared slab it did not declare."""
+
+import numpy as np
+
+from repro.checkers.ownership import owns
+from repro.runtime.pool import parallel_for
+
+
+def bad_kernel(n, workers=4):
+    parents = np.arange(n, dtype=np.int64)
+    status = np.zeros(n, dtype=np.int64)
+
+    @owns("parents[lo:hi]")
+    def fill(lo, hi):
+        parents[lo:hi] = 0
+        status[lo] = 1
+
+    parallel_for(fill, n, workers=workers)
+    return parents, status
+
+
+def suppressed_kernel(n, workers=4):
+    parents = np.arange(n, dtype=np.int64)
+    status = np.zeros(n, dtype=np.int64)
+
+    @owns("parents[lo:hi]")
+    def fill(lo, hi):
+        parents[lo:hi] = 0
+        status[lo] = 1  # noqa: RPR302
+
+    parallel_for(fill, n, workers=workers)
+    return parents, status
+
+
+def declared_kernel(n, workers=4):
+    parents = np.arange(n, dtype=np.int64)
+    status = np.zeros(n, dtype=np.int64)
+
+    @owns("parents[lo:hi]", "status[lo:hi]")
+    def fill(lo, hi):
+        parents[lo:hi] = 0
+        status[lo] = 1
+
+    parallel_for(fill, n, workers=workers)
+    return parents, status

@@ -1,0 +1,37 @@
+"""RPR303 fixture: worker accumulates into a shared scalar."""
+
+from repro.runtime.pool import parallel_map
+
+
+def bad_sum(blocks, workers=4):
+    total = 0.0
+
+    def part(block):
+        nonlocal total
+        for x in block:
+            total += x
+
+    parallel_map(part, blocks, workers=workers)
+    return total
+
+
+def suppressed_sum(blocks, workers=4):
+    total = 0.0
+
+    def part(block):
+        nonlocal total
+        for x in block:
+            total += x  # noqa: RPR303
+
+    parallel_map(part, blocks, workers=workers)
+    return total
+
+
+def reduced_ok(blocks, workers=4):
+    def part(block):
+        sub = 0.0
+        for x in block:
+            sub += x
+        return sub
+
+    return sum(parallel_map(part, blocks, workers=workers))

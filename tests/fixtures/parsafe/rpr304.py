@@ -1,0 +1,37 @@
+"""RPR304 fixture: fork-unsafe resources (global RNG, shared file handle)."""
+
+import random
+
+from repro.runtime.pool import parallel_map
+
+log = open("results.log", "a")  # noqa: RPR001 -- fixture needs a module handle
+
+
+def bad_jitter(items, workers=4):
+    def work(x):
+        return x + random.random()
+
+    return parallel_map(work, items, workers=workers)
+
+
+def bad_logging(items, workers=4):
+    def work(x):
+        log.write(str(x))
+        return x
+
+    return parallel_map(work, items, workers=workers)
+
+
+def suppressed_jitter(items, workers=4):
+    def work(x):
+        return x + random.random()  # noqa: RPR304
+
+    return parallel_map(work, items, workers=workers)
+
+
+def seeded_ok(items, seed=0, workers=4):
+    def work(x):
+        rng = random.Random((seed, x))
+        return x + rng.random()
+
+    return parallel_map(work, items, workers=workers)

@@ -1,0 +1,25 @@
+"""RPR305 fixture: threads started but never joined."""
+
+import threading
+
+
+def bad_spawn(work, n):
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def suppressed_spawn(work, n):  # noqa: RPR305
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def joined_ok(work, n):
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

@@ -1,0 +1,40 @@
+"""RPR306 fixture: unlocked read-modify-write on a shared container."""
+
+import threading
+
+from repro.runtime.pool import parallel_for
+
+
+def bad_histogram(values, workers=4):
+    counts = [0] * 4
+
+    def tally(lo, hi):
+        for i in range(lo, hi):
+            counts[values[i] % 4] += 1
+
+    parallel_for(tally, len(values), workers=workers)
+    return counts
+
+
+def suppressed_histogram(values, workers=4):
+    counts = [0] * 4
+
+    def tally(lo, hi):
+        for i in range(lo, hi):
+            counts[values[i] % 4] += 1  # noqa: RPR306
+
+    parallel_for(tally, len(values), workers=workers)
+    return counts
+
+
+def locked_ok(values, workers=4):
+    counts = [0] * 4
+    counts_lock = threading.Lock()
+
+    def tally(lo, hi):
+        for i in range(lo, hi):
+            with counts_lock:
+                counts[values[i] % 4] += 1
+
+    parallel_for(tally, len(values), workers=workers)
+    return counts

@@ -1,0 +1,27 @@
+"""RPR307 fixture: results merged in thread-completion order."""
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+
+def bad_gather(fns):
+    results = []
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(fn) for fn in fns]
+        for fut in as_completed(futures):
+            results.append(fut.result())
+    return results
+
+
+def suppressed_gather(fns):
+    results = []
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(fn) for fn in fns]
+        for fut in as_completed(futures):  # noqa: RPR307
+            results.append(fut.result())
+    return results
+
+
+def indexed_ok(fns):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(fn) for fn in fns]
+        return [fut.result() for fut in futures]

@@ -1,0 +1,37 @@
+"""RPR308 fixture: parallel worker writes shared slabs with no @owns."""
+
+import numpy as np
+
+from repro.checkers.ownership import owns
+from repro.runtime.pool import parallel_for
+
+
+def bad_fill(n, workers=4):
+    out = np.zeros(n, dtype=np.float64)
+
+    def fill(lo, hi):
+        out[lo:hi] = 1.0
+
+    parallel_for(fill, n, workers=workers)
+    return out
+
+
+def suppressed_fill(n, workers=4):
+    out = np.zeros(n, dtype=np.float64)
+
+    def fill(lo, hi):  # noqa: RPR308
+        out[lo:hi] = 1.0
+
+    parallel_for(fill, n, workers=workers)
+    return out
+
+
+def declared_fill(n, workers=4):
+    out = np.zeros(n, dtype=np.float64)
+
+    @owns("out[lo:hi]")
+    def fill(lo, hi):
+        out[lo:hi] = 1.0
+
+    parallel_for(fill, n, workers=workers)
+    return out

@@ -1,0 +1,300 @@
+"""Tests for the RPR3xx parallel-safety pass (repro.checkers.parsafe)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.parsafe import (
+    DEFAULT_PARSAFE_TARGETS,
+    PARSAFE_CODES,
+    default_parsafe_paths,
+    parsafe_lint_file,
+    parsafe_lint_paths,
+    parsafe_lint_source,
+    run_interleaving_battery,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "parsafe"
+
+POOL_IMPORT = "from repro.runtime.pool import parallel_for, parallel_map\n"
+
+
+class TestFixtures:
+    """One fixture file per code: positives fire, noqa'd twins stay quiet."""
+
+    @pytest.mark.parametrize("code", PARSAFE_CODES)
+    def test_fixture_triggers_exactly_its_code(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        findings = parsafe_lint_file(path)
+        assert findings, f"{path.name} produced no findings"
+        assert {d.code for d in findings} == {code}
+
+    @pytest.mark.parametrize("code", PARSAFE_CODES)
+    def test_noqa_suppresses_the_twin(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        source = path.read_text(encoding="utf-8")
+        findings = parsafe_lint_file(path)
+        flagged_lines = {d.line for d in findings}
+        lines = source.splitlines()
+        for lineno in flagged_lines:
+            assert "noqa" not in lines[lineno - 1], (
+                f"{path.name}:{lineno} carries a noqa but still fired"
+            )
+        # Every fixture contains at least one suppressed twin of its code.
+        assert f"noqa: {code}" in source
+
+    @pytest.mark.parametrize("code", PARSAFE_CODES)
+    def test_noqa_module_silences_the_file(self, code):
+        path = FIXTURES / f"{code.lower()}.py"
+        source = f"# noqa-module: {code}\n" + path.read_text(encoding="utf-8")
+        assert parsafe_lint_source(source, str(path)) == []
+
+
+class TestRules:
+    def test_rpr301_partial_binding_accepted(self):
+        src = (
+            "from functools import partial\n"
+            "def f(pool, items):\n"
+            "    futs = []\n"
+            "    for i in range(len(items)):\n"
+            "        futs.append(pool.submit(partial(lambda j: items[j], i)))\n"
+            "    return [f.result() for f in futs]\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr301_lambda_outside_loop_clean(self):
+        src = "def f(pool, x):\n    return pool.submit(lambda: x + 1)\n"
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr301_thread_target_lambda(self):
+        src = (
+            "import threading\n"
+            "def f(items):\n"
+            "    for i in range(len(items)):\n"
+            "        threading.Thread(target=lambda: items[i]).start()\n"
+        )
+        codes = {d.code for d in parsafe_lint_source(src)}
+        assert "RPR301" in codes
+
+    def test_rpr302_lock_guarded_write_exempt(self):
+        src = POOL_IMPORT + (
+            "from repro.checkers.ownership import owns\n"
+            "import threading\n"
+            "def f(parents, status, lock, n):\n"
+            "    @owns('parents[lo:hi]')\n"
+            "    def fill(lo, hi):\n"
+            "        parents[lo:hi] = 0\n"
+            "        with lock:\n"
+            "            status[lo] = 1\n"
+            "    parallel_for(fill, n)\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr303_local_accumulator_clean(self):
+        src = POOL_IMPORT + (
+            "def f(blocks):\n"
+            "    def part(block):\n"
+            "        sub = 0.0\n"
+            "        for x in block:\n"
+            "            sub += x\n"
+            "        return sub\n"
+            "    return parallel_map(part, blocks)\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr304_seeded_generator_clean(self):
+        src = POOL_IMPORT + (
+            "import numpy as np\n"
+            "def f(items, seed):\n"
+            "    def work(x):\n"
+            "        rng = np.random.default_rng(seed)\n"
+            "        return x + rng.standard_normal()\n"
+            "    return parallel_map(work, items)\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr304_numpy_global_rng_fires(self):
+        src = POOL_IMPORT + (
+            "import numpy as np\n"
+            "def f(items):\n"
+            "    def work(x):\n"
+            "        np.random.shuffle(x)\n"
+            "        return x\n"
+            "    return parallel_map(work, items)\n"
+        )
+        assert [d.code for d in parsafe_lint_source(src)] == ["RPR304"]
+
+    def test_rpr305_executor_with_block_is_a_barrier(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def f(work, items):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        futs = [pool.submit(work, x) for x in items]\n"
+            "    return futs\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr306_owned_partition_exempt(self):
+        src = POOL_IMPORT + (
+            "from repro.checkers.ownership import owns\n"
+            "def f(counts, n):\n"
+            "    @owns('counts[lo:hi]')\n"
+            "    def tally(lo, hi):\n"
+            "        for i in range(lo, hi):\n"
+            "            counts[i] += 1\n"
+            "    parallel_for(tally, n)\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr307_submission_index_merge_clean(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def f(fns):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        futs = [pool.submit(fn) for fn in fns]\n"
+            "        return [fut.result() for fut in futs]\n"
+        )
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr308_non_worker_function_unanalyzed(self):
+        # Plain sequential code writing globals is not parsafe's business.
+        src = "parents = [0] * 8\n\ndef f(i):\n    parents[i] = 1\n"
+        assert parsafe_lint_source(src) == []
+
+    def test_rpr308_reported_at_worker_def(self):
+        src = POOL_IMPORT + (
+            "def f(out, n):\n"
+            "    def fill(lo, hi):\n"
+            "        out[lo:hi] = 1.0\n"
+            "    parallel_for(fill, n)\n"
+        )
+        findings = parsafe_lint_source(src)
+        assert [d.code for d in findings] == ["RPR308"]
+        assert "def fill" in src.splitlines()[findings[0].line - 1]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = parsafe_lint_source("def broken(:\n")
+        assert [d.code for d in findings] == ["RPR000"]
+
+
+class TestSelfLint:
+    def test_concurrency_surface_is_clean(self):
+        assert parsafe_lint_paths(default_parsafe_paths()) == []
+
+    def test_default_targets_exist(self):
+        paths = default_parsafe_paths()
+        assert len(paths) == len(DEFAULT_PARSAFE_TARGETS)
+        for p in paths:
+            assert p.exists(), f"default parsafe target {p} is missing"
+
+    def test_shipped_kernels_declare_ownership(self):
+        """Acceptance: the public parallel kernels carry @owns."""
+        import ast
+
+        for rel in ("cluster/knn.py", "core/paruf_sync.py", "core/paruf_threaded.py"):
+            path = next(p for p in default_parsafe_paths() if str(p).endswith(rel))
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            decorated = [
+                node.name
+                for node in ast.walk(tree)
+                if isinstance(node, ast.FunctionDef)
+                and any(
+                    getattr(getattr(d, "func", d), "id", None) == "owns"
+                    or getattr(getattr(d, "func", d), "attr", None) == "owns"
+                    for d in node.decorator_list
+                )
+            ]
+            assert decorated, f"{rel} has no @owns-decorated kernel"
+
+
+class TestRunnerIntegration:
+    def test_check_parsafe_clean_repo(self, capsys):
+        from repro.checkers.runner import run_check
+
+        assert run_check(lint=False, races=False, parsafe=True) == 0
+        assert "repro check: OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("code", PARSAFE_CODES)
+    def test_check_parsafe_fails_on_each_fixture(self, code, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / f"{code.lower()}.py")
+        assert run_check(paths=[path], lint=False, races=False, parsafe=True) == 1
+        assert code in capsys.readouterr().out
+
+    def test_json_report_shape(self, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / "rpr301.py")
+        code = run_check(
+            paths=[path], lint=False, races=False, parsafe=True, json_output=True
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert payload["ok"] is False
+        assert payload["parsafe"]["enabled"] is True
+        assert payload["parsafe"]["count"] == len(payload["parsafe"]["findings"])
+        assert {f["code"] for f in payload["parsafe"]["findings"]} == {"RPR301"}
+        # Explicit paths skip the interleaving battery (fixture mode).
+        assert payload["interleaving"] == {
+            "enabled": False,
+            "count": 0,
+            "failures": [],
+        }
+
+    def test_json_clean_repo_runs_battery(self, capsys):
+        from repro.checkers.runner import run_check
+
+        code = run_check(lint=False, races=False, parsafe=True, json_output=True)
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["parsafe"] == {"enabled": True, "count": 0, "findings": []}
+        assert payload["interleaving"] == {
+            "enabled": True,
+            "count": 0,
+            "failures": [],
+        }
+
+    def test_parsafe_off_by_default(self, capsys):
+        from repro.checkers.runner import run_check
+
+        path = str(FIXTURES / "rpr301.py")
+        assert run_check(paths=[path], lint=True, races=False) == 0
+        capsys.readouterr()
+
+    def test_cli_parsafe_flag(self, capsys):
+        from repro.cli import main
+
+        path = str(FIXTURES / "rpr307.py")
+        assert main(["check", "--parsafe", "--no-lint", "--no-races", path]) == 1
+        assert "RPR307" in capsys.readouterr().out
+
+
+class TestInterleavingBattery:
+    def test_battery_passes_on_shipped_kernels(self):
+        assert run_interleaving_battery(seeds=3, num_threads=3) == []
+
+    def test_battery_catches_a_lost_update(self, monkeypatch):
+        """Teeth check: a pool that loses one window under hostile
+        schedules must be flagged by the battery."""
+        import repro.runtime.pool as pool_mod
+
+        real = pool_mod._run_hostile
+
+        def lossy(pool, thunks, schedule):
+            order = schedule.permutation(len(thunks))
+            # The schedule-chosen victim's write never lands: the classic
+            # lost-update race, deterministically seeded.
+            return real(pool, [thunks[i] for i in range(len(thunks)) if i != order[0]], schedule)
+
+        monkeypatch.setattr(pool_mod, "_run_hostile", lossy)
+        try:
+            failures = run_interleaving_battery(seeds=4, num_threads=2)
+        finally:
+            monkeypatch.setattr(pool_mod, "_run_hostile", real)
+        assert any("pairwise_distances" in f for f in failures)
