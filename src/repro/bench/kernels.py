@@ -83,6 +83,51 @@ def _run_paruf_threaded(tree: Any, tracker: CostTracker | None) -> np.ndarray:
     return paruf_threaded(tree, num_threads=4)
 
 
+def _query_payload(n: int) -> Any:
+    """Engine + query mix for the ``dendro-query`` kernel.
+
+    A seeded batch of ``4n`` vertex pairs plus five weight-quantile cut
+    thresholds over the random ladder tree's dendrogram.  The engine's
+    cut-cache is disabled so every timed run recomputes its cuts.
+    """
+    from repro.core.api import single_linkage_dendrogram
+    from repro.dendrogram.lca import DendrogramIndex
+    from repro.dendrogram.query import QueryEngine
+
+    tree = _ladder_tree(n)
+    dend = single_linkage_dendrogram(tree, algorithm="sequf")
+    engine = QueryEngine.from_dendrogram(dend, cut_cache_size=0)
+    index = DendrogramIndex(dend)
+    pairs = np.random.default_rng(2).integers(0, n, size=(4 * n, 2))
+    thresholds = np.quantile(tree.weights, [0.1, 0.3, 0.5, 0.7, 0.9])
+    return tree, engine, index, pairs, thresholds
+
+
+def _run_dendro_query(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    # Pure numpy batch queries: no charged abstract ops, so the tracker is
+    # deliberately unused and work/depth report as a stable zero (the
+    # paruf-threaded precedent); the gate tracks the wall numbers.
+    tree, engine, _, pairs, thresholds = payload
+    heights = engine.merge_heights(pairs)
+    for t in thresholds:
+        engine.cut_at(float(t))
+    return heights
+
+
+def _ref_dendro_query(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    # The pre-vectorization serving path: one scalar O(log h) lift per
+    # pair and a union-find sweep per cut.
+    from repro.dendrogram.linkage import cut_height
+
+    tree, _, index, pairs, thresholds = payload
+    heights = np.array(
+        [index.merge_height(int(u), int(v)) for u, v in pairs], dtype=np.float64
+    )
+    for t in thresholds:
+        cut_height(tree, float(t))
+    return heights
+
+
 def _run_kruskal(
     payload: tuple[int, np.ndarray, np.ndarray], tracker: CostTracker | None
 ) -> np.ndarray:
@@ -141,6 +186,17 @@ KERNELS: tuple[Kernel, ...] = (
         _ladder_tree,
         _algo_runner("rctt-fast", seed=0),
         ref_run=_algo_runner("rctt", seed=0),
+        backend="array",
+    ),
+    # The serving layer: batched merge-height + threshold-cut queries via
+    # the snapshot/query engine, timed against the scalar per-query path.
+    Kernel(
+        "dendro-query",
+        16384,
+        2048,
+        _query_payload,
+        _run_dendro_query,
+        ref_run=_ref_dendro_query,
         backend="array",
     ),
 )

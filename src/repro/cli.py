@@ -11,6 +11,14 @@ Commands
     Run the points pipeline on a synthetic cloud and print cluster sizes.
 ``bench``
     Run one of the paper-reproduction experiment harnesses.
+``snapshot``
+    Precompute the query-ready serving artifact (mmap-able ``.npz``) of a
+    tree's dendrogram.
+``serve`` / ``query``
+    Answer dendrogram queries over a snapshot: ``serve`` is a line-oriented
+    REPL on stdin, ``query`` executes a batch file (grouping vectorizable
+    queries) and can self-check the snapshot against the brute-force
+    oracle.
 ``info``
     Describe a saved tree or dendrogram archive.
 ``check``
@@ -94,9 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_pr7.json",
+        default="BENCH_pr8.json",
         metavar="PATH",
-        help="where to write the fresh benchmark JSON (default: BENCH_pr7.json)",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr8.json)",
     )
     bench.add_argument(
         "--backend",
@@ -119,6 +127,55 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="wall regression tolerance for --compare (default: 0.15)",
+    )
+
+    snap = sub.add_parser(
+        "snapshot", help="write the mmap-able query snapshot of a dendrogram"
+    )
+    src3 = snap.add_mutually_exclusive_group()
+    src3.add_argument("--input", help="tree .npz saved by 'generate' or repro.io")
+    src3.add_argument("--kind", choices=_GENERATORS, help="generate inline instead")
+    snap.add_argument("--n", type=int, default=1000)
+    snap.add_argument("--scheme", default="perm")
+    snap.add_argument("--seed", type=int, default=0)
+    snap.add_argument("--algorithm", default="rctt")
+    snap.add_argument("--out", required=True, help="output snapshot .npz path")
+
+    serve = sub.add_parser(
+        "serve", help="answer dendrogram queries line by line on stdin"
+    )
+    serve.add_argument("snapshot", help="snapshot .npz written by 'snapshot'")
+    serve.add_argument(
+        "--no-mmap", action="store_true", help="materialize slabs instead of mmap"
+    )
+    serve.add_argument(
+        "--cache", type=int, default=32, help="LRU cut-cache entries (0 disables)"
+    )
+
+    query = sub.add_parser(
+        "query", help="execute a batch of dendrogram queries against a snapshot"
+    )
+    query.add_argument("snapshot", help="snapshot .npz written by 'snapshot'")
+    query.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="protocol lines to execute ('-' for stdin); see repro.dendrogram.service",
+    )
+    query.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="verify the mmap-loaded snapshot against the brute-force oracle "
+        "(batched heights/cuts vs scalar recomputation); exit 1 on mismatch",
+    )
+    query.add_argument(
+        "--queries",
+        type=int,
+        default=10_000,
+        help="random height queries for --selfcheck (default: 10000)",
+    )
+    query.add_argument("--seed", type=int, default=0, help="--selfcheck query seed")
+    query.add_argument(
+        "--no-mmap", action="store_true", help="materialize slabs instead of mmap"
     )
 
     ana = sub.add_parser(
@@ -372,6 +429,138 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_snapshot(args) -> int:
+    from repro.core.api import single_linkage_dendrogram
+    from repro.dendrogram.snapshot import build_snapshot, save_snapshot
+    from repro.io import load_tree
+
+    if args.input:
+        tree = load_tree(args.input)
+        source = args.input
+    else:
+        kind = args.kind or "knuth"
+        tree = _make_tree(kind, args.n, args.scheme, args.seed)
+        source = f"generated {kind}/{args.scheme} n={args.n}"
+    dend = single_linkage_dendrogram(tree, algorithm=args.algorithm)
+    snap = build_snapshot(dend)
+    save_snapshot(args.out, snap)
+    print(f"input:    {source}")
+    print(
+        f"snapshot: n={snap.n} nodes={snap.m} levels={snap.levels} "
+        f"payload={snap.nbytes / 1024:.1f} KiB"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _load_engine(path: str, mmap: bool, cache: int = 32):
+    from repro.dendrogram.query import QueryEngine
+    from repro.dendrogram.snapshot import load_snapshot
+
+    return QueryEngine(load_snapshot(path, mmap=mmap), cut_cache_size=cache)
+
+
+def _cmd_serve(args) -> int:
+    from repro.dendrogram.service import serve_lines
+    from repro.io import FormatError
+
+    try:
+        engine = _load_engine(args.snapshot, mmap=not args.no_mmap, cache=args.cache)
+    except FormatError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    for response in serve_lines(engine, sys.stdin):
+        print(response, flush=True)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.io import FormatError
+
+    if not args.batch and not args.selfcheck:
+        print("repro query: nothing to do (pass --batch FILE and/or --selfcheck)")
+        return 2
+    try:
+        engine = _load_engine(args.snapshot, mmap=not args.no_mmap)
+    except FormatError as exc:
+        print(f"repro query: {exc}", file=sys.stderr)
+        return 2
+
+    if args.batch:
+        from repro.dendrogram.service import execute_batch
+
+        if args.batch == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.batch) as fh:
+                lines = fh.read().splitlines()
+        try:
+            responses = execute_batch(engine, lines)
+        except ValueError as exc:
+            print(f"repro query: {exc}", file=sys.stderr)
+            return 2
+        for response in responses:
+            print(response)
+
+    if args.selfcheck:
+        failures = _snapshot_selfcheck(engine, queries=args.queries, seed=args.seed)
+        if failures:
+            for line in failures:
+                print(f"selfcheck FAIL: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"selfcheck OK: {args.queries} height queries + threshold/k cuts "
+            "match the brute-force oracle"
+        )
+    return 0
+
+
+def _snapshot_selfcheck(engine, queries: int, seed: int) -> list[str]:
+    """Compare batched snapshot answers against brute-force recomputation.
+
+    The oracle path shares nothing with the engine: the dendrogram is
+    recomputed from the snapshot's tree slabs with the O(n^2) brute
+    algorithm and queried with the scalar O(h) spine walks and union-find
+    cuts.  Returns human-readable mismatch descriptions (empty = pass).
+    """
+    from repro.core.api import single_linkage_dendrogram
+    from repro.dendrogram.cophenet import cophenetic_distance
+    from repro.dendrogram.linkage import cut_height, cut_k
+
+    snap = engine.snapshot
+    tree = snap.to_dendrogram().tree
+    oracle = single_linkage_dendrogram(tree, algorithm="brute", validate=True)
+    failures: list[str] = []
+    if not np.array_equal(
+        np.asarray(snap.parents, dtype=np.int64), oracle.parents
+    ):
+        failures.append("snapshot parent array disagrees with the brute oracle")
+    rng = np.random.default_rng(seed)
+    n = snap.n
+    pairs = rng.integers(0, n, size=(queries, 2))
+    got = engine.merge_heights(pairs)
+    # Scalar-oracle a seeded subsample (full 10k O(h) walks would dominate
+    # CI); every batched answer still comes from the mmap-loaded slabs.
+    sample = rng.choice(queries, size=min(queries, 512), replace=False)
+    for i in sample:
+        u, v = int(pairs[i, 0]), int(pairs[i, 1])
+        want = cophenetic_distance(oracle, u, v)
+        if got[i] != want:
+            failures.append(f"merge_height({u}, {v}) = {got[i]!r}, oracle {want!r}")
+    thresholds = (
+        np.quantile(np.asarray(snap.weights), [0.0, 0.25, 0.5, 0.75, 1.0])
+        if snap.m
+        else np.zeros(1)
+    )
+    for t in thresholds:
+        if not np.array_equal(engine.cut_at(float(t)), cut_height(tree, float(t))):
+            failures.append(f"cut_at({float(t)!r}) disagrees with cut_height")
+    for k in sorted({1, max(1, n // 3), max(1, n // 2), n}):
+        if not np.array_equal(engine.cut_k(k), cut_k(tree, k)):
+            failures.append(f"cut_k({k}) disagrees with linkage.cut_k")
+    return failures
+
+
 def _cmd_analyze(args) -> int:
     from repro.core.api import single_linkage_dendrogram
     from repro.dendrogram.analysis import parallelism_profile
@@ -510,6 +699,9 @@ _COMMANDS = {
     "compute": _cmd_compute,
     "cluster": _cmd_cluster,
     "bench": _cmd_bench,
+    "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "analyze": _cmd_analyze,
     "compare": _cmd_compare,
     "info": _cmd_info,

@@ -16,10 +16,25 @@ from repro.dendrogram.compare import (
     rand_index,
 )
 from repro.dendrogram.cophenet import cophenetic_distance, cophenetic_matrix
-from repro.dendrogram.lca import DendrogramIndex
-from repro.dendrogram.linkage import cut_height, cut_k, leaf_parents, to_scipy_linkage
+from repro.dendrogram.lca import DendrogramIndex, batched_lca, lifting_table
+from repro.dendrogram.linkage import (
+    canonical_labels,
+    cut_height,
+    cut_k,
+    leaf_parents,
+    to_scipy_linkage,
+)
 from repro.dendrogram.metrics import dendrogram_height, level_widths, node_depths
+from repro.dendrogram.query import QueryEngine
 from repro.dendrogram.render import render_dendrogram
+from repro.dendrogram.service import execute_batch, parse_query, serve_lines
+from repro.dendrogram.snapshot import (
+    SNAPSHOT_SCHEMA,
+    DendrogramSnapshot,
+    build_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.dendrogram.structure import Dendrogram
 from repro.dendrogram.validate import check_same_dendrogram, validate_parents
 
@@ -34,10 +49,22 @@ __all__ = [
     "leaf_parents",
     "cut_height",
     "cut_k",
+    "canonical_labels",
     "cophenetic_distance",
     "cophenetic_matrix",
     "render_dendrogram",
     "DendrogramIndex",
+    "batched_lca",
+    "lifting_table",
+    "SNAPSHOT_SCHEMA",
+    "DendrogramSnapshot",
+    "build_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "QueryEngine",
+    "parse_query",
+    "execute_batch",
+    "serve_lines",
     "parallelism_profile",
     "ParallelismProfile",
     "rand_index",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.dendrogram.linkage import leaf_parents
 from repro.dendrogram.structure import Dendrogram
+from repro.structures.unionfind import UnionFind
 
 __all__ = ["cophenetic_distance", "cophenetic_matrix"]
 
@@ -62,23 +63,20 @@ def cophenetic_matrix(dend: Dendrogram) -> np.ndarray:
         return out
     # Process merges in increasing rank, maintaining cluster membership --
     # when edge e merges clusters A and B, every (a, b) pair first meets
-    # at height w(e).
+    # at height w(e).  The A x B block is written as one vectorized
+    # outer-index assignment per merge (O(|A| * |B|) cells but no Python
+    # pair loop), and small-to-large extension keeps membership bookkeeping
+    # at O(n log n) list appends overall.
     order = np.argsort(tree.ranks)
-    members: dict[int, list[int]] = {}
-    from repro.structures.unionfind import UnionFind
-
+    members: dict[int, list[int]] = {v: [v] for v in range(n)}
     uf = UnionFind(n)
-    for v in range(n):
-        members[v] = [v]
     for e in order:
         u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
         ru, rv = uf.find(u), uf.find(v)
         A, B = members.pop(ru), members.pop(rv)
         w = float(tree.weights[e])
-        for a in A:
-            for b in B:
-                out[a, b] = w
-                out[b, a] = w
+        out[np.ix_(A, B)] = w
+        out[np.ix_(B, A)] = w
         r = uf.union(ru, rv)
         if len(A) < len(B):
             B.extend(A)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.structures.unionfind import UnionFind
 from repro.trees.wtree import WeightedTree
 
-__all__ = ["to_scipy_linkage", "leaf_parents", "cut_height", "cut_k"]
+__all__ = ["to_scipy_linkage", "leaf_parents", "cut_height", "cut_k", "canonical_labels"]
 
 
 def to_scipy_linkage(tree: WeightedTree) -> np.ndarray:
@@ -91,6 +91,24 @@ def cut_k(tree: WeightedTree, k: int) -> np.ndarray:
 
 
 def _labels(uf: UnionFind, n: int) -> np.ndarray:
-    roots = np.array([uf.find(v) for v in range(n)], dtype=np.int64)
-    _, labels = np.unique(roots, return_inverse=True)
-    return labels.astype(np.int64)
+    roots = uf.find_many(np.arange(n, dtype=np.int64))
+    return canonical_labels(roots)
+
+
+def canonical_labels(keys: np.ndarray) -> np.ndarray:
+    """Dense cluster labels from per-vertex cluster keys.
+
+    Clusters are numbered by their smallest member vertex id (equivalently
+    first occurrence), independent of the key values -- the documented
+    ``cut_height``/``cut_k`` labeling.  The previous implementation sorted
+    by union-find root id, which is an internal artifact of the union
+    order and silently violated that contract.
+    """
+    keys = np.asarray(keys)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    first = np.full(uniq.shape[0], keys.shape[0], dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(keys.shape[0], dtype=np.int64))
+    renumber = np.empty(uniq.shape[0], dtype=np.int64)
+    renumber[np.argsort(first, kind="stable")] = np.arange(uniq.shape[0], dtype=np.int64)
+    return renumber[inverse]

@@ -1,0 +1,134 @@
+"""Line protocol for serving dendrogram queries in batches.
+
+The ``repro serve`` / ``repro query`` commands speak a one-query-per-line
+text protocol over a loaded snapshot:
+
+``cut <t>``
+    Flat cluster labels at weight threshold ``t`` (all ``n`` labels,
+    space-separated).
+``k <k>``
+    Flat cluster labels with exactly ``k`` clusters.
+``cluster <t> <v> [<v> ...]``
+    Stable cluster key of each listed vertex at threshold ``t``
+    (:meth:`~repro.dendrogram.query.QueryEngine.cluster_of`).
+``height <u> <v>``
+    Cophenetic distance of vertices ``u`` and ``v``.
+
+Every query produces exactly one output line, in input order.  Blank
+lines and ``#`` comments are skipped.  :func:`execute_batch` is the batch
+executor: it parses the whole request first, answers all ``height``
+queries with **one** vectorized
+:meth:`~repro.dendrogram.query.QueryEngine.merge_heights` call (the
+common hot query), and lets the engine's LRU cut-cache deduplicate
+repeated ``cut``/``k`` thresholds -- then reassembles responses in the
+original order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dendrogram.query import QueryEngine
+
+__all__ = ["Query", "parse_query", "execute_batch", "serve_lines"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed protocol line: ``op`` plus its numeric arguments."""
+
+    op: str  # "cut" | "k" | "cluster" | "height"
+    args: tuple[float, ...]
+
+
+def parse_query(line: str) -> Query | None:
+    """Parse one protocol line; ``None`` for blanks and ``#`` comments."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        return None
+    parts = text.split()
+    op, raw = parts[0], parts[1:]
+    try:
+        if op == "cut":
+            (t,) = raw
+            return Query("cut", (float(t),))
+        if op == "k":
+            (k,) = raw
+            return Query("k", (int(k),))
+        if op == "cluster":
+            t, *vs = raw
+            if not vs:
+                raise ValueError("no vertices")
+            return Query("cluster", (float(t), *(int(v) for v in vs)))
+        if op == "height":
+            u, v = raw
+            return Query("height", (int(u), int(v)))
+    except ValueError as exc:
+        raise ValueError(f"malformed {op!r} query: {text!r}") from exc
+    raise ValueError(f"unknown query op {op!r} in line {text!r}")
+
+
+def _format_labels(labels: np.ndarray) -> str:
+    return " ".join(str(int(x)) for x in labels)
+
+
+def execute_batch(engine: QueryEngine, lines: list[str]) -> list[str]:
+    """Answer a batch of protocol lines, one response line per query.
+
+    All ``height`` queries across the batch are answered by a single
+    vectorized ``merge_heights`` call; responses come back in input
+    order.  Raises ``ValueError`` on the first malformed line.
+    """
+    queries: list[Query] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            q = parse_query(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+        if q is not None:
+            queries.append(q)
+
+    height_slots = [i for i, q in enumerate(queries) if q.op == "height"]
+    heights = np.zeros(0, dtype=np.float64)
+    if height_slots:
+        pairs = np.array(
+            [[int(queries[i].args[0]), int(queries[i].args[1])] for i in height_slots],
+            dtype=np.int64,
+        )
+        heights = engine.merge_heights(pairs)
+
+    out: list[str] = []
+    next_height = 0
+    for q in queries:
+        if q.op == "cut":
+            out.append(_format_labels(engine.cut_at(q.args[0])))
+        elif q.op == "k":
+            out.append(_format_labels(engine.cut_k(int(q.args[0]))))
+        elif q.op == "cluster":
+            vs = np.array(q.args[1:], dtype=np.int64)
+            out.append(_format_labels(engine.cluster_of(vs, q.args[0])))
+        else:  # height
+            out.append(repr(float(heights[next_height])))
+            next_height += 1
+    return out
+
+
+def serve_lines(engine: QueryEngine, lines, *, stop_on_error: bool = False):
+    """Interactive-mode executor: yield one response per incoming line.
+
+    Unlike :func:`execute_batch` this answers line by line (a REPL cannot
+    batch ahead) and, unless ``stop_on_error``, turns malformed lines
+    into ``error: ...`` responses instead of aborting the session.
+    """
+    for line in lines:
+        try:
+            q = parse_query(line)
+            if q is None:
+                continue
+            yield execute_batch(engine, [line])[0]
+        except ValueError as exc:
+            if stop_on_error:
+                raise
+            yield f"error: {exc}"

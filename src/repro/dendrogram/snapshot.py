@@ -1,0 +1,323 @@
+"""Versioned, mmap-able on-disk dendrogram snapshots.
+
+A snapshot is the serving-layer artifact of a computed dendrogram: the
+flat int32/float64 slabs every query needs (tree edges/weights/ranks,
+parent array, per-vertex leaf attachment) plus the precomputed
+binary-lifting index (node depths and the ``up`` ancestor table), all in
+one schema-versioned ``.npz``.  Saving pays the ``O(m log h)`` index
+construction once; loading is a zero-copy warm start.
+
+Zero-copy loading
+-----------------
+``np.savez`` stores members uncompressed (``ZIP_STORED``), so every array
+sits as a contiguous ``.npy`` byte range inside the archive.
+:func:`load_snapshot` locates each member's absolute data offset (local
+zip header + npy header) and maps it with ``np.memmap(mode="r")`` -- the
+OS pages slabs in on demand and shares them between processes, which is
+what lets many query workers serve one artifact.  Pass ``mmap=False`` to
+materialize plain in-memory arrays instead.
+
+Error contract
+--------------
+:func:`load_snapshot` raises :class:`~repro.io.FormatError` for anything
+that is not a well-formed snapshot: unreadable bytes, a wrong or missing
+``schema`` tag, missing members, compressed members, dtype or shape
+mismatches, and cross-field inconsistencies (``up[0] != parents``,
+out-of-range indices).  Missing files raise ``OSError`` as usual.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.dendrogram.lca import lifting_table
+from repro.dendrogram.linkage import leaf_parents
+from repro.dendrogram.metrics import node_depths
+from repro.dendrogram.structure import Dendrogram
+from repro.io import FormatError
+from repro.trees.wtree import WeightedTree
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DendrogramSnapshot",
+    "build_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: Format tag stored under the ``schema`` key; bump on layout changes.
+SNAPSHOT_SCHEMA = "repro-dendro-snapshot/1"
+
+#: Array members and their required dtypes.  Shapes are checked
+#: relationally in :meth:`DendrogramSnapshot.validate`.
+_SLAB_DTYPES: dict[str, type] = {
+    "edges": np.int32,
+    "weights": np.float64,
+    "ranks": np.int32,
+    "parents": np.int32,
+    "leaf_parent": np.int32,
+    "depth": np.int32,
+    "up": np.int32,
+}
+
+
+@dataclass
+class DendrogramSnapshot:
+    """The flat query-ready slabs of one dendrogram.
+
+    All index slabs are int32 (``n < 2**31``), weights are float64.
+    Instances loaded with ``mmap=True`` hold read-only ``np.memmap``
+    views; nothing in the query layer writes to them.
+    """
+
+    n: int
+    edges: np.ndarray  # (m, 2) tree edge endpoints
+    weights: np.ndarray  # (m,) edge weights = node merge heights
+    ranks: np.ndarray  # (m,) rank permutation of the edges
+    parents: np.ndarray  # (m,) dendrogram parent array (root self-loops)
+    leaf_parent: np.ndarray  # (n,) node each vertex hangs off (-1 iff m == 0)
+    depth: np.ndarray  # (m,) node depths (root = 1)
+    up: np.ndarray  # (levels, m) binary-lifting ancestor table
+
+    @property
+    def m(self) -> int:
+        """Number of dendrogram nodes (= tree edges)."""
+        return int(self.parents.shape[0])
+
+    @property
+    def levels(self) -> int:
+        """Binary-lifting levels (covers the deepest node)."""
+        return int(self.up.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total slab payload in bytes."""
+        return sum(
+            int(getattr(self, name).nbytes) for name in _SLAB_DTYPES
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`FormatError` on any structural inconsistency."""
+        n, m = self.n, self.m
+        if n < 1 or m != max(0, n - 1):
+            raise FormatError(f"snapshot: n={n} is inconsistent with m={m} nodes")
+        for name, dtype in _SLAB_DTYPES.items():
+            arr = getattr(self, name)
+            if arr.dtype != np.dtype(dtype):
+                raise FormatError(
+                    f"snapshot: member {name!r} has dtype {arr.dtype}, "
+                    f"expected {np.dtype(dtype)}"
+                )
+        shapes = {
+            "edges": (m, 2),
+            "weights": (m,),
+            "ranks": (m,),
+            "parents": (m,),
+            "leaf_parent": (n,),
+            "depth": (m,),
+            "up": (self.levels, m),
+        }
+        for name, expected in shapes.items():
+            got = tuple(getattr(self, name).shape)
+            if got != expected:
+                raise FormatError(
+                    f"snapshot: member {name!r} has shape {got}, expected {expected}"
+                )
+        if self.levels < 1:
+            raise FormatError("snapshot: up table must have at least one level")
+        if m:
+            if not np.array_equal(self.up[0], self.parents):
+                raise FormatError("snapshot: up[0] does not match the parent array")
+            for name in ("parents", "depth", "ranks"):
+                arr = getattr(self, name)
+                if int(arr.min()) < (1 if name == "depth" else 0) or int(
+                    arr.max()
+                ) >= (m + 1 if name == "depth" else m):
+                    raise FormatError(f"snapshot: member {name!r} has out-of-range values")
+            if int(self.leaf_parent.min()) < 0 or int(self.leaf_parent.max()) >= m:
+                raise FormatError("snapshot: leaf_parent has out-of-range values")
+        elif not np.all(self.leaf_parent == -1):
+            raise FormatError("snapshot: leaf_parent of an empty dendrogram must be -1")
+
+    def to_dendrogram(self) -> Dendrogram:
+        """Reconstruct the (validated) in-memory :class:`Dendrogram`."""
+        tree = WeightedTree(
+            self.n,
+            np.asarray(self.edges, dtype=np.int64),
+            np.asarray(self.weights, dtype=np.float64),
+        )
+        return Dendrogram(tree, np.asarray(self.parents, dtype=np.int64))
+
+
+def build_snapshot(dend: Dendrogram) -> DendrogramSnapshot:
+    """Precompute the query slabs of ``dend`` (the save-time O(m log h) pass)."""
+    tree = dend.tree
+    if tree.n >= 2**31:
+        raise ValueError(f"snapshot slabs are int32; n={tree.n} does not fit")
+    m = dend.m
+    parents = dend.parents.astype(np.int32)
+    if m:
+        depth = node_depths(dend.parents, tree.ranks).astype(np.int32)
+        up = lifting_table(parents, depth)
+        leaf_parent = leaf_parents(tree).astype(np.int32)
+    else:
+        depth = np.zeros(0, dtype=np.int32)
+        up = np.zeros((1, 0), dtype=np.int32)
+        leaf_parent = np.full(tree.n, -1, dtype=np.int32)
+    snap = DendrogramSnapshot(
+        n=tree.n,
+        edges=tree.edges.astype(np.int32),
+        weights=np.asarray(tree.weights, dtype=np.float64),
+        ranks=tree.ranks.astype(np.int32),
+        parents=parents,
+        leaf_parent=leaf_parent,
+        depth=depth,
+        up=up,
+    )
+    snap.validate()
+    return snap
+
+
+def save_snapshot(path: str | Path, source: Dendrogram | DendrogramSnapshot) -> None:
+    """Write a snapshot archive (uncompressed ``.npz``, mmap-able).
+
+    ``source`` may be a :class:`Dendrogram` (the slabs are built here) or a
+    prebuilt :class:`DendrogramSnapshot`.
+    """
+    snap = source if isinstance(source, DendrogramSnapshot) else build_snapshot(source)
+    snap.validate()
+    np.savez(
+        path,
+        schema=np.array(SNAPSHOT_SCHEMA),
+        n=np.array(snap.n, dtype=np.int64),
+        **{name: getattr(snap, name) for name in _SLAB_DTYPES},
+    )
+
+
+def load_snapshot(path: str | Path, mmap: bool = True) -> DendrogramSnapshot:
+    """Load (and validate) a snapshot archive saved by :func:`save_snapshot`.
+
+    With ``mmap=True`` (default) every slab is a read-only ``np.memmap``
+    over the archive bytes -- no copy, warm start.  With ``mmap=False``
+    plain arrays are materialized.
+    """
+    meta = _load_meta(path)
+    schema = meta.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise FormatError(
+            f"{path}: expected schema {SNAPSHOT_SCHEMA!r}, found {schema!r}"
+        )
+    arrays = (
+        _mmap_members(path, tuple(_SLAB_DTYPES))
+        if mmap
+        else _read_members(path, tuple(_SLAB_DTYPES))
+    )
+    snap = DendrogramSnapshot(n=int(meta["n"]), **arrays)
+    snap.validate()
+    return snap
+
+
+def _load_meta(path: str | Path) -> dict[str, Any]:
+    """The scalar members (``schema``, ``n``) plus a member census."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            names = set(data.files)
+            missing = sorted(({"schema", "n"} | set(_SLAB_DTYPES)) - names)
+            if missing:
+                raise FormatError(f"{path}: snapshot archive is missing members {missing}")
+            return {"schema": str(data["schema"]), "n": int(data["n"])}
+    except FileNotFoundError:
+        raise
+    except FormatError:
+        raise
+    except Exception as exc:
+        raise FormatError(
+            f"{path}: not a readable snapshot archive ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _npy_spec(fh: Any, path: str | Path, name: str) -> tuple[tuple[int, ...], bool, np.dtype, int]:
+    """Parse the npy header at the file's current offset.
+
+    Returns ``(shape, fortran_order, dtype, data_offset)`` with the file
+    positioned immediately after the header.
+    """
+    try:
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise FormatError(
+                f"{path}: member {name!r} uses unsupported npy version {version}"
+            )
+    except FormatError:
+        raise
+    except Exception as exc:
+        raise FormatError(
+            f"{path}: member {name!r} has a malformed npy header ({exc})"
+        ) from exc
+    return tuple(shape), bool(fortran), dtype, int(fh.tell())
+
+
+def _member_data_offset(fh: Any, info: zipfile.ZipInfo, path: str | Path) -> int:
+    """Absolute offset of a stored member's payload within the archive.
+
+    The central directory records where the member's *local* header
+    starts; the payload follows the 30-byte fixed header plus the local
+    (not central!) filename and extra fields.
+    """
+    fh.seek(info.header_offset)
+    local = fh.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise FormatError(f"{path}: member {info.filename!r} has a corrupt local header")
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    return info.header_offset + 30 + name_len + extra_len
+
+
+def _mmap_members(path: str | Path, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+    """Read-only ``np.memmap`` views of the named ``.npz`` members."""
+    out: dict[str, np.ndarray] = {}
+    try:
+        zf = zipfile.ZipFile(path)
+    except Exception as exc:
+        raise FormatError(f"{path}: not a zip archive ({exc})") from exc
+    with zf, open(path, "rb") as fh:
+        infos = {i.filename: i for i in zf.infolist()}
+        for name in names:
+            info = infos.get(name + ".npy")
+            if info is None:
+                raise FormatError(f"{path}: snapshot archive is missing members ['{name}']")
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise FormatError(
+                    f"{path}: member {name!r} is compressed; snapshots must be "
+                    "saved uncompressed (np.savez) to be mmap-able"
+                )
+            fh.seek(_member_data_offset(fh, info, path))
+            shape, fortran, dtype, data_off = _npy_spec(fh, path, name)
+            if int(np.prod(shape)) == 0:
+                out[name] = np.zeros(shape, dtype=dtype)
+            else:
+                arr = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=data_off,
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+                out[name] = arr
+    return out
+
+
+def _read_members(path: str | Path, names: tuple[str, ...]) -> dict[str, np.ndarray]:
+    """Materialized copies of the named members (the non-mmap path)."""
+    with np.load(path, allow_pickle=False) as data:
+        return {name: np.array(data[name]) for name in names}

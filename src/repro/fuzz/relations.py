@@ -19,7 +19,10 @@ an assumption (and they remain usable at sizes where O(n^2) is not).
 * **cut/cophenetic consistency** -- the parent array must reproduce, for
   sampled thresholds, the flat clustering that union-find over the low-rank
   edges defines, and the cophenetic distance of an edge's endpoints must
-  equal that edge's weight.
+  equal that edge's weight;
+* **query-engine consistency** -- the batched snapshot/query engine
+  (binary-lifting merge heights, threshold cuts) must agree with the
+  scalar spine walks and union-find cuts on the same dendrogram.
 """
 
 from __future__ import annotations
@@ -190,6 +193,48 @@ def cut_cophenetic_consistency(
     return None
 
 
+def query_engine_consistency(
+    case: TreeCase, fn: Algorithm, rng: np.random.Generator
+) -> str | None:
+    """The batched query engine must agree with the definitional answers.
+
+    Sampled vertex pairs through the snapshot-slab binary-lifting path vs.
+    the scalar spine walk, and one weight-threshold cut vs. the union-find
+    sweep -- cheap enough to run on every fuzz case.
+    """
+    parents = _run(fn, case)
+    if parents is None:
+        return None
+    tree = case.tree()
+
+    from repro.dendrogram.cophenet import cophenetic_distance
+    from repro.dendrogram.linkage import cut_height
+    from repro.dendrogram.query import QueryEngine
+    from repro.dendrogram.structure import Dendrogram
+
+    dend = Dendrogram(tree, parents)
+    try:
+        engine = QueryEngine.from_dendrogram(dend, cut_cache_size=0)
+    except Exception as exc:
+        return f"query-engine construction crashed ({type(exc).__name__}: {exc})"
+    pairs = rng.integers(0, tree.n, size=(8, 2))
+    try:
+        got = engine.merge_heights(pairs)
+    except Exception as exc:
+        return f"batched merge_heights crashed ({type(exc).__name__}: {exc})"
+    for i, (u, v) in enumerate(pairs.tolist()):
+        want = cophenetic_distance(dend, int(u), int(v))
+        if got[i] != want:
+            return (
+                f"batched merge_height({u}, {v}) = {got[i]!r}, "
+                f"the scalar spine walk says {want!r}"
+            )
+    t = float(rng.choice(tree.weights)) if tree.m else 0.0
+    if not np.array_equal(engine.cut_at(t), cut_height(tree, t)):
+        return f"query-engine cut_at({t!r}) disagrees with the union-find cut"
+    return None
+
+
 #: name -> relation(case, algorithm, rng) -> failure message | None
 METAMORPHIC_RELATIONS: dict[
     str, Callable[[TreeCase, Algorithm, np.random.Generator], str | None]
@@ -198,6 +243,7 @@ METAMORPHIC_RELATIONS: dict[
     "monotone-weights": monotone_weight_equivariance,
     "leaf-relabeling": leaf_relabeling_conjugacy,
     "cut-cophenetic": cut_cophenetic_consistency,
+    "query-engine": query_engine_consistency,
 }
 
 

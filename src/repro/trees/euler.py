@@ -71,11 +71,11 @@ def euler_tour(tree: WeightedTree) -> EulerTour:
     np.cumsum(np.bincount(arc_tail, minlength=n), out=offsets[1:])
     group_starts = offsets[:-1][np.diff(offsets) > 0]  # one per non-isolated vertex
     first_arc[arc_tail[order[group_starts]]] = order[group_starts]
-    # position of each arc within its source group
+    # position of each arc within its source group: ``order`` is stable-
+    # sorted by source, so slot ``j`` of the sort sits ``j - offsets[src]``
+    # entries into its group -- one vectorized subtraction, no per-vertex loop.
     pos_in_group = np.empty(2 * m, dtype=np.int64)
-    for v in range(n):
-        lo, hi = int(offsets[v]), int(offsets[v + 1])
-        pos_in_group[order[lo:hi]] = np.arange(hi - lo)
+    pos_in_group[order] = np.arange(2 * m, dtype=np.int64) - offsets[arc_tail[order]]
     # succ[twin(a)] = next arc out of source(a) after a (cyclically)
     twin = np.arange(2 * m, dtype=np.int64) ^ 1
     src = arc_tail

@@ -91,3 +91,85 @@ def test_bench_selfcheck_listed():
     text = parser.format_help()
     # subcommand registered
     assert "compare" in text and "analyze" in text
+
+
+class TestSnapshotServeQuery:
+    def _snapshot(self, tmp_path, capsys, n=128):
+        path = tmp_path / "snap.npz"
+        assert cli_main(
+            ["snapshot", "--kind", "random", "--n", str(n), "--seed", "3",
+             "--algorithm", "sequf", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_snapshot_writes_loadable_archive(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, capsys)
+        from repro.dendrogram.snapshot import load_snapshot
+
+        snap = load_snapshot(path)
+        assert snap.n == 128 and snap.m == 127
+
+    def test_snapshot_from_saved_tree(self, tmp_path, capsys):
+        tree_path = tmp_path / "t.npz"
+        cli_main(["generate", "--kind", "knuth", "--n", "60", "--out", str(tree_path)])
+        out_path = tmp_path / "snap.npz"
+        assert cli_main(
+            ["snapshot", "--input", str(tree_path), "--out", str(out_path)]
+        ) == 0
+        assert "n=60" in capsys.readouterr().out
+
+    def test_query_batch_file(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, capsys)
+        batch = tmp_path / "batch.txt"
+        batch.write_text("height 0 5\ncut 0.5\nk 4\ncluster 0.5 0 1 2\n# note\n")
+        assert cli_main(["query", str(path), "--batch", str(batch)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 4
+        assert len(lines[1].split()) == 128  # one label per vertex
+
+    def test_query_selfcheck_passes(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, capsys)
+        assert cli_main(
+            ["query", str(path), "--selfcheck", "--queries", "2000"]
+        ) == 0
+        assert "selfcheck OK" in capsys.readouterr().out
+
+    def test_query_selfcheck_catches_corruption(self, tmp_path, capsys):
+        """A scrambled leaf_parent slab passes validation (every entry is
+        in range) but desynchronizes the query path from the oracle."""
+        import numpy as np
+
+        path = self._snapshot(tmp_path, capsys, n=32)
+        with np.load(path) as data:
+            members = {k: data[k] for k in data.files}
+        lp = members["leaf_parent"].copy()
+        distinct = np.flatnonzero(lp != lp[0])
+        u = int(distinct[0])
+        lp[0], lp[u] = lp[u], lp[0]
+        members["leaf_parent"] = lp
+        np.savez(path, **members)
+        assert cli_main(
+            ["query", str(path), "--selfcheck", "--queries", "500"]
+        ) == 1
+        assert "selfcheck FAIL" in capsys.readouterr().err
+
+    def test_query_rejects_garbage_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"nope")
+        assert cli_main(["query", str(bad), "--selfcheck"]) == 2
+        assert "repro query" in capsys.readouterr().err
+
+    def test_query_without_work_is_usage_error(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, capsys)
+        assert cli_main(["query", str(path)]) == 2
+
+    def test_serve_reads_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        path = self._snapshot(tmp_path, capsys)
+        monkeypatch.setattr("sys.stdin", io.StringIO("height 0 5\nbogus\nk 2\n"))
+        assert cli_main(["serve", str(path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("error:")

@@ -118,3 +118,50 @@ class TestRender:
     def test_single_vertex(self):
         dend = single_linkage_dendrogram(make_tree("path", 1))
         assert "empty" in render_dendrogram(dend)
+
+
+class TestMatrixRegression:
+    """Pin the np.ix_ block-assignment rewrite to the pre-fix pair loop."""
+
+    @staticmethod
+    def _matrix_reference(dend):
+        """The old cophenetic_matrix inner loop: one write per leaf pair."""
+        from repro.structures.unionfind import UnionFind
+
+        tree = dend.tree
+        n = tree.n
+        out = np.zeros((n, n), dtype=np.float64)
+        if tree.m == 0:
+            return out
+        order = np.argsort(tree.ranks)
+        members = {v: [v] for v in range(n)}
+        uf = UnionFind(n)
+        for e in order:
+            u, v = int(tree.edges[e, 0]), int(tree.edges[e, 1])
+            ru, rv = uf.find(u), uf.find(v)
+            A, B = members.pop(ru), members.pop(rv)
+            w = float(tree.weights[e])
+            for a in A:
+                for b in B:
+                    out[a, b] = w
+                    out[b, a] = w
+            r = uf.union(ru, rv)
+            if len(A) < len(B):
+                B.extend(A)
+                members[r] = B
+            else:
+                A.extend(B)
+                members[r] = A
+        return out
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree=weighted_trees(max_n=30))
+    def test_bit_identical_to_pair_loop(self, tree):
+        dend = single_linkage_dendrogram(tree, algorithm="sequf")
+        np.testing.assert_array_equal(
+            cophenetic_matrix(dend), self._matrix_reference(dend)
+        )
+
+    def test_singleton(self):
+        dend = single_linkage_dendrogram(make_tree("path", 1), algorithm="sequf")
+        assert cophenetic_matrix(dend).shape == (1, 1)

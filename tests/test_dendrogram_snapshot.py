@@ -1,0 +1,196 @@
+"""Snapshot format: round trip, zero-copy mmap loading, FormatError cases."""
+
+from __future__ import annotations
+
+import shutil
+import zipfile
+
+import numpy as np
+import pytest
+
+from conftest import make_tree
+from repro.core.api import single_linkage_dendrogram
+from repro.dendrogram.snapshot import (
+    SNAPSHOT_SCHEMA,
+    DendrogramSnapshot,
+    build_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.dendrogram.validate import check_same_dendrogram
+from repro.fuzz.generators import TOPOLOGY_FAMILIES, _make_topology
+from repro.io import FormatError
+
+SLABS = ("edges", "weights", "ranks", "parents", "leaf_parent", "depth", "up")
+
+
+def _dend(kind: str = "random", n: int = 64, seed: int = 0):
+    tree = make_tree(kind, n, seed=seed)
+    return single_linkage_dendrogram(tree, algorithm="sequf")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    @pytest.mark.parametrize("n", [1, 2, 3, 33])
+    def test_lossless_across_topologies(self, tmp_path, family, n):
+        """Every slab survives save -> mmap load bit-identically."""
+        tree = _make_topology(family, n, np.random.default_rng(7))
+        dend = single_linkage_dendrogram(tree, algorithm="sequf")
+        built = build_snapshot(dend)
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dend)
+        loaded = load_snapshot(path)
+        assert loaded.n == built.n
+        for name in SLABS:
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(built, name), err_msg=name
+            )
+
+    def test_mmap_load_returns_memmaps(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, _dend())
+        loaded = load_snapshot(path)
+        for name in SLABS:
+            assert isinstance(getattr(loaded, name), np.memmap), name
+        materialized = load_snapshot(path, mmap=False)
+        for name in SLABS:
+            assert not isinstance(getattr(materialized, name), np.memmap), name
+
+    def test_to_dendrogram_reconstructs(self, tmp_path):
+        dend = _dend(n=40, seed=3)
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dend)
+        back = load_snapshot(path).to_dendrogram()
+        assert check_same_dendrogram(back.parents, dend.parents)
+        np.testing.assert_array_equal(back.tree.edges, dend.tree.edges)
+        np.testing.assert_array_equal(back.tree.weights, dend.tree.weights)
+
+    def test_save_accepts_prebuilt_snapshot(self, tmp_path):
+        snap = build_snapshot(_dend())
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, snap)
+        loaded = load_snapshot(path)
+        np.testing.assert_array_equal(loaded.up, snap.up)
+
+    def test_singleton_tree(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, _dend(kind="path", n=1))
+        loaded = load_snapshot(path)
+        assert loaded.n == 1 and loaded.m == 0
+        assert loaded.leaf_parent.tolist() == [-1]
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_snapshot(tmp_path / "nope.npz")
+
+
+class TestFormatErrors:
+    @pytest.fixture()
+    def snap_path(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, _dend())
+        return path
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(FormatError, match="not a readable snapshot"):
+            load_snapshot(path)
+
+    def test_wrong_schema(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files}
+        members["schema"] = np.array("repro-dendro-snapshot/999")
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="expected schema"):
+            load_snapshot(bad)
+
+    def test_missing_member(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files if k != "depth"}
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="missing members.*depth"):
+            load_snapshot(bad)
+
+    def test_compressed_member_rejected_for_mmap(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            np.savez_compressed(bad, **{k: data[k] for k in data.files})
+        with pytest.raises(FormatError, match="compressed"):
+            load_snapshot(bad)
+
+    def test_shape_mismatch(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files}
+        members["weights"] = members["weights"][:-1]
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="shape"):
+            load_snapshot(bad)
+
+    def test_dtype_mismatch(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files}
+        members["parents"] = members["parents"].astype(np.int64)
+        members["up"] = members["up"].astype(np.int64)
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="dtype"):
+            load_snapshot(bad)
+
+    def test_cross_field_inconsistency(self, tmp_path, snap_path):
+        """up[0] must equal the parent array."""
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files}
+        up = members["up"].copy()
+        up[0, 0] = (up[0, 0] + 1) % up.shape[1]
+        members["up"] = up
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="up\\[0\\]"):
+            load_snapshot(bad)
+
+    def test_out_of_range_leaf_parent(self, tmp_path, snap_path):
+        bad = tmp_path / "bad.npz"
+        with np.load(snap_path) as data:
+            members = {k: data[k] for k in data.files}
+        lp = members["leaf_parent"].copy()
+        lp[0] = members["parents"].shape[0]  # one past the last node
+        members["leaf_parent"] = lp
+        np.savez(bad, **members)
+        with pytest.raises(FormatError, match="leaf_parent"):
+            load_snapshot(bad)
+
+    def test_truncated_member_payload(self, tmp_path, snap_path):
+        """A corrupt local zip header is reported, not crashed on."""
+        bad = tmp_path / "bad.npz"
+        shutil.copy(snap_path, bad)
+        with zipfile.ZipFile(bad) as zf:
+            offset = next(
+                i.header_offset for i in zf.infolist() if i.filename == "weights.npy"
+            )
+        with open(bad, "r+b") as fh:
+            fh.seek(offset)
+            fh.write(b"XXXX")
+        with pytest.raises(FormatError):
+            load_snapshot(bad)
+
+    def test_validate_rejects_bad_n(self):
+        snap = build_snapshot(_dend(n=8))
+        snap = DendrogramSnapshot(
+            n=9,  # claims one more vertex than the slabs carry
+            edges=snap.edges,
+            weights=snap.weights,
+            ranks=snap.ranks,
+            parents=snap.parents,
+            leaf_parent=snap.leaf_parent,
+            depth=snap.depth,
+            up=snap.up,
+        )
+        with pytest.raises(FormatError, match="inconsistent"):
+            snap.validate()
+
+    def test_schema_constant_is_versioned(self):
+        assert SNAPSHOT_SCHEMA.endswith("/1")

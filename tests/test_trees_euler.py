@@ -144,3 +144,44 @@ class TestRootTree:
     def test_single_vertex(self):
         rt = root_tree(make_tree("path", 1), 0)
         assert rt.subtree_size.tolist() == [1]
+
+
+class TestTourSuccessorRegression:
+    """Pin the vectorized ``pos_in_group`` computation to the pre-fix
+    per-vertex loop: the successor cycle must be bit-identical."""
+
+    @staticmethod
+    def _succ_reference(tree):
+        """The old euler_tour inner loop: positions assigned per vertex."""
+        m, n = tree.m, tree.n
+        arc_tail = np.empty(2 * m, dtype=np.int64)
+        arc_tail[0::2] = tree.edges[:, 0]
+        arc_tail[1::2] = tree.edges[:, 1]
+        order = np.argsort(arc_tail, kind="stable")
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(arc_tail, minlength=n), out=offsets[1:])
+        pos_in_group = np.empty(2 * m, dtype=np.int64)
+        for v in range(n):
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            pos_in_group[order[lo:hi]] = np.arange(hi - lo, dtype=np.int64)
+        twin = np.arange(2 * m, dtype=np.int64) ^ 1
+        group_lo = offsets[arc_tail]
+        group_sz = offsets[arc_tail + 1] - group_lo
+        succ = np.full(2 * m, -1, dtype=np.int64)
+        succ[twin] = order[group_lo + (pos_in_group + 1) % group_sz]
+        return succ
+
+    @pytest.mark.parametrize("kind", ["broom", "caterpillar", "star", "random"])
+    @pytest.mark.parametrize("n", [2, 3, 17, 60])
+    def test_bit_identical_to_per_vertex_loop(self, kind, n):
+        tree = make_tree(kind, n, seed=n)
+        np.testing.assert_array_equal(
+            euler_tour(tree).succ, self._succ_reference(tree)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=weighted_trees(max_n=40))
+    def test_bit_identical_on_arbitrary_trees(self, tree):
+        np.testing.assert_array_equal(
+            euler_tour(tree).succ, self._succ_reference(tree)
+        )
