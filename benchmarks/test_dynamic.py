@@ -26,11 +26,14 @@ def test_time_update_at_quantile(benchmark, bn, quantile):
     order = np.argsort(dyn.ranks)
     e = int(order[int(quantile * (bn - 2))])
     benchmark.group = "dynamic:update"
-    w = [float(dyn.weights[e])]
+    # Toggle across one neighboring rank: a rank-preserving nudge is now an
+    # early-out no-op, so each timed update must genuinely move the rank.
+    w0 = float(dyn.weights[e])
+    state = [False]
 
     def update():
-        w[0] += 0.125  # stay in the same rank neighborhood
-        dyn.update_weight(e, w[0])
+        state[0] = not state[0]
+        dyn.update_weight(e, w0 + 1.5 if state[0] else w0)
 
     run_once(benchmark, update)
 
@@ -42,7 +45,9 @@ def test_dynamic_locality_shape(benchmark, bn):
         sizes = {}
         for q in (0.99, 0.9, 0.5, 0.1):
             e = int(order[int(q * (bn - 2))])
-            sizes[q] = dyn.update_weight(e, float(dyn.weights[e]) + 0.125)
+            # +1.5 crosses exactly one integer-valued neighbor, so the
+            # suffix recompute starts at the edge's own rank (~q * m).
+            sizes[q] = dyn.update_weight(e, float(dyn.weights[e]) + 1.5)
         return sizes
 
     sizes = benchmark.pedantic(measure, rounds=1, iterations=1)

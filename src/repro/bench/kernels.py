@@ -128,6 +128,74 @@ def _ref_dendro_query(payload: Any, tracker: CostTracker | None) -> np.ndarray:
     return heights
 
 
+def _dynamic_payload(n: int) -> Any:
+    """Engine + batched insert streams for the ``dynamic-update`` kernel.
+
+    A preferential-attachment graph behind a :class:`DynamicSLD`, plus 16
+    seeded batches of 8 fresh edges each.  The runner applies every batch
+    and then deletes the same edges, so the payload returns to its start
+    state after each timed run (weights are distinct, so the MST -- and
+    hence the amount of repair work -- is identical run to run).
+    """
+    from repro.core.dynamic import DynamicSLD
+
+    nn, edges, weights = _pa_graph(n)
+    engine = DynamicSLD.from_graph(nn, edges, weights)
+    present = {tuple(sorted(map(int, pair))) for pair in edges}
+    rng = np.random.default_rng(3)
+    batches: list[list[tuple[int, int, float]]] = []
+    for _ in range(16):
+        batch: list[tuple[int, int, float]] = []
+        while len(batch) < 8:
+            u, v = (int(x) for x in rng.integers(0, nn, size=2))
+            key = (min(u, v), max(u, v))
+            if u == v or key in present:
+                continue
+            present.add(key)
+            batch.append((u, v, float(rng.random())))
+        batches.append(batch)
+    for batch in batches:
+        for u, v, _w in batch:
+            present.discard((min(u, v), max(u, v)))
+    return nn, edges, weights, engine, batches
+
+
+def _run_dynamic_update(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    # The batch-update hot path itself charges no abstract ops at the
+    # tracker layer (the paruf-threaded precedent): work/depth report as a
+    # stable zero and the gate tracks the wall numbers against ref_run.
+    _nn, _edges, _weights, engine, batches = payload
+    for batch in batches:
+        engine.apply_batch(inserts=batch)
+        engine.apply_batch(deletes=[(u, v) for u, v, _w in batch])
+    return engine.parents.copy()
+
+
+def _ref_dynamic_update(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    # The pre-dynamic-engine answer to the same update stream: rebuild the
+    # MST and dendrogram from scratch after every batch (do and undo).
+    from repro.core.sequf import sequf
+    from repro.trees.wtree import WeightedTree
+
+    nn, edges, weights, _engine, batches = payload
+
+    def recompute(es: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        ids = np.sort(kruskal_mst(nn, es, ws))
+        tree = WeightedTree(nn, es[ids].copy(), ws[ids].copy(), validate=False)
+        return sequf(tree)
+
+    k = len(batches[0])
+    combined_e = np.concatenate([edges, np.zeros((k, 2), dtype=np.int64)])
+    combined_w = np.concatenate([weights, np.zeros(k, dtype=np.float64)])
+    parents = np.empty(0, dtype=np.int64)
+    for batch in batches:
+        combined_e[-k:] = np.array([[u, v] for u, v, _w in batch], dtype=np.int64)
+        combined_w[-k:] = np.array([w for _u, _v, w in batch], dtype=np.float64)
+        recompute(combined_e, combined_w)
+        parents = recompute(edges, weights)
+    return parents
+
+
 def _run_kruskal(
     payload: tuple[int, np.ndarray, np.ndarray], tracker: CostTracker | None
 ) -> np.ndarray:
@@ -197,6 +265,17 @@ KERNELS: tuple[Kernel, ...] = (
         _query_payload,
         _run_dendro_query,
         ref_run=_ref_dendro_query,
+        backend="array",
+    ),
+    # The batch-dynamic engine: 16 insert batches (and their undos)
+    # through apply_batch, timed against recompute-from-scratch.
+    Kernel(
+        "dynamic-update",
+        8192,
+        1024,
+        _dynamic_payload,
+        _run_dynamic_update,
+        ref_run=_ref_dynamic_update,
         backend="array",
     ),
 )

@@ -20,7 +20,8 @@ A bound expression is arithmetic (``+ - * / **``, numeric literals,
 parentheses) over the declared variables and the functions ``log``/
 ``log2`` (both base-2), ``sqrt``, ``min`` and ``max``.  Conventional
 variables: ``n`` (vertices), ``m`` (edges), ``h`` (dendrogram height),
-``s`` (container size), ``k`` (filtered/removed count).
+``s`` (container size), ``k`` (filtered/removed count), ``b`` (batch
+size).
 
 Evaluation clamps every ``log`` to at least ``1`` (``log(x) :=
 log2(x) if x >= 2 else 1``), so a declared ``n * log(h)`` is well-defined

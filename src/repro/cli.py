@@ -102,9 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_pr8.json",
+        default="BENCH_pr9.json",
         metavar="PATH",
-        help="where to write the fresh benchmark JSON (default: BENCH_pr8.json)",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr9.json)",
     )
     bench.add_argument(
         "--backend",
@@ -280,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="worker threads for the paruf-threaded differential runs",
+    )
+    fuzz.add_argument(
+        "--domains",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated case domains to draw from "
+        "(tree, dynamic, csv, npz; default: the full weighted wheel)",
     )
     fuzz.add_argument(
         "--no-shrink", action="store_true", help="skip minimization of failing cases"
@@ -630,6 +637,12 @@ def _cmd_info(args) -> int:
 
             dend = load_dendrogram(args.path)
             print(f"  height h = {dend.height}, root = edge {dend.root}")
+        if "schema" in data.files:
+            print(f"  schema = {str(data['schema'])}")
+        if "generation" in data.files:
+            gen = int(data["generation"])
+            stamp = "unstamped" if gen < 0 else f"generation {gen}"
+            print(f"  dynamic-engine stamp: {stamp}")
     return 0
 
 
@@ -681,12 +694,20 @@ def _cmd_fuzz(args) -> int:
         return 1 if failures else 0
 
     corpus_dir = args.corpus if args.corpus is not None else DEFAULT_CORPUS_DIR
+    domains = None
+    if args.domains is not None:
+        domains = tuple(d.strip() for d in args.domains.split(",") if d.strip())
+        unknown = set(domains) - {"tree", "dynamic", "csv", "npz"}
+        if unknown or not domains:
+            print(f"repro fuzz: unknown domain(s): {sorted(unknown) or args.domains}")
+            return 2
     report = run_fuzz(
         seed=args.seed,
         budget_s=args.budget,
         max_cases=args.cases,
         corpus_dir=corpus_dir,
         num_threads=args.threads,
+        domains=domains,
         shrink=not args.no_shrink,
         progress=print,
     )

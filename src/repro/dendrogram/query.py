@@ -87,6 +87,20 @@ class QueryEngine:
         """Number of cuts currently in the LRU cache."""
         return len(self._cut_cache)
 
+    @property
+    def generation(self) -> int:
+        """The served snapshot's generation stamp (``-1`` = unstamped)."""
+        return self.snapshot.generation
+
+    def is_stale(self, current: int) -> bool:
+        """Whether the served snapshot predates ``current``.
+
+        ``current`` is a live :attr:`repro.core.dynamic.DynamicSLD.
+        generation` counter.  Unstamped snapshots (``generation == -1``,
+        i.e. built from a static dendrogram) are never stale.
+        """
+        return self.generation >= 0 and self.generation < int(current)
+
     # -- cophenetic queries ------------------------------------------------
     def merge_nodes(self, pairs: np.ndarray) -> np.ndarray:
         """Dendrogram node (edge id) where each ``(u, v)`` pair merges.

@@ -83,6 +83,10 @@ class DendrogramSnapshot:
     leaf_parent: np.ndarray  # (n,) node each vertex hangs off (-1 iff m == 0)
     depth: np.ndarray  # (m,) node depths (root = 1)
     up: np.ndarray  # (levels, m) binary-lifting ancestor table
+    #: Source generation stamp (see :attr:`repro.core.dynamic.DynamicSLD.
+    #: generation`); ``-1`` means the snapshot is unstamped (static source)
+    #: and is never considered stale.
+    generation: int = -1
 
     @property
     def m(self) -> int:
@@ -154,8 +158,13 @@ class DendrogramSnapshot:
         return Dendrogram(tree, np.asarray(self.parents, dtype=np.int64))
 
 
-def build_snapshot(dend: Dendrogram) -> DendrogramSnapshot:
-    """Precompute the query slabs of ``dend`` (the save-time O(m log h) pass)."""
+def build_snapshot(dend: Dendrogram, generation: int = -1) -> DendrogramSnapshot:
+    """Precompute the query slabs of ``dend`` (the save-time O(m log h) pass).
+
+    ``generation`` stamps the snapshot with the producing
+    :class:`~repro.core.dynamic.DynamicSLD`'s update counter so serving
+    layers can detect staleness; leave it at ``-1`` for static sources.
+    """
     tree = dend.tree
     if tree.n >= 2**31:
         raise ValueError(f"snapshot slabs are int32; n={tree.n} does not fit")
@@ -178,6 +187,7 @@ def build_snapshot(dend: Dendrogram) -> DendrogramSnapshot:
         leaf_parent=leaf_parent,
         depth=depth,
         up=up,
+        generation=int(generation),
     )
     snap.validate()
     return snap
@@ -195,6 +205,7 @@ def save_snapshot(path: str | Path, source: Dendrogram | DendrogramSnapshot) -> 
         path,
         schema=np.array(SNAPSHOT_SCHEMA),
         n=np.array(snap.n, dtype=np.int64),
+        generation=np.array(snap.generation, dtype=np.int64),
         **{name: getattr(snap, name) for name in _SLAB_DTYPES},
     )
 
@@ -217,7 +228,9 @@ def load_snapshot(path: str | Path, mmap: bool = True) -> DendrogramSnapshot:
         if mmap
         else _read_members(path, tuple(_SLAB_DTYPES))
     )
-    snap = DendrogramSnapshot(n=int(meta["n"]), **arrays)
+    snap = DendrogramSnapshot(
+        n=int(meta["n"]), generation=int(meta["generation"]), **arrays
+    )
     snap.validate()
     return snap
 
@@ -230,7 +243,13 @@ def _load_meta(path: str | Path) -> dict[str, Any]:
             missing = sorted(({"schema", "n"} | set(_SLAB_DTYPES)) - names)
             if missing:
                 raise FormatError(f"{path}: snapshot archive is missing members {missing}")
-            return {"schema": str(data["schema"]), "n": int(data["n"])}
+            return {
+                "schema": str(data["schema"]),
+                "n": int(data["n"]),
+                # optional: archives written before the stamp existed (and
+                # stamps from static sources) read back as "unstamped"
+                "generation": int(data["generation"]) if "generation" in names else -1,
+            }
     except FileNotFoundError:
         raise
     except FormatError:

@@ -5,10 +5,13 @@ adversarial tree families; this subsystem automates that methodology and
 extends it to the io layer:
 
 * :mod:`repro.fuzz.generators` -- deterministic adversarial inputs (tree
-  topology x weight-family grid, malformed CSV text, corrupted ``.npz``
-  bytes), one ``numpy`` Generator per ``(seed, case index)``;
+  topology x weight-family grid, batched insert/delete streams for the
+  dynamic engine, malformed CSV text, corrupted ``.npz`` bytes), one
+  ``numpy`` Generator per ``(seed, case index)``;
 * :mod:`repro.fuzz.oracles` -- the differential layer: every dendrogram
   algorithm against the :func:`~repro.core.brute.brute_force_sld` oracle,
+  the batch-dynamic engine against recompute-from-scratch (shadow-model
+  error prediction + ``sequf``/Kruskal cross-checks),
   and ``load_edges_csv`` against an independent reference parser;
 * :mod:`repro.fuzz.relations` -- metamorphic relations (edge-permutation
   invariance, monotone weight-transform equivariance, leaf-relabeling
@@ -26,8 +29,22 @@ byte-identical files.
 """
 
 from repro.fuzz.corpus import replay_corpus, save_finding
-from repro.fuzz.generators import CsvCase, NpzCase, TreeCase, case_rng, gen_case
-from repro.fuzz.oracles import FUZZ_ALGORITHMS, Finding, differential_check, io_csv_check
+from repro.fuzz.generators import (
+    CsvCase,
+    DynamicCase,
+    NpzCase,
+    TreeCase,
+    case_rng,
+    gen_case,
+    gen_dynamic_case,
+)
+from repro.fuzz.oracles import (
+    FUZZ_ALGORITHMS,
+    Finding,
+    differential_check,
+    dynamic_check,
+    io_csv_check,
+)
 from repro.fuzz.relations import METAMORPHIC_RELATIONS, relations_check
 from repro.fuzz.runner import FuzzReport, run_fuzz
 from repro.fuzz.selftest import run_selftest
@@ -37,13 +54,16 @@ __all__ = [
     "FUZZ_ALGORITHMS",
     "METAMORPHIC_RELATIONS",
     "CsvCase",
+    "DynamicCase",
     "Finding",
     "FuzzReport",
     "NpzCase",
     "TreeCase",
     "case_rng",
     "differential_check",
+    "dynamic_check",
     "gen_case",
+    "gen_dynamic_case",
     "io_csv_check",
     "relations_check",
     "replay_corpus",

@@ -26,8 +26,14 @@ from typing import Any
 
 import numpy as np
 
-from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase
-from repro.fuzz.oracles import Finding, differential_check, io_csv_check, io_npz_check
+from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.oracles import (
+    Finding,
+    differential_check,
+    dynamic_check,
+    io_csv_check,
+    io_npz_check,
+)
 
 __all__ = [
     "CORPUS_FORMAT",
@@ -55,6 +61,21 @@ def _case_payload(case: FuzzCase) -> dict[str, Any]:
             "weights": [float(w).hex() for w in case.weights],
             "label": case.label,
         }
+    if isinstance(case, DynamicCase):
+        return {
+            "kind": "dynamic",
+            "n": case.n,
+            "edges": [[int(u), int(v)] for u, v in case.edges],
+            "weights": [float(w).hex() for w in case.weights],
+            "batches": [
+                {
+                    "inserts": [[int(u), int(v), float(w).hex()] for u, v, w in ins],
+                    "deletes": [[int(u), int(v)] for u, v in dels],
+                }
+                for ins, dels in case.batches
+            ],
+            "label": case.label,
+        }
     if isinstance(case, CsvCase):
         return {
             "kind": "csv",
@@ -77,6 +98,25 @@ def _case_from_payload(payload: dict[str, Any]) -> FuzzCase:
             edges=np.asarray(payload["edges"], dtype=np.int64).reshape(-1, 2),
             weights=np.array(
                 [float.fromhex(w) for w in payload["weights"]], dtype=np.float64
+            ),
+            label=payload.get("label", ""),
+        )
+    if kind == "dynamic":
+        return DynamicCase(
+            n=int(payload["n"]),
+            edges=np.asarray(payload["edges"], dtype=np.int64).reshape(-1, 2),
+            weights=np.array(
+                [float.fromhex(w) for w in payload["weights"]], dtype=np.float64
+            ),
+            batches=tuple(
+                (
+                    tuple(
+                        (int(u), int(v), float.fromhex(w))
+                        for u, v, w in batch["inserts"]
+                    ),
+                    tuple((int(u), int(v)) for u, v in batch["deletes"]),
+                )
+                for batch in payload["batches"]
             ),
             label=payload.get("label", ""),
         )
@@ -142,6 +182,8 @@ def replay_entry(path: str | Path) -> list[Finding]:
         rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
         findings += relations_check(case, dict(algorithms), rng)
         return findings
+    if isinstance(case, DynamicCase):
+        return dynamic_check(case)
     if isinstance(case, CsvCase):
         return io_csv_check(case)
     return io_npz_check(case)

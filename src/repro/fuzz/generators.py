@@ -12,6 +12,11 @@ Three case domains:
   differentially checked too;
 * :class:`NpzCase` -- ``.npz`` byte streams: genuine archives that are
   truncated or bit-flipped, wrong-kind archives, and raw noise.
+* :class:`DynamicCase` -- a connected graph (topology-family tree plus
+  extra non-tree edges) and a sequence of insert/delete batches for the
+  batch-dynamic engine; the op stream deliberately includes invalid ops
+  (duplicate inserts, missing deletes, disconnecting deletes) so the
+  error-and-rollback contract is fuzzed alongside the happy path.
 
 Everything is a pure function of the :class:`numpy.random.Generator` it is
 handed; :func:`case_rng` derives one Generator per ``(seed, index)`` via
@@ -40,11 +45,13 @@ __all__ = [
     "TOPOLOGY_FAMILIES",
     "WEIGHT_FAMILIES",
     "CsvCase",
+    "DynamicCase",
     "NpzCase",
     "TreeCase",
     "case_rng",
     "gen_case",
     "gen_csv_case",
+    "gen_dynamic_case",
     "gen_npz_case",
     "gen_tree_case",
 ]
@@ -80,7 +87,28 @@ class NpzCase:
     label: str = ""
 
 
-FuzzCase = TreeCase | CsvCase | NpzCase
+#: One batch: ``(inserts, deletes)`` with inserts ``(u, v, w)`` and
+#: deletes ``(u, v)``, all plain python scalars (hashable, serializable).
+DynamicBatch = tuple[tuple[tuple[int, int, float], ...], tuple[tuple[int, int], ...]]
+
+
+@dataclass
+class DynamicCase:
+    """A connected graph plus insert/delete batches for the dynamic engine.
+
+    The initial graph is always valid and connected; the batches are *not*
+    guaranteed valid -- ops may reference absent edges or disconnect the
+    graph, exercising the documented error-and-rollback contract.
+    """
+
+    n: int
+    edges: np.ndarray  # (m0, 2) initial graph (connected, duplicate-free)
+    weights: np.ndarray  # (m0,) initial weights
+    batches: tuple[DynamicBatch, ...]
+    label: str = ""
+
+
+FuzzCase = TreeCase | CsvCase | NpzCase | DynamicCase
 
 
 def case_rng(seed: int, index: int) -> np.random.Generator:
@@ -147,6 +175,83 @@ def gen_tree_case(rng: np.random.Generator, max_n: int = 32) -> TreeCase:
         edges=tree.edges,
         weights=np.asarray(weights, dtype=np.float64),
         label=f"{topo}/{wname}/n={n}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-update cases
+# ---------------------------------------------------------------------------
+
+
+def gen_dynamic_case(rng: np.random.Generator, max_n: int = 16) -> DynamicCase:
+    """Draw one batched-update stream over a small connected graph.
+
+    The base graph is a topology-family tree plus a few extra (non-tree)
+    edges, weighted from one adversarial family.  Batches are built
+    against a *predicted* edge membership that assumes every batch
+    applies; when an earlier batch actually rolls back (disconnecting
+    delete) or rejects (invalid op), later batches drift into invalid-op
+    territory -- which is exactly the error-contract coverage we want.
+    """
+    base = gen_tree_case(rng, max_n=max_n)
+    n = base.n
+    member = {
+        (min(int(u), int(v)), max(int(u), int(v))) for u, v in base.edges.tolist()
+    }
+    wnames = sorted(WEIGHT_FAMILIES)
+    wname = wnames[int(rng.integers(len(wnames)))]
+    extra: list[tuple[int, int]] = []
+    for _ in range(3 * int(rng.integers(0, 5))):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        key = (min(u, v), max(u, v))
+        if u == v or key in member:
+            continue
+        member.add(key)
+        extra.append(key)
+    extra_arr = np.asarray(extra, dtype=np.int64).reshape(len(extra), 2)
+    extra_w = np.asarray(WEIGHT_FAMILIES[wname](rng, len(extra)), dtype=np.float64)
+    edges = np.concatenate([base.edges, extra_arr], axis=0)
+    weights = np.concatenate([base.weights, extra_w])
+
+    batches: list[DynamicBatch] = []
+    for _ in range(int(rng.integers(1, 5))):
+        inserts: list[tuple[int, int, float]] = []
+        for _ in range(int(rng.integers(0, 4))):
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            # Mostly fresh pairs; occasionally a knowingly-present pair to
+            # exercise the "already in the graph" rejection + rollback.
+            if key in member and rng.random() < 0.85:
+                continue
+            if any(key == (min(a, b), max(a, b)) for a, b, _ in inserts):
+                continue
+            w = float(np.asarray(WEIGHT_FAMILIES[wname](rng, 1), dtype=np.float64)[0])
+            inserts.append((u, v, w))
+            member.add(key)
+        deletes: list[tuple[int, int]] = []
+        avail = sorted(member)
+        for _ in range(int(rng.integers(0, 3))):
+            if avail and rng.random() < 0.9:
+                key = avail.pop(int(rng.integers(len(avail))))
+            else:
+                # a possibly-absent pair: exercises "not in the graph"
+                u, v = int(rng.integers(n)), int(rng.integers(n))
+                if u == v:
+                    continue
+                key = (min(u, v), max(u, v))
+                if key in deletes:
+                    continue
+            deletes.append(key)
+            member.discard(key)
+        batches.append((tuple(inserts), tuple(deletes)))
+    return DynamicCase(
+        n=n,
+        edges=edges,
+        weights=weights,
+        batches=tuple(batches),
+        label=f"dynamic/{base.label}/extras={len(extra)}/batches={len(batches)}",
     )
 
 
@@ -251,8 +356,8 @@ def gen_npz_case(rng: np.random.Generator) -> NpzCase:
 # ---------------------------------------------------------------------------
 
 #: Domain mix per case index: trees dominate (they exercise the seven
-#: algorithms), io domains ride along.
-_DOMAIN_WHEEL = ("tree",) * 6 + ("csv",) * 3 + ("npz",)
+#: algorithms), dynamic-update streams and the io domains ride along.
+_DOMAIN_WHEEL = ("tree",) * 5 + ("dynamic",) * 2 + ("csv",) * 2 + ("npz",)
 
 
 def gen_case(rng: np.random.Generator, domains: tuple[str, ...] | None = None) -> FuzzCase:
@@ -263,6 +368,8 @@ def gen_case(rng: np.random.Generator, domains: tuple[str, ...] | None = None) -
     domain = wheel[int(rng.integers(len(wheel)))]
     if domain == "tree":
         return gen_tree_case(rng)
+    if domain == "dynamic":
+        return gen_dynamic_case(rng)
     if domain == "csv":
         return gen_csv_case(rng)
     return gen_npz_case(rng)

@@ -37,13 +37,19 @@ from repro.core.paruf_threaded import paruf_threaded
 from repro.core.rctt import rctt
 from repro.core.sequf import sequf
 from repro.core.tree_contraction_sld import sld_tree_contraction
-from repro.errors import ReproError
-from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase
+from repro.errors import (
+    InvalidGraphError,
+    InvalidWeightsError,
+    NotConnectedError,
+    ReproError,
+)
+from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
 
 __all__ = [
     "FUZZ_ALGORITHMS",
     "Finding",
     "differential_check",
+    "dynamic_check",
     "io_csv_check",
     "io_npz_check",
     "reference_parse_csv",
@@ -262,6 +268,201 @@ def io_csv_check(case: CsvCase, loader: LoadEdgesCsv | None = None) -> list[Find
                 case=case,
             )
         ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-vs-recompute oracle (shadow graph model)
+# ---------------------------------------------------------------------------
+
+
+def _connected(n: int, pairs: "list[tuple[int, int]]") -> bool:
+    """Union-find connectivity of the shadow graph."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    comps = n
+    for u, v in pairs:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            comps -= 1
+    return comps == 1
+
+
+def _predict_batch(
+    n: int,
+    graph: dict[tuple[int, int], float],
+    inserts: tuple[tuple[int, int, float], ...],
+    deletes: tuple[tuple[int, int], ...],
+) -> tuple[type | None, dict[tuple[int, int], float]]:
+    """Replay one batch on the shadow graph, in the engine's documented
+    order: full upfront validation, then inserts, then deletes, where a
+    delete fails exactly when removal disconnects the current graph.
+
+    Returns ``(expected_error_type, resulting_graph)``; the graph is the
+    pre-batch one whenever an error is expected (whole-batch rollback).
+    """
+    seen_ins: set[tuple[int, int]] = set()
+    for u, v, w in inserts:
+        if not (0 <= u < n and 0 <= v < n) or u == v:
+            return InvalidGraphError, graph
+        if not np.isfinite(w):
+            return InvalidWeightsError, graph
+        key = (u, v) if u < v else (v, u)
+        if key in seen_ins:
+            return ValueError, graph
+        seen_ins.add(key)
+    seen_dels: set[tuple[int, int]] = set()
+    for u, v in deletes:
+        if not (0 <= u < n and 0 <= v < n) or u == v:
+            return InvalidGraphError, graph
+        key = (u, v) if u < v else (v, u)
+        if key in seen_dels:
+            return ValueError, graph
+        seen_dels.add(key)
+    g = dict(graph)
+    for u, v, w in inserts:
+        key = (u, v) if u < v else (v, u)
+        if key in g:
+            return ValueError, graph
+        g[key] = w
+    for u, v in deletes:
+        key = (u, v) if u < v else (v, u)
+        if key not in g:
+            return ValueError, graph
+        del g[key]
+        if not _connected(n, list(g)):
+            return NotConnectedError, graph
+    return None, g
+
+
+def dynamic_check(
+    case: DynamicCase,
+    engine_factory: Callable[[int, np.ndarray, np.ndarray], object] | None = None,
+) -> list[Finding]:
+    """Differential check of the batch-dynamic engine vs. recompute.
+
+    A *shadow model* tracks only the plain edge set -- it knows nothing
+    about MSTs, reserves, or dendrograms -- and predicts, per batch,
+    whether the engine must succeed or raise (and which error type).  On
+    success the maintained state is compared against from-scratch
+    recomputation: the parent array must be bit-identical to ``sequf`` on
+    the maintained tree, the ranks to a full ``ranks_of`` re-sort, the
+    tree's weight multiset to a fresh Kruskal MST of the shadow graph, and
+    the ``generation`` counter must be monotone.  On a predicted error the
+    engine must raise exactly that type and roll the whole batch back.
+    """
+    from repro.core.dynamic import DynamicSLD
+    from repro.trees.mst import kruskal_mst
+    from repro.trees.weights import ranks_of
+
+    factory = engine_factory if engine_factory is not None else DynamicSLD.from_graph
+
+    def fail(check: str, message: str) -> list[Finding]:
+        return [Finding(check=check, message=message, case=case)]
+
+    shadow: dict[tuple[int, int], float] = {}
+    dup = False
+    for (u, v), w in zip(case.edges.tolist(), case.weights.tolist()):
+        key = (u, v) if u < v else (v, u)
+        dup = dup or key in shadow
+        shadow[key] = float(w)
+    init_ok = not dup and _connected(case.n, list(shadow))
+    try:
+        dyn = factory(case.n, case.edges, case.weights)
+    except (InvalidGraphError, NotConnectedError):
+        if init_ok:
+            return fail("dynamic:init", "engine rejected a valid connected graph")
+        return []  # shrunk/degenerate case; correctly rejected
+    except Exception as exc:
+        return fail("dynamic:init", f"engine construction crashed with {type(exc).__name__}")
+    if not init_ok:
+        return fail("dynamic:init", "engine accepted an invalid initial graph")
+
+    last_generation = int(dyn.generation)  # type: ignore[attr-defined]
+    for idx, (inserts, deletes) in enumerate(case.batches):
+        expected_error, shadow = _predict_batch(case.n, shadow, inserts, deletes)
+        before = (
+            dyn.graph_weights(),  # type: ignore[attr-defined]
+            dyn.parents.copy(),  # type: ignore[attr-defined]
+            int(dyn.generation),  # type: ignore[attr-defined]
+        )
+        try:
+            dyn.apply_batch(inserts, deletes)  # type: ignore[attr-defined]
+            raised: type | None = None
+        except Exception as exc:
+            raised = type(exc)
+        if expected_error is not None:
+            if raised is not expected_error:
+                got = "no error" if raised is None else raised.__name__
+                return fail(
+                    "dynamic:error-contract",
+                    f"batch {idx}: expected {expected_error.__name__}, got {got}",
+                )
+            after = (
+                dyn.graph_weights(),  # type: ignore[attr-defined]
+                dyn.parents.copy(),  # type: ignore[attr-defined]
+                int(dyn.generation),  # type: ignore[attr-defined]
+            )
+            if (
+                after[0] != before[0]
+                or not np.array_equal(after[1], before[1])
+                or after[2] != before[2]
+            ):
+                return fail(
+                    "dynamic:rollback", f"batch {idx}: failed batch left state changed"
+                )
+            continue
+        if raised is not None:
+            return fail(
+                "dynamic:error-contract",
+                f"batch {idx}: raised {raised.__name__} on a valid batch",
+            )
+        if dyn.graph_weights() != shadow:  # type: ignore[attr-defined]
+            return fail(
+                "dynamic:graph-drift",
+                f"batch {idx}: maintained edge set differs from the shadow graph",
+            )
+        tree = dyn.tree()  # type: ignore[attr-defined]
+        expected = brute_force_sld(tree) if tree.m <= 64 else None
+        from repro.core.sequf import sequf
+
+        recomputed = sequf(tree)
+        if not np.array_equal(dyn.parents, recomputed):  # type: ignore[attr-defined]
+            return fail(
+                "dynamic:vs-recompute",
+                f"batch {idx}: parent array differs from recompute-from-scratch",
+            )
+        if expected is not None and not np.array_equal(recomputed, expected):
+            return fail(
+                "dynamic:vs-recompute",
+                f"batch {idx}: recompute disagrees with the brute-force oracle",
+            )
+        if not np.array_equal(dyn.ranks, ranks_of(tree.weights)):  # type: ignore[attr-defined]
+            return fail(
+                "dynamic:ranks",
+                f"batch {idx}: incremental ranks differ from a full re-sort",
+            )
+        ge = np.asarray(sorted(shadow), dtype=np.int64).reshape(-1, 2)
+        gw = np.asarray([shadow[(int(a), int(b))] for a, b in ge.tolist()], dtype=np.float64)
+        mst = kruskal_mst(case.n, ge, gw)
+        if not np.array_equal(np.sort(tree.weights), np.sort(gw[mst])):
+            return fail(
+                "dynamic:mst-weight",
+                f"batch {idx}: maintained tree is not a minimum spanning tree",
+            )
+        generation = int(dyn.generation)  # type: ignore[attr-defined]
+        if generation < last_generation:
+            return fail(
+                "dynamic:generation", f"batch {idx}: generation counter went backwards"
+            )
+        last_generation = generation
     return []
 
 

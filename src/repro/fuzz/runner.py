@@ -1,8 +1,10 @@
 """The fuzzing driver behind ``python -m repro fuzz``.
 
-One loop, three domains (trees / CSV text / npz bytes), deterministic per
-``(seed, case index)``.  Tree cases run the differential oracle and the
-metamorphic relations; io cases run the loader contract checks.  The first
+One loop, four domains (trees / dynamic-update streams / CSV text / npz
+bytes), deterministic per ``(seed, case index)``.  Tree cases run the
+differential oracle and the metamorphic relations; dynamic cases run the
+batch-dynamic engine against its shadow-model dynamic-vs-recompute
+oracle; io cases run the loader contract checks.  The first
 finding per distinct check name is shrunk and written to the corpus;
 repeats are only counted, so a single bug cannot flood the corpus.
 
@@ -23,12 +25,21 @@ from pathlib import Path
 import numpy as np
 
 from repro.fuzz.corpus import save_finding
-from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase, case_rng, gen_case
+from repro.fuzz.generators import (
+    CsvCase,
+    DynamicCase,
+    FuzzCase,
+    NpzCase,
+    TreeCase,
+    case_rng,
+    gen_case,
+)
 from repro.fuzz.oracles import (
     FUZZ_ALGORITHMS,
     Finding,
     LoadEdgesCsv,
     differential_check,
+    dynamic_check,
     io_csv_check,
     io_npz_check,
 )
@@ -75,6 +86,7 @@ def _checks_for(
     loader: LoadEdgesCsv | None,
     tree_checks: tuple[str, ...],
     num_threads: int,
+    engine_factory: Callable[..., object] | None = None,
 ) -> list[Finding]:
     if isinstance(case, TreeCase):
         findings: list[Finding] = []
@@ -83,6 +95,8 @@ def _checks_for(
         if "relations" in tree_checks:
             findings += relations_check(case, algorithms, rng)
         return findings
+    if isinstance(case, DynamicCase):
+        return dynamic_check(case, engine_factory=engine_factory)
     if isinstance(case, CsvCase):
         return io_csv_check(case, loader=loader)
     assert isinstance(case, NpzCase)
@@ -102,11 +116,13 @@ def run_fuzz(
     shrink: bool = True,
     stop_on_finding: bool = False,
     progress: Callable[[str], None] | None = None,
+    engine_factory: Callable[..., object] | None = None,
 ) -> FuzzReport:
     """Run the fuzz loop; see the module docstring for the protocol.
 
-    ``algorithms``/``loader`` exist as injection points for the selftest's
-    mutants; production runs leave them at their defaults.
+    ``algorithms``/``loader``/``engine_factory`` exist as injection points
+    for the selftest's mutants; production runs leave them at their
+    defaults.
     """
     algs = dict(algorithms if algorithms is not None else FUZZ_ALGORITHMS)
     report = FuzzReport(seed=seed)
@@ -133,6 +149,7 @@ def run_fuzz(
                 loader,
                 tree_checks,
                 num_threads,
+                engine_factory,
             )
 
         findings = evaluate(case)

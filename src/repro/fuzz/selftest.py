@@ -1,11 +1,12 @@
 """Fuzzer selftest: inject known mutants, fail unless every one is caught.
 
 A fuzzer that silently stops finding bugs is worse than none, so
-``python -m repro fuzz --selftest`` resurrects eight known bug patterns --
-five algorithmic, three being the exact io bugs this subsystem originally
-caught -- injects them through the runner's ``algorithms``/``loader``
-injection points, and requires the standard battery to flag each one
-within a bounded number of cases.
+``python -m repro fuzz --selftest`` resurrects ten known bug patterns --
+five algorithmic, two dynamic-engine, three being the exact io bugs this
+subsystem originally caught -- injects them through the runner's
+``algorithms``/``loader``/``engine_factory`` injection points, and
+requires the standard battery to flag each one within a bounded number of
+cases.
 
 Algorithm mutants:
 
@@ -35,6 +36,16 @@ Algorithm mutants:
   *contents* decide the dendrogram -- so the mutant targets the one
   property the tree-contraction driver actually relies on; only the
   differential oracle can see the resulting wrong parents.
+
+Dynamic-engine mutants (plausible maintenance bugs of the batch-dynamic
+``DynamicSLD``):
+
+* ``dynamic-stale-suffix`` -- the dendrogram repair starts three ranks
+  above the lowest disturbed one, leaving a stale window; only the
+  dynamic-vs-recompute differential can see it.
+* ``dynamic-no-rollback`` -- a failed batch leaves its partial work
+  applied instead of restoring the pre-batch state; caught by the
+  error-contract/rollback arm of the shadow-model oracle.
 
 io mutants (the resurrected pre-fix ``load_edges_csv`` behaviors):
 
@@ -198,6 +209,33 @@ def mutant_heap_pool_broken_carry(tree: WeightedTree) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Dynamic-engine mutants
+# ---------------------------------------------------------------------------
+
+
+def _stale_suffix_engine(n: int, edges: np.ndarray, weights: np.ndarray) -> object:
+    """Engine whose dendrogram repair starts 3 ranks too high."""
+    from repro.core.dynamic import DynamicSLD
+
+    class _StaleSuffix(DynamicSLD):
+        def _recompute_suffix(self, lo: int) -> None:
+            super()._recompute_suffix(min(lo + 3, self.m))
+
+    return _StaleSuffix.from_graph(n, edges, weights)
+
+
+def _no_rollback_engine(n: int, edges: np.ndarray, weights: np.ndarray) -> object:
+    """Engine that keeps a failed batch's partial work applied."""
+    from repro.core.dynamic import DynamicSLD
+
+    class _NoRollback(DynamicSLD):
+        def _restore_state(self, state: object) -> None:
+            pass
+
+    return _NoRollback.from_graph(n, edges, weights)
+
+
+# ---------------------------------------------------------------------------
 # io mutants: the pre-fix load_edges_csv, verbatim bug patterns
 # ---------------------------------------------------------------------------
 
@@ -315,6 +353,16 @@ MUTANTS: tuple[Mutant, ...] = (
     _alg_mutant("label-tiebreak", mutant_label_tiebreak, tree_checks=("relations",)),
     _alg_mutant("heap-pool-broken-carry", mutant_heap_pool_broken_carry),
     _alg_mutant("windowed-lost-update", mutant_windowed_lost_update),
+    Mutant(
+        name="dynamic-stale-suffix",
+        kwargs={"engine_factory": _stale_suffix_engine, "domains": ("dynamic",)},
+        max_cases=150,
+    ),
+    Mutant(
+        name="dynamic-no-rollback",
+        kwargs={"engine_factory": _no_rollback_engine, "domains": ("dynamic",)},
+        max_cases=150,
+    ),
     Mutant(
         name="csv-header-kept",
         kwargs={

@@ -9,7 +9,10 @@ keeps every one the predicate confirms:
   weights to their ranks (small distinct integers) if the failure survives;
 * **CSV** -- drop whole lines, then drop trailing cells, then substitute
   each cell with ``"0"``;
-* **npz byte streams** -- truncate from the end by halves.
+* **npz byte streams** -- truncate from the end by halves;
+* **dynamic-update streams** -- drop whole batches, then single ops
+  within a batch, then initial graph edges (candidates that disconnect
+  the graph simply fail the predicate and are discarded).
 
 The total number of predicate evaluations is capped; within the cap the
 result is minimal with respect to the moves above (no single further move
@@ -25,10 +28,16 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.fuzz.generators import CsvCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
 from repro.trees.weights import ranks_of
 
-__all__ = ["shrink_case", "shrink_csv_case", "shrink_npz_case", "shrink_tree_case"]
+__all__ = [
+    "shrink_case",
+    "shrink_csv_case",
+    "shrink_dynamic_case",
+    "shrink_npz_case",
+    "shrink_tree_case",
+]
 
 #: Global cap on predicate evaluations per shrink.
 MAX_PREDICATE_CALLS = 400
@@ -174,10 +183,78 @@ def shrink_npz_case(
     return current
 
 
+def shrink_dynamic_case(
+    case: DynamicCase,
+    predicate: Callable[[DynamicCase], bool],
+    budget: _Budget | None = None,
+) -> DynamicCase:
+    budget = budget if budget is not None else _Budget(MAX_PREDICATE_CALLS)
+    current = case
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(current.batches)):  # drop whole batches
+            if not budget.spend():
+                return current
+            candidate = replace(
+                current, batches=current.batches[:i] + current.batches[i + 1 :]
+            )
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for i, (ins, dels) in enumerate(current.batches):  # drop single ops
+            for j in range(len(ins)):
+                if not budget.spend():
+                    return current
+                batches = list(current.batches)
+                batches[i] = (ins[:j] + ins[j + 1 :], dels)
+                candidate = replace(current, batches=tuple(batches))
+                if predicate(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+            for j in range(len(dels)):
+                if not budget.spend():
+                    return current
+                batches = list(current.batches)
+                batches[i] = (ins, dels[:j] + dels[j + 1 :])
+                candidate = replace(current, batches=tuple(batches))
+                if predicate(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        for i in range(current.edges.shape[0]):  # drop initial edges
+            if not budget.spend():
+                return current
+            keep = np.ones(current.edges.shape[0], dtype=bool)
+            keep[i] = False
+            candidate = replace(
+                current,
+                edges=current.edges[keep].copy(),
+                weights=current.weights[keep].copy(),
+            )
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
 def shrink_case(case: FuzzCase, predicate: Callable[[FuzzCase], bool]) -> FuzzCase:
     """Dispatch on the case domain; returns the (possibly unchanged) minimum."""
     if isinstance(case, TreeCase):
         return shrink_tree_case(case, predicate)
     if isinstance(case, CsvCase):
         return shrink_csv_case(case, predicate)
+    if isinstance(case, DynamicCase):
+        return shrink_dynamic_case(case, predicate)
     return shrink_npz_case(case, predicate)

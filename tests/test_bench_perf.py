@@ -21,7 +21,7 @@ from repro.bench.kernels import KERNELS, kernel_names
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-COMMITTED_BASELINE = REPO_ROOT / "BENCH_pr8.json"
+COMMITTED_BASELINE = REPO_ROOT / "BENCH_pr9.json"
 
 
 def _payload(**kernel_overrides):

@@ -124,7 +124,7 @@ class TestCostBoundDecorator:
         for bound in bounds.values():
             assert bound.kind in BOUND_KINDS
             # every declaration is evaluable at a small concrete point
-            env = {"n": 4.0, "m": 3.0, "h": 2.0, "s": 4.0, "k": 2.0}
+            env = {"n": 4.0, "m": 3.0, "h": 2.0, "s": 4.0, "k": 2.0, "b": 2.0}
             assert bound.evaluate_work(**env) > 0
             assert bound.evaluate_depth(**env) > 0
 

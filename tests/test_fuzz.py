@@ -8,6 +8,7 @@ from repro.cli import main as cli_main
 from repro.fuzz import (
     FUZZ_ALGORITHMS,
     CsvCase,
+    DynamicCase,
     NpzCase,
     TreeCase,
     case_rng,
@@ -35,6 +36,14 @@ def _case_equal(a, b) -> bool:
             a.n == b.n
             and np.array_equal(a.edges, b.edges)
             and np.array_equal(a.weights, b.weights)
+            and a.label == b.label
+        )
+    if isinstance(a, DynamicCase):
+        return (
+            a.n == b.n
+            and np.array_equal(a.edges, b.edges)
+            and np.array_equal(a.weights, b.weights)
+            and a.batches == b.batches
             and a.label == b.label
         )
     if isinstance(a, CsvCase):
@@ -119,11 +128,14 @@ class TestDetectionPower:
         report = run_selftest(seed=0, shrink=False)
         assert report.ok, report.missed
         assert set(report.caught) == {m.name for m in MUTANTS}
-        # The io mutants must be caught by io checks, the algorithm
-        # mutants by tree checks -- not by accident of some other layer.
+        # The io mutants must be caught by io checks, the dynamic mutants
+        # by the dynamic oracle, the algorithm mutants by tree checks --
+        # not by accident of some other layer.
         for name, check in report.caught.items():
             if name.startswith("csv-"):
                 assert check.startswith("io:csv:")
+            elif name.startswith("dynamic-"):
+                assert check.startswith("dynamic:")
             else:
                 assert check.startswith(("differential:", "relation:"))
 
@@ -235,6 +247,16 @@ class TestCorpusFormat:
                 edges=np.array([[0, 1], [1, 2]], dtype=np.int64),
                 weights=np.array([0.1, 5e-324]),
                 label="t",
+            ),
+            DynamicCase(
+                n=3,
+                edges=np.array([[0, 1], [1, 2]], dtype=np.int64),
+                weights=np.array([0.1, 5e-324]),
+                batches=(
+                    (((0, 2, 2.5),), ((0, 1),)),
+                    ((), ()),
+                ),
+                label="d",
             ),
             CsvCase(text="0,0\n", has_header=None, label="c"),
             NpzCase(data=b"\x80\x00\xff", label="n"),
