@@ -210,6 +210,64 @@ def _run_boruvka(
     return boruvka_mst(n, edges, weights, tracker=tracker)
 
 
+def _point_cloud(n: int) -> np.ndarray:
+    return np.random.default_rng(5).random((n, 4))
+
+
+def _pipeline_points_runner(backend: str) -> Callable[[Any, CostTracker | None], np.ndarray]:
+    def run(pts: Any, tracker: CostTracker | None) -> np.ndarray:
+        from repro.cluster.single_linkage import single_linkage
+
+        # End-to-end: k-NN graph -> Boruvka MST -> dendrogram, one backend
+        # throughout.  No charged abstract ops at this layer (the stage
+        # kernels carry the accounting), so the tracker is unused.
+        result = single_linkage(pts, k=8, mst_method="boruvka", backend=backend)
+        return result.dendrogram.parents
+
+    return run
+
+
+def _pipeline_graph_runner(backend: str) -> Callable[[Any, CostTracker | None], np.ndarray]:
+    def run(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+        from repro.cluster.graph_linkage import graph_single_linkage
+
+        n, edges, weights = payload
+        result = graph_single_linkage(
+            n, edges, weights, mst_method="boruvka", backend=backend
+        )
+        return result.dendrogram.parents
+
+    return run
+
+
+def _streaming_payload(m_target: int) -> Any:
+    """A REDG1 edge file of roughly ``m_target`` edges plus the in-memory
+    arrays (the reference twin runs plain Kruskal on them)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.io.edgefile import write_edge_file
+
+    n, edges, weights = _pa_graph(max(2, m_target // 4))
+    path = Path(tempfile.mkdtemp(prefix="repro-bench-")) / "graph.redg"
+    write_edge_file(path, n, edges, weights)
+    return path, n, edges, weights
+
+
+def _run_streaming(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    from repro.trees.mst import streaming_kruskal_mst
+
+    path, _, _, _ = payload
+    return streaming_kruskal_mst(path, chunk=1 << 16)[1]
+
+
+def _ref_streaming(payload: Any, tracker: CostTracker | None) -> np.ndarray:
+    # The in-memory scan: the honest "cost of going out of core" ratio
+    # (expected < 1x -- the gate tracks the wall numbers, not the ratio).
+    _, n, edges, weights = payload
+    return kruskal_mst(n, edges, weights)
+
+
 #: The tracked kernels, in report order.  Sizes are tuned so a full run
 #: stays in CI budget; ``--quick`` quarters them.
 KERNELS: tuple[Kernel, ...] = (
@@ -276,6 +334,37 @@ KERNELS: tuple[Kernel, ...] = (
         _dynamic_payload,
         _run_dynamic_update,
         ref_run=_ref_dynamic_update,
+        backend="array",
+    ),
+    # End-to-end pipelines, array vs. reference backend throughout
+    # (points: k-NN -> Boruvka -> dendrogram; graph: Boruvka -> dendrogram).
+    Kernel(
+        "pipeline-points",
+        4096,
+        1024,
+        _point_cloud,
+        _pipeline_points_runner("array"),
+        ref_run=_pipeline_points_runner("reference"),
+        backend="array",
+    ),
+    Kernel(
+        "pipeline-graph",
+        50000,
+        4096,
+        _pa_graph,
+        _pipeline_graph_runner("array"),
+        ref_run=_pipeline_graph_runner("reference"),
+        backend="array",
+    ),
+    # Out-of-core filter-Kruskal over a REDG1 file (size = edge count);
+    # the reference twin is the in-memory scan of the same edges.
+    Kernel(
+        "mst-streaming",
+        1000000,
+        65536,
+        _streaming_payload,
+        _run_streaming,
+        ref_run=_ref_streaming,
         backend="array",
     ),
 )

@@ -99,8 +99,10 @@ DEFAULT_PARSAFE_TARGETS = (
     "core/paruf_threaded.py",
     "core/fast.py",
     "core/fast_contraction.py",
+    "core/fast_merge.py",
     "structures/heap_pool.py",
     "cluster/knn.py",
+    "trees/boruvka_fast.py",
 )
 
 #: Module-level functions that accept a task function as first argument.

@@ -93,10 +93,13 @@ SLAB_CODES = (
 DEFAULT_SLAB_TARGETS = (
     "core/fast.py",
     "core/fast_contraction.py",
+    "core/fast_merge.py",
     "contraction/fast.py",
     "structures/heap_pool.py",
     "primitives",
     "bench/kernels.py",
+    "trees/boruvka_fast.py",
+    "io/edgefile.py",
 )
 
 #: NumPy constructors that *allocate with a defaulted dtype* (RPR201).

@@ -42,7 +42,16 @@ from repro._version import __version__
 __all__ = ["main", "build_parser"]
 
 _GENERATORS = ("path", "star", "knuth", "random", "caterpillar", "broom", "binary")
-_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "lowerbound", "ablation", "selfcheck")
+_EXPERIMENTS = (
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "lowerbound",
+    "ablation",
+    "selfcheck",
+    "scale",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,9 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_pr9.json",
+        default="BENCH_pr10.json",
         metavar="PATH",
-        help="where to write the fresh benchmark JSON (default: BENCH_pr9.json)",
+        help="where to write the fresh benchmark JSON (default: BENCH_pr10.json)",
     )
     bench.add_argument(
         "--backend",

@@ -19,7 +19,6 @@ from repro.dendrogram.structure import Dendrogram
 from repro.errors import InvalidGraphError
 from repro.structures.unionfind import UnionFind
 from repro.trees.mst import minimum_spanning_tree
-from repro.trees.boruvka import boruvka_tree
 from repro.trees.wtree import WeightedTree
 
 __all__ = ["graph_single_linkage", "GraphLinkageResult"]
@@ -47,6 +46,7 @@ def graph_single_linkage(
     weights: np.ndarray,
     algorithm: str = "rctt",
     mst_method: str = "kruskal",
+    backend: str = "auto",
     **algorithm_options,
 ) -> GraphLinkageResult:
     """Single-linkage dendrogram of a (possibly disconnected) graph.
@@ -54,7 +54,8 @@ def graph_single_linkage(
     Components are bridged by artificial edges weighted above every real
     edge, so cutting the hierarchy at any real weight recovers the per-
     component clusterings and the top ``n_components - 1`` merges are the
-    bridges.
+    bridges.  ``backend`` is forwarded to the MST and dendrogram stages
+    (every backend returns a bit-identical result).
     """
     edges = np.asarray(edges, dtype=np.int64)
     weights = np.asarray(weights, dtype=np.float64)
@@ -64,9 +65,7 @@ def graph_single_linkage(
         raise InvalidGraphError("need exactly one weight per edge")
 
     uf = UnionFind(n)
-    for u, v in edges:
-        if uf.find(int(u)) != uf.find(int(v)):
-            uf.union(int(u), int(v))
+    _union_components(uf, edges)
     n_components = uf.num_sets
 
     bridge_rows: list[list[int]] = []
@@ -80,23 +79,43 @@ def graph_single_linkage(
         edges = np.concatenate([edges, bridge_edges]) if edges.size else bridge_edges
         weights = np.concatenate([weights, bridge_weights])
 
-    if mst_method == "boruvka":
-        mst = boruvka_tree(n, edges, weights)
-    else:
-        mst = minimum_spanning_tree(n, edges, weights, method=mst_method)
-    dend = single_linkage_dendrogram(mst, algorithm=algorithm, **algorithm_options)
+    mst = minimum_spanning_tree(n, edges, weights, method=mst_method, backend=backend)
+    dend = single_linkage_dendrogram(
+        mst, algorithm=algorithm, backend=backend, **algorithm_options
+    )
 
     if bridge_rows:
-        bridge_set = {tuple(sorted(r)) for r in bridge_rows}
-        ids = [
-            e
-            for e in range(mst.m)
-            if (min(int(mst.edges[e, 0]), int(mst.edges[e, 1])),
-                max(int(mst.edges[e, 0]), int(mst.edges[e, 1]))) in bridge_set
-        ]
-        bridges = np.asarray(ids, dtype=np.int64)
+        # Bridge recovery, vectorized: match the MST's undirected endpoint
+        # keys against the artificial rows (keys are unique -- the input
+        # may not duplicate a bridge pair, bridges join distinct
+        # components).
+        lo = np.minimum(mst.edges[:, 0], mst.edges[:, 1])
+        hi = np.maximum(mst.edges[:, 0], mst.edges[:, 1])
+        keys = lo * n + hi
+        brows = np.asarray(bridge_rows, dtype=np.int64)
+        bkeys = np.sort(brows[:, 0] * n + brows[:, 1])
+        pos = np.minimum(np.searchsorted(bkeys, keys), bkeys.size - 1)
+        bridges = np.flatnonzero(bkeys[pos] == keys).astype(np.int64)
     else:
         bridges = np.zeros(0, dtype=np.int64)
     return GraphLinkageResult(
         mst=mst, dendrogram=dend, n_components=n_components, bridge_edges=bridges
     )
+
+
+def _union_components(uf: UnionFind, edges: np.ndarray) -> None:
+    """Union every edge's endpoints, in batches (connectivity only).
+
+    Component structure is order-independent, so a vectorized
+    ``find_many`` pre-filter drops the bulk of each batch and only the
+    surviving (possibly stale) candidates hit the scalar union loop.
+    """
+    chunk = 8192
+    for start in range(0, edges.shape[0], chunk):
+        batch = edges[start : start + chunk]
+        ru = uf.find_many(batch[:, 0])
+        rv = uf.find_many(batch[:, 1])
+        cross = ru != rv
+        for a, b in zip(ru[cross].tolist(), rv[cross].tolist()):
+            if uf.find(a) != uf.find(b):
+                uf.union(a, b)

@@ -88,14 +88,18 @@ def knn_graph(
     np.fill_diagonal(dists, np.inf)
     nbrs = np.argpartition(dists, k, axis=1)[:, :k]
 
-    pair_weight: dict[tuple[int, int], float] = {}
-    for i in range(n):
-        for j in nbrs[i]:
-            j = int(j)
-            key = (i, j) if i < j else (j, i)
-            pair_weight[key] = float(dists[i, j])
-    edges = np.array(sorted(pair_weight), dtype=np.int64).reshape(-1, 2)
-    weights = np.array([pair_weight[tuple(p)] for p in edges], dtype=np.float64)
+    # Symmetrize + dedupe in one vectorized pass: undirected pair keys
+    # a*n+b (a < b) over all n*k selections, np.unique for the sorted
+    # distinct pairs.  Matches the dict-based reference exactly -- its
+    # iteration over sorted keys is the same ascending key order, and the
+    # distance matrix is symmetric so either orientation's weight agrees.
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    cols = np.ascontiguousarray(nbrs, dtype=np.int64).ravel()
+    keys = np.unique(np.minimum(rows, cols) * n + np.maximum(rows, cols))
+    ea = keys // n
+    eb = keys - ea * n
+    edges = np.stack([ea, eb], axis=1)
+    weights = dists[ea, eb]
 
     if ensure_connected:
         extra_e, extra_w = _bridge_components(n, edges, dists)
@@ -105,10 +109,61 @@ def knn_graph(
     return n, edges, weights
 
 
+def _knn_pairs_reference(
+    n: int, nbrs: np.ndarray, dists: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original dict-based pair build (kept as the test oracle for the
+    vectorized symmetrize/dedupe in :func:`knn_graph`)."""
+    pair_weight: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in nbrs[i]:
+            j = int(j)
+            key = (i, j) if i < j else (j, i)
+            pair_weight[key] = float(dists[i, j])
+    edges = np.array(sorted(pair_weight), dtype=np.int64).reshape(-1, 2)
+    weights = np.array([pair_weight[tuple(p)] for p in edges], dtype=np.float64)
+    return edges, weights
+
+
 def _bridge_components(
     n: int, edges: np.ndarray, dists: np.ndarray
 ) -> tuple[list[list[int]], list[float]]:
-    """Closest-pair bridges between connected components."""
+    """Closest-pair bridges between connected components.
+
+    The roots pass is one vectorized ``find_many`` batch per bridge (the
+    loop runs once per component, not per vertex);
+    :func:`_bridge_components_reference` keeps the scalar original as the
+    test oracle.
+    """
+    uf = UnionFind(n)
+    all_vertices = np.arange(n, dtype=np.int64)
+    for start in range(0, edges.shape[0], 8192):
+        batch = edges[start : start + 8192]
+        ru = uf.find_many(batch[:, 0])
+        rv = uf.find_many(batch[:, 1])
+        cross = ru != rv
+        for a, b in zip(ru[cross].tolist(), rv[cross].tolist()):
+            if uf.find(a) != uf.find(b):
+                uf.union(a, b)
+    extra_e: list[list[int]] = []
+    extra_w: list[float] = []
+    while uf.num_sets > 1:
+        roots = uf.find_many(all_vertices)
+        comp0 = np.flatnonzero(roots == roots[0])
+        rest = np.flatnonzero(roots != roots[0])
+        block = dists[np.ix_(comp0, rest)]
+        a, b = np.unravel_index(np.argmin(block), block.shape)
+        u, v = int(comp0[a]), int(rest[b])
+        extra_e.append([u, v])
+        extra_w.append(float(dists[u, v]))
+        uf.union(u, v)
+    return extra_e, extra_w
+
+
+def _bridge_components_reference(
+    n: int, edges: np.ndarray, dists: np.ndarray
+) -> tuple[list[list[int]], list[float]]:
+    """The original per-vertex bridging loop (test oracle)."""
     uf = UnionFind(n)
     for u, v in edges:
         if uf.find(int(u)) != uf.find(int(v)):

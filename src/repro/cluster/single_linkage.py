@@ -48,6 +48,7 @@ def single_linkage(
     k: int | None = None,
     algorithm: str = "rctt",
     mst_method: str = "kruskal",
+    backend: str = "auto",
     **algorithm_options,
 ) -> SingleLinkageResult:
     """Single-linkage clustering of ``points``.
@@ -63,13 +64,20 @@ def single_linkage(
     algorithm:
         Dendrogram algorithm name (see :data:`repro.core.api.ALGORITHMS`).
     mst_method:
-        ``kruskal`` / ``prim`` / ``scipy``.
+        ``kruskal`` / ``prim`` / ``scipy`` / ``boruvka``.
+    backend:
+        Forwarded to both the MST stage and the dendrogram stage
+        (``"auto"`` / ``"reference"`` / ``"array"``, see
+        :func:`repro.core.api.single_linkage_dendrogram`); every backend
+        returns a bit-identical result.
     """
     pts = np.asarray(points, dtype=np.float64)
     if k is None:
         n, edges, weights = complete_graph(pts)
     else:
         n, edges, weights = knn_graph(pts, k)
-    mst = minimum_spanning_tree(n, edges, weights, method=mst_method)
-    dend = single_linkage_dendrogram(mst, algorithm=algorithm, **algorithm_options)
+    mst = minimum_spanning_tree(n, edges, weights, method=mst_method, backend=backend)
+    dend = single_linkage_dendrogram(
+        mst, algorithm=algorithm, backend=backend, **algorithm_options
+    )
     return SingleLinkageResult(points=pts, mst=mst, dendrogram=dend)

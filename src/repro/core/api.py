@@ -2,7 +2,7 @@
 
 Backends
 --------
-Three of the registered algorithms ship a flat-array *fast backend* -- a
+Four of the registered algorithms ship a flat-array *fast backend* -- a
 wall-clock twin producing bit-identical output (the SLD is unique under
 the deterministic (weight, edge-id) rank order):
 
@@ -12,6 +12,7 @@ algorithm           array backend
 ``sequf``           :func:`repro.core.fast.sequf_fast`
 ``tree-contraction``:func:`repro.core.fast_contraction.tree_contraction_fast`
 ``rctt``            :func:`repro.core.fast_contraction.rctt_fast`
+``divide-conquer``  :func:`repro.core.fast_merge.sld_merge_fast`
 =================== ==============================================
 
 :func:`single_linkage_dendrogram` selects between them with ``backend=``:
@@ -37,6 +38,7 @@ from repro.core.brute import brute_force_sld
 from repro.core.cartesian import sld_path
 from repro.core.fast import sequf_fast
 from repro.core.fast_contraction import rctt_fast, tree_contraction_fast
+from repro.core.fast_merge import sld_merge_fast
 from repro.core.merge import sld_divide_and_conquer
 from repro.core.paruf import paruf
 from repro.core.paruf_sync import paruf_sync
@@ -77,6 +79,7 @@ ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
     "tree-contraction-fast": tree_contraction_fast,
     "tree-contraction-list": _tc_list,
     "divide-conquer": sld_divide_and_conquer,
+    "divide-conquer-fast": sld_merge_fast,
     "weight-dc": sld_weight_dc,
     "cartesian": sld_path,
     "brute": brute_force_sld,
@@ -87,6 +90,7 @@ FAST_ALGORITHMS: dict[str, Callable[..., np.ndarray]] = {
     "sequf": sequf_fast,
     "rctt": rctt_fast,
     "tree-contraction": tree_contraction_fast,
+    "divide-conquer": sld_merge_fast,
 }
 
 #: Recognized values of the ``backend=`` selector.
@@ -161,7 +165,8 @@ def single_linkage_dendrogram(
         - ``"rctt"`` -- RC-tree tracing (option: ``seed``);
         - ``"tree-contraction"`` -- optimal heap-based algorithm;
         - ``"tree-contraction-list"`` -- its sub-optimal list ablation;
-        - ``"divide-conquer"`` -- centroid SLD-Merge divide and conquer;
+        - ``"divide-conquer"`` -- centroid SLD-Merge divide and conquer
+          (array twin: the level-synchronous segment sweep);
         - ``"weight-dc"`` -- divide-and-conquer over weights (Wang et al.
           style, the prior state of the art; option: ``base_size``);
         - ``"cartesian"`` -- path inputs only (option: ``method``);

@@ -40,12 +40,14 @@ from repro.dendrogram.linkage import leaf_parents
 from repro.dendrogram.metrics import node_depths
 from repro.dendrogram.structure import Dendrogram
 from repro.io import FormatError
+from repro.trees.weights import ranks_of
 from repro.trees.wtree import WeightedTree
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
     "DendrogramSnapshot",
     "build_snapshot",
+    "build_snapshot_from_slabs",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -184,6 +186,76 @@ def build_snapshot(dend: Dendrogram, generation: int = -1) -> DendrogramSnapshot
         weights=np.asarray(tree.weights, dtype=np.float64),
         ranks=tree.ranks.astype(np.int32),
         parents=parents,
+        leaf_parent=leaf_parent,
+        depth=depth,
+        up=up,
+        generation=int(generation),
+    )
+    snap.validate()
+    return snap
+
+
+def build_snapshot_from_slabs(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    parents: np.ndarray,
+    generation: int = -1,
+) -> DendrogramSnapshot:
+    """Build a snapshot straight from flat slabs -- no object tree.
+
+    The array pipeline's twin of :func:`build_snapshot`: takes the MST
+    slabs (``edges``/``weights``) and the dendrogram ``parents`` array as
+    produced by the ``backend="array"`` kernels and computes the query
+    index with vectorized passes (pointer-doubling depths, one lexsort
+    for the leaf attachments) instead of the per-vertex/per-edge Python
+    loops of the object path.  Output is identical to
+    ``build_snapshot(Dendrogram(WeightedTree(...), parents))``.
+    """
+    if n >= 2**31:
+        raise ValueError(f"snapshot slabs are int32; n={n} does not fit")
+    edges = np.asarray(edges, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    parents = np.asarray(parents, dtype=np.int64)
+    m = int(parents.shape[0])
+    ranks = ranks_of(weights)
+    if m:
+        # Depths by pointer doubling: (anc, d) with d = hops to anc; the
+        # root's self-loop absorbs the recursion in O(log h) rounds.
+        eids = np.arange(m, dtype=np.int64)
+        d = (parents != eids).astype(np.int64)
+        anc = parents.copy()
+        while True:  # noqa: RPR102 -- pointer-jumping, O(log h) hops
+            d2 = d + d[anc]
+            anc2 = anc[anc]
+            if np.array_equal(anc2, anc):
+                break
+            d = d2
+            anc = anc2
+        depth = (d + 1).astype(np.int32)
+        up = lifting_table(parents.astype(np.int32), depth)
+        # Leaf attachments: each vertex hangs off its min-rank incident
+        # edge -- first occurrence per vertex after one (vertex, rank)
+        # lexsort over both edge directions.
+        verts = np.concatenate((edges[:, 0], edges[:, 1]))
+        rk2 = np.concatenate((ranks, ranks))
+        order = np.lexsort((rk2, verts))
+        verts_s = verts[order]
+        first = np.empty(verts_s.size, dtype=bool)
+        first[0] = True
+        first[1:] = verts_s[1:] != verts_s[:-1]
+        leaf_parent = np.empty(n, dtype=np.int32)
+        leaf_parent[verts_s[first]] = (order[first] % m).astype(np.int32)
+    else:
+        depth = np.zeros(0, dtype=np.int32)
+        up = np.zeros((1, 0), dtype=np.int32)
+        leaf_parent = np.full(n, -1, dtype=np.int32)
+    snap = DendrogramSnapshot(
+        n=int(n),
+        edges=edges.astype(np.int32),
+        weights=weights,
+        ranks=ranks.astype(np.int32),
+        parents=parents.astype(np.int32),
         leaf_parent=leaf_parent,
         depth=depth,
         up=up,

@@ -6,12 +6,14 @@ extends it to the io layer:
 
 * :mod:`repro.fuzz.generators` -- deterministic adversarial inputs (tree
   topology x weight-family grid, batched insert/delete streams for the
-  dynamic engine, malformed CSV text, corrupted ``.npz`` bytes), one
-  ``numpy`` Generator per ``(seed, case index)``;
+  dynamic engine, connected graphs with boundary-biased streaming chunk
+  sizes for the MST engines, malformed CSV text, corrupted ``.npz``
+  bytes), one ``numpy`` Generator per ``(seed, case index)``;
 * :mod:`repro.fuzz.oracles` -- the differential layer: every dendrogram
   algorithm against the :func:`~repro.core.brute.brute_force_sld` oracle,
   the batch-dynamic engine against recompute-from-scratch (shadow-model
-  error prediction + ``sequf``/Kruskal cross-checks),
+  error prediction + ``sequf``/Kruskal cross-checks), the array-backend
+  Boruvka and out-of-core streaming Kruskal against in-memory Kruskal,
   and ``load_edges_csv`` against an independent reference parser;
 * :mod:`repro.fuzz.relations` -- metamorphic relations (edge-permutation
   invariance, monotone weight-transform equivariance, leaf-relabeling
@@ -32,11 +34,13 @@ from repro.fuzz.corpus import replay_corpus, save_finding
 from repro.fuzz.generators import (
     CsvCase,
     DynamicCase,
+    GraphCase,
     NpzCase,
     TreeCase,
     case_rng,
     gen_case,
     gen_dynamic_case,
+    gen_graph_case,
 )
 from repro.fuzz.oracles import (
     FUZZ_ALGORITHMS,
@@ -44,6 +48,7 @@ from repro.fuzz.oracles import (
     differential_check,
     dynamic_check,
     io_csv_check,
+    mst_check,
 )
 from repro.fuzz.relations import METAMORPHIC_RELATIONS, relations_check
 from repro.fuzz.runner import FuzzReport, run_fuzz
@@ -57,6 +62,7 @@ __all__ = [
     "DynamicCase",
     "Finding",
     "FuzzReport",
+    "GraphCase",
     "NpzCase",
     "TreeCase",
     "case_rng",
@@ -64,7 +70,9 @@ __all__ = [
     "dynamic_check",
     "gen_case",
     "gen_dynamic_case",
+    "gen_graph_case",
     "io_csv_check",
+    "mst_check",
     "relations_check",
     "replay_corpus",
     "run_fuzz",

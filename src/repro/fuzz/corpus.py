@@ -26,13 +26,21 @@ from typing import Any
 
 import numpy as np
 
-from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.generators import (
+    CsvCase,
+    DynamicCase,
+    FuzzCase,
+    GraphCase,
+    NpzCase,
+    TreeCase,
+)
 from repro.fuzz.oracles import (
     Finding,
     differential_check,
     dynamic_check,
     io_csv_check,
     io_npz_check,
+    mst_check,
 )
 
 __all__ = [
@@ -74,6 +82,15 @@ def _case_payload(case: FuzzCase) -> dict[str, Any]:
                 }
                 for ins, dels in case.batches
             ],
+            "label": case.label,
+        }
+    if isinstance(case, GraphCase):
+        return {
+            "kind": "graph",
+            "n": case.n,
+            "edges": [[int(u), int(v)] for u, v in case.edges],
+            "weights": [float(w).hex() for w in case.weights],
+            "chunk": case.chunk,
             "label": case.label,
         }
     if isinstance(case, CsvCase):
@@ -118,6 +135,16 @@ def _case_from_payload(payload: dict[str, Any]) -> FuzzCase:
                 )
                 for batch in payload["batches"]
             ),
+            label=payload.get("label", ""),
+        )
+    if kind == "graph":
+        return GraphCase(
+            n=int(payload["n"]),
+            edges=np.asarray(payload["edges"], dtype=np.int64).reshape(-1, 2),
+            weights=np.array(
+                [float.fromhex(w) for w in payload["weights"]], dtype=np.float64
+            ),
+            chunk=int(payload["chunk"]),
             label=payload.get("label", ""),
         )
     if kind == "csv":
@@ -184,6 +211,8 @@ def replay_entry(path: str | Path) -> list[Finding]:
         return findings
     if isinstance(case, DynamicCase):
         return dynamic_check(case)
+    if isinstance(case, GraphCase):
+        return mst_check(case)
     if isinstance(case, CsvCase):
         return io_csv_check(case)
     return io_npz_check(case)

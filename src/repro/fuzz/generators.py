@@ -17,6 +17,11 @@ Three case domains:
   batch-dynamic engine; the op stream deliberately includes invalid ops
   (duplicate inserts, missing deletes, disconnecting deletes) so the
   error-and-rollback contract is fuzzed alongside the happy path.
+* :class:`GraphCase` -- a connected weighted graph plus a streaming chunk
+  size for the MST oracles (array-backend Boruvka and out-of-core
+  streaming Kruskal vs. in-memory Kruskal); chunk sizes concentrate on
+  the boundary values (1, 2, ``m - 1``, ``m``, power-of-two neighbors)
+  where the spill/merge windowing bugs live.
 
 Everything is a pure function of the :class:`numpy.random.Generator` it is
 handed; :func:`case_rng` derives one Generator per ``(seed, index)`` via
@@ -46,12 +51,14 @@ __all__ = [
     "WEIGHT_FAMILIES",
     "CsvCase",
     "DynamicCase",
+    "GraphCase",
     "NpzCase",
     "TreeCase",
     "case_rng",
     "gen_case",
     "gen_csv_case",
     "gen_dynamic_case",
+    "gen_graph_case",
     "gen_npz_case",
     "gen_tree_case",
 ]
@@ -108,7 +115,23 @@ class DynamicCase:
     label: str = ""
 
 
-FuzzCase = TreeCase | CsvCase | NpzCase | DynamicCase
+@dataclass
+class GraphCase:
+    """A connected weighted graph plus a streaming chunk size.
+
+    Input domain of the MST oracles: the graph is always connected and
+    duplicate-free (the invalid-input surface belongs to the io domain);
+    ``chunk`` parameterizes the out-of-core path's spill/merge windows.
+    """
+
+    n: int
+    edges: np.ndarray  # (m, 2) undirected edges, connected, no duplicates
+    weights: np.ndarray  # (m,) float64
+    chunk: int
+    label: str = ""
+
+
+FuzzCase = TreeCase | CsvCase | NpzCase | DynamicCase | GraphCase
 
 
 def case_rng(seed: int, index: int) -> np.random.Generator:
@@ -256,6 +279,48 @@ def gen_dynamic_case(rng: np.random.Generator, max_n: int = 16) -> DynamicCase:
 
 
 # ---------------------------------------------------------------------------
+# Graph cases (MST oracles)
+# ---------------------------------------------------------------------------
+
+
+def gen_graph_case(rng: np.random.Generator, max_n: int = 24) -> GraphCase:
+    """Draw one connected weighted graph plus a boundary-biased chunk size."""
+    base = gen_tree_case(rng, max_n=max_n)
+    n = base.n
+    seen = {(min(int(u), int(v)), max(int(u), int(v))) for u, v in base.edges.tolist()}
+    extra: list[tuple[int, int]] = []
+    budget = int(rng.integers(0, 2 * n + 1))
+    for _ in range(3 * budget):
+        if len(extra) >= budget:
+            break
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen:
+            continue
+        seen.add(key)
+        extra.append(key)
+    extra_arr = np.asarray(extra, dtype=np.int64).reshape(len(extra), 2)
+    edges = np.concatenate([base.edges, extra_arr], axis=0)
+    wnames = sorted(WEIGHT_FAMILIES)
+    wname = wnames[int(rng.integers(len(wnames)))]
+    weights = np.asarray(WEIGHT_FAMILIES[wname](rng, edges.shape[0]), dtype=np.float64)
+    m = edges.shape[0]
+    pow2 = 1 << (max(1, m).bit_length() - 1)
+    boundary = (1, 2, max(1, m - 1), m, m + 1, max(1, pow2 - 1), pow2, pow2 + 1)
+    if rng.random() < 0.75:
+        chunk = int(boundary[int(rng.integers(len(boundary)))])
+    else:
+        chunk = int(rng.integers(1, m + 2))
+    return GraphCase(
+        n=n,
+        edges=edges,
+        weights=weights,
+        chunk=chunk,
+        label=f"graph/{base.label}/extras={len(extra)}/chunk={chunk}",
+    )
+
+
+# ---------------------------------------------------------------------------
 # CSV cases
 # ---------------------------------------------------------------------------
 
@@ -356,8 +421,9 @@ def gen_npz_case(rng: np.random.Generator) -> NpzCase:
 # ---------------------------------------------------------------------------
 
 #: Domain mix per case index: trees dominate (they exercise the seven
-#: algorithms), dynamic-update streams and the io domains ride along.
-_DOMAIN_WHEEL = ("tree",) * 5 + ("dynamic",) * 2 + ("csv",) * 2 + ("npz",)
+#: algorithms); dynamic-update streams, MST graphs, and the io domains
+#: ride along.
+_DOMAIN_WHEEL = ("tree",) * 5 + ("dynamic",) * 2 + ("graph",) * 2 + ("csv",) * 2 + ("npz",)
 
 
 def gen_case(rng: np.random.Generator, domains: tuple[str, ...] | None = None) -> FuzzCase:
@@ -370,6 +436,8 @@ def gen_case(rng: np.random.Generator, domains: tuple[str, ...] | None = None) -
         return gen_tree_case(rng)
     if domain == "dynamic":
         return gen_dynamic_case(rng)
+    if domain == "graph":
+        return gen_graph_case(rng)
     if domain == "csv":
         return gen_csv_case(rng)
     return gen_npz_case(rng)

@@ -43,7 +43,14 @@ from repro.errors import (
     NotConnectedError,
     ReproError,
 )
-from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.generators import (
+    CsvCase,
+    DynamicCase,
+    FuzzCase,
+    GraphCase,
+    NpzCase,
+    TreeCase,
+)
 
 __all__ = [
     "FUZZ_ALGORITHMS",
@@ -52,6 +59,7 @@ __all__ = [
     "dynamic_check",
     "io_csv_check",
     "io_npz_check",
+    "mst_check",
     "reference_parse_csv",
 ]
 
@@ -132,6 +140,98 @@ def differential_check(
                     case=case,
                 )
             )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# MST oracles: array Boruvka + streaming Kruskal vs. in-memory Kruskal
+# ---------------------------------------------------------------------------
+
+#: Injection-point signatures for :func:`mst_check` (the selftest's
+#: mutants replace these; production runs use the real engines).
+BoruvkaFn = Callable[[int, np.ndarray, np.ndarray], np.ndarray]
+StreamingFn = Callable[["str", int], "tuple[int, np.ndarray]"]
+
+
+def mst_check(
+    case: GraphCase,
+    boruvka_fn: BoruvkaFn | None = None,
+    streaming_fn: StreamingFn | None = None,
+) -> list[Finding]:
+    """Differential check of the fast MST engines on one graph case.
+
+    In-memory :func:`~repro.trees.mst.kruskal_mst` is the oracle (its
+    scan order *defines* the rank-unique MST).  Against it:
+
+    * the array-backend Boruvka must select the identical edge set;
+    * streaming Kruskal over a round-tripped REDG1 file, at the case's
+      chunk size, must return the identical id sequence (it promises
+      bit-identity, so order is compared too).
+
+    A non-finding exception from the oracle itself (e.g. the shrinker
+    disconnected the graph) skips the case instead of reporting.
+    """
+    from repro.io.edgefile import write_edge_file
+    from repro.trees.boruvka import boruvka_mst
+    from repro.trees.mst import kruskal_mst, streaming_kruskal_mst
+
+    if boruvka_fn is None:
+        boruvka_fn = lambda n, e, w: boruvka_mst(n, e, w, backend="array")  # noqa: E731
+    if streaming_fn is None:
+        streaming_fn = lambda path, chunk: streaming_kruskal_mst(path, chunk=chunk)  # noqa: E731
+
+    try:
+        expected = kruskal_mst(case.n, case.edges, case.weights)
+    except ReproError:
+        return []  # shrunk/degenerate case outside the engines' contract
+    findings: list[Finding] = []
+
+    try:
+        got = np.asarray(boruvka_fn(case.n, case.edges, case.weights))
+        if not np.array_equal(np.sort(got), np.sort(expected)):
+            findings.append(
+                Finding(
+                    check="mst:boruvka-array",
+                    message="array-backend Boruvka edge set differs from Kruskal",
+                    case=case,
+                )
+            )
+    except Exception as exc:
+        findings.append(
+            Finding(
+                check="mst:boruvka-array",
+                message=f"crashed with {type(exc).__name__}",
+                case=case,
+            )
+        )
+
+    fd, path = tempfile.mkstemp(suffix=".redg")
+    try:
+        os.close(fd)
+        write_edge_file(path, case.n, case.edges, case.weights)
+        try:
+            got_n, got_ids = streaming_fn(path, case.chunk)
+            if got_n != case.n or not np.array_equal(np.asarray(got_ids), expected):
+                findings.append(
+                    Finding(
+                        check="mst:streaming",
+                        message=(
+                            "streaming Kruskal output differs from in-memory Kruskal"
+                            f" at chunk={case.chunk}"
+                        ),
+                        case=case,
+                    )
+                )
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    check="mst:streaming",
+                    message=f"crashed with {type(exc).__name__} at chunk={case.chunk}",
+                    case=case,
+                )
+            )
+    finally:
+        os.unlink(path)
     return findings
 
 

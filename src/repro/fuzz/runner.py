@@ -1,10 +1,12 @@
 """The fuzzing driver behind ``python -m repro fuzz``.
 
-One loop, four domains (trees / dynamic-update streams / CSV text / npz
-bytes), deterministic per ``(seed, case index)``.  Tree cases run the
+One loop, five domains (trees / dynamic-update streams / MST graphs /
+CSV text / npz bytes), deterministic per ``(seed, case index)``.  Tree cases run the
 differential oracle and the metamorphic relations; dynamic cases run the
 batch-dynamic engine against its shadow-model dynamic-vs-recompute
-oracle; io cases run the loader contract checks.  The first
+oracle; graph cases run the MST oracles (array Boruvka and streaming
+Kruskal vs. in-memory Kruskal); io cases run the loader contract
+checks.  The first
 finding per distinct check name is shrunk and written to the corpus;
 repeats are only counted, so a single bug cannot flood the corpus.
 
@@ -29,6 +31,7 @@ from repro.fuzz.generators import (
     CsvCase,
     DynamicCase,
     FuzzCase,
+    GraphCase,
     NpzCase,
     TreeCase,
     case_rng,
@@ -36,12 +39,15 @@ from repro.fuzz.generators import (
 )
 from repro.fuzz.oracles import (
     FUZZ_ALGORITHMS,
+    BoruvkaFn,
     Finding,
     LoadEdgesCsv,
+    StreamingFn,
     differential_check,
     dynamic_check,
     io_csv_check,
     io_npz_check,
+    mst_check,
 )
 from repro.fuzz.relations import relations_check
 from repro.fuzz.shrink import shrink_case
@@ -87,6 +93,8 @@ def _checks_for(
     tree_checks: tuple[str, ...],
     num_threads: int,
     engine_factory: Callable[..., object] | None = None,
+    boruvka_fn: BoruvkaFn | None = None,
+    streaming_fn: StreamingFn | None = None,
 ) -> list[Finding]:
     if isinstance(case, TreeCase):
         findings: list[Finding] = []
@@ -97,6 +105,8 @@ def _checks_for(
         return findings
     if isinstance(case, DynamicCase):
         return dynamic_check(case, engine_factory=engine_factory)
+    if isinstance(case, GraphCase):
+        return mst_check(case, boruvka_fn=boruvka_fn, streaming_fn=streaming_fn)
     if isinstance(case, CsvCase):
         return io_csv_check(case, loader=loader)
     assert isinstance(case, NpzCase)
@@ -117,12 +127,14 @@ def run_fuzz(
     stop_on_finding: bool = False,
     progress: Callable[[str], None] | None = None,
     engine_factory: Callable[..., object] | None = None,
+    boruvka_fn: BoruvkaFn | None = None,
+    streaming_fn: StreamingFn | None = None,
 ) -> FuzzReport:
     """Run the fuzz loop; see the module docstring for the protocol.
 
-    ``algorithms``/``loader``/``engine_factory`` exist as injection points
-    for the selftest's mutants; production runs leave them at their
-    defaults.
+    ``algorithms``/``loader``/``engine_factory``/``boruvka_fn``/
+    ``streaming_fn`` exist as injection points for the selftest's
+    mutants; production runs leave them at their defaults.
     """
     algs = dict(algorithms if algorithms is not None else FUZZ_ALGORITHMS)
     report = FuzzReport(seed=seed)
@@ -150,6 +162,8 @@ def run_fuzz(
                 tree_checks,
                 num_threads,
                 engine_factory,
+                boruvka_fn,
+                streaming_fn,
             )
 
         findings = evaluate(case)

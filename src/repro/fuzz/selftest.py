@@ -1,12 +1,12 @@
 """Fuzzer selftest: inject known mutants, fail unless every one is caught.
 
 A fuzzer that silently stops finding bugs is worse than none, so
-``python -m repro fuzz --selftest`` resurrects ten known bug patterns --
-five algorithmic, two dynamic-engine, three being the exact io bugs this
-subsystem originally caught -- injects them through the runner's
-``algorithms``/``loader``/``engine_factory`` injection points, and
-requires the standard battery to flag each one within a bounded number of
-cases.
+``python -m repro fuzz --selftest`` resurrects eleven known bug patterns
+-- five algorithmic, two dynamic-engine, one streaming-MST, three being
+the exact io bugs this subsystem originally caught -- injects them
+through the runner's ``algorithms``/``loader``/``engine_factory``/
+``streaming_fn`` injection points, and requires the standard battery to
+flag each one within a bounded number of cases.
 
 Algorithm mutants:
 
@@ -46,6 +46,16 @@ Dynamic-engine mutants (plausible maintenance bugs of the batch-dynamic
 * ``dynamic-no-rollback`` -- a failed batch leaves its partial work
   applied instead of restoring the pre-batch state; caught by the
   error-contract/rollback arm of the shadow-model oracle.
+
+Streaming-MST mutant:
+
+* ``streaming-dropped-window`` -- the out-of-core Kruskal consumer skips
+  the second merged batch, the classic off-by-one over a k-way-merge
+  window boundary: with one run (``chunk >= m``) or a tiny graph there is
+  no second batch and the mutant is invisible, so only the graph domain's
+  boundary-biased chunk distribution keeps it catchable.  Dropped edges
+  either leave the spanning forest short (a crash finding) or silently
+  promote heavier edges into the MST (a differential finding).
 
 io mutants (the resurrected pre-fix ``load_edges_csv`` behaviors):
 
@@ -236,6 +246,48 @@ def _no_rollback_engine(n: int, edges: np.ndarray, weights: np.ndarray) -> objec
 
 
 # ---------------------------------------------------------------------------
+# Streaming-MST mutant
+# ---------------------------------------------------------------------------
+
+
+def _streaming_dropped_window(path: "str | Path", chunk: int) -> "tuple[int, np.ndarray]":
+    """Streaming Kruskal that drops the second merged batch (window bug)."""
+    import tempfile
+
+    from repro.io.edgefile import merge_runs, read_edge_header, spill_runs
+    from repro.structures.unionfind import UnionFind
+    from repro.trees.mst import _scan_rank_batch
+
+    n, _ = read_edge_header(path)
+    uf = UnionFind(n)
+    chosen: list[int] = []
+    need = n - 1
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-spill-") as sdir:
+        runs = spill_runs(path, sdir, chunk)
+        merge_block = max(1, chunk // max(1, len(runs)))
+        for index, batch in enumerate(merge_runs(runs, merge_block)):
+            if index == 1:
+                continue  # BUG: a whole merge window vanishes
+            _scan_rank_batch(
+                uf,
+                np.ascontiguousarray(batch["id"]),
+                np.ascontiguousarray(batch["u"]),
+                np.ascontiguousarray(batch["v"]),
+                chosen,
+                need,
+            )
+            if len(chosen) == need:
+                break
+    if len(chosen) != need:
+        from repro.errors import NotConnectedError
+
+        raise NotConnectedError(
+            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
+        )
+    return n, np.asarray(chosen, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
 # io mutants: the pre-fix load_edges_csv, verbatim bug patterns
 # ---------------------------------------------------------------------------
 
@@ -361,6 +413,11 @@ MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         name="dynamic-no-rollback",
         kwargs={"engine_factory": _no_rollback_engine, "domains": ("dynamic",)},
+        max_cases=150,
+    ),
+    Mutant(
+        name="streaming-dropped-window",
+        kwargs={"streaming_fn": _streaming_dropped_window, "domains": ("graph",)},
         max_cases=150,
     ),
     Mutant(

@@ -28,13 +28,21 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.fuzz.generators import CsvCase, DynamicCase, FuzzCase, NpzCase, TreeCase
+from repro.fuzz.generators import (
+    CsvCase,
+    DynamicCase,
+    FuzzCase,
+    GraphCase,
+    NpzCase,
+    TreeCase,
+)
 from repro.trees.weights import ranks_of
 
 __all__ = [
     "shrink_case",
     "shrink_csv_case",
     "shrink_dynamic_case",
+    "shrink_graph_case",
     "shrink_npz_case",
     "shrink_tree_case",
 ]
@@ -249,6 +257,48 @@ def shrink_dynamic_case(
     return current
 
 
+def shrink_graph_case(
+    case: GraphCase,
+    predicate: Callable[[GraphCase], bool],
+    budget: _Budget | None = None,
+) -> GraphCase:
+    """Drop edges, then shrink the chunk size toward 1.
+
+    Candidates that disconnect the graph are rejected by the predicate
+    itself (the MST oracle skips non-spanning inputs), so no explicit
+    connectivity guard is needed here.
+    """
+    budget = budget if budget is not None else _Budget(MAX_PREDICATE_CALLS)
+    current = case
+    improved = True
+    while improved:
+        improved = False
+        for i in range(current.edges.shape[0]):
+            if not budget.spend():
+                return current
+            keep = np.ones(current.edges.shape[0], dtype=bool)
+            keep[i] = False
+            candidate = replace(
+                current,
+                edges=current.edges[keep].copy(),
+                weights=current.weights[keep].copy(),
+            )
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+    for chunk in (1, 2, current.chunk // 2):
+        if chunk < 1 or chunk == current.chunk:
+            continue
+        if not budget.spend():
+            return current
+        candidate = replace(current, chunk=chunk)
+        if predicate(candidate):
+            current = candidate
+            break
+    return current
+
+
 def shrink_case(case: FuzzCase, predicate: Callable[[FuzzCase], bool]) -> FuzzCase:
     """Dispatch on the case domain; returns the (possibly unchanged) minimum."""
     if isinstance(case, TreeCase):
@@ -257,4 +307,6 @@ def shrink_case(case: FuzzCase, predicate: Callable[[FuzzCase], bool]) -> FuzzCa
         return shrink_csv_case(case, predicate)
     if isinstance(case, DynamicCase):
         return shrink_dynamic_case(case, predicate)
+    if isinstance(case, GraphCase):
+        return shrink_graph_case(case, predicate)
     return shrink_npz_case(case, predicate)

@@ -18,15 +18,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers import access as _access
-from repro.errors import NotConnectedError
+from repro.errors import AlgorithmError, NotConnectedError
 from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker
 from repro.structures.unionfind import UnionFind
+from repro.trees.boruvka_fast import boruvka_select_contract
 from repro.trees.mst import _check_graph
 from repro.trees.weights import ranks_of
 from repro.trees.wtree import WeightedTree
 from repro.util import log2ceil
 
-__all__ = ["boruvka_mst", "boruvka_rounds"]
+__all__ = ["boruvka_mst", "boruvka_rounds", "boruvka_tree"]
+
+#: Recognized ``backend=`` values (mirrors ``repro.core.api.BACKENDS``;
+#: kept local to avoid an import cycle through the algorithm registry).
+_BACKENDS = ("auto", "reference", "array")
 
 
 def boruvka_mst(
@@ -34,9 +39,10 @@ def boruvka_mst(
     edges: np.ndarray,
     weights: np.ndarray,
     tracker: CostTracker | None = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Edge ids of the MST, by Boruvka's algorithm."""
-    ids, _ = boruvka_rounds(n, edges, weights, tracker=tracker)
+    ids, _ = boruvka_rounds(n, edges, weights, tracker=tracker, backend=backend)
     return ids
 
 
@@ -45,29 +51,39 @@ def boruvka_rounds(
     edges: np.ndarray,
     weights: np.ndarray,
     tracker: CostTracker | None = None,
+    backend: str = "auto",
 ) -> tuple[np.ndarray, int]:
     """As :func:`boruvka_mst`, additionally returning the round count.
 
-    With instrumentation inactive (no enabled ``tracker``, no shadow-access
-    recorder) each round resolves component roots with one vectorized
-    :meth:`~repro.structures.unionfind.UnionFind.find_many` batch and picks
-    every component's min-rank incident edge by a single lexsort instead of
-    the per-edge dict scan.  Both paths select identical edges in identical
-    rounds (ranks are a permutation, so min-edge selection has no ties).
+    ``backend`` selects the round-loop implementation: ``"reference"``
+    forces the instrumented per-edge loop, ``"array"``/``"auto"`` run the
+    fully vectorized filter/contract kernel
+    (:func:`repro.trees.boruvka_fast.boruvka_select_contract`) whenever
+    instrumentation is inactive and delegate to the reference otherwise
+    (the fast-twin convention, so cost accounting is never lost).  All
+    backends select identical edges in identical rounds: ranks are a
+    permutation, so min-edge selection has no ties.
     """
+    if backend not in _BACKENDS:
+        raise AlgorithmError(
+            f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
+        )
     edges, weights = _check_graph(n, edges, weights)
     ranks = ranks_of(weights)
-    uf = UnionFind(n)
     tracker = active_tracker(tracker)
-    if tracker is None and _access.RECORDER is None:
-        chosen, rounds = _boruvka_loop_fast(uf, edges, ranks, n)
-    else:
+    instrumented = tracker is not None or _access.RECORDER is not None
+    if backend == "reference" or instrumented:
+        uf = UnionFind(n)
         chosen, rounds = _boruvka_loop(uf, edges, ranks, n, tracker)
-    if uf.num_sets > 1:
+        chosen_arr = np.asarray(sorted(chosen), dtype=np.int64)
+        num_sets = uf.num_sets
+    else:
+        chosen_arr, rounds, num_sets = boruvka_select_contract(n, edges, ranks)
+    if num_sets > 1:
         raise NotConnectedError(
-            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
+            f"graph has {num_sets} connected components; cannot span {n} vertices"
         )
-    return np.asarray(sorted(chosen), dtype=np.int64), rounds
+    return chosen_arr, rounds
 
 
 def _boruvka_loop(
@@ -122,11 +138,14 @@ def _boruvka_loop(
 def _boruvka_loop_fast(
     uf: UnionFind, edges: np.ndarray, ranks: np.ndarray, n: int
 ) -> tuple[list[int], int]:
-    """Vectorized round loop (fast path): batch finds + lexsort selection.
+    """Half-vectorized round loop: batch finds + lexsort selection.
 
-    Must select the same edges in the same rounds as :func:`_boruvka_loop`
-    (``ranks`` is a permutation, so each component's min-rank incident edge
-    is unique) -- the instrumented loop remains the reference.
+    Superseded as the production fast path by the fully vectorized
+    :func:`repro.trees.boruvka_fast.boruvka_select_contract`; kept as a
+    mid-level differential oracle (tests/fuzz) sitting between the scalar
+    reference and the slab kernel.  Must select the same edges in the same
+    rounds as :func:`_boruvka_loop` (``ranks`` is a permutation, so each
+    component's min-rank incident edge is unique).
     """
     chosen: list[int] = []
     alive = np.arange(edges.shape[0], dtype=np.int64)
@@ -167,9 +186,10 @@ def boruvka_tree(
     edges: np.ndarray,
     weights: np.ndarray,
     tracker: CostTracker | None = None,
+    backend: str = "auto",
 ) -> WeightedTree:
     """Boruvka MST packaged as a :class:`~repro.trees.wtree.WeightedTree`."""
     edge_arr = np.asarray(edges, dtype=np.int64)
     weight_arr = np.asarray(weights, dtype=np.float64)
-    ids = boruvka_mst(n, edge_arr, weight_arr, tracker=tracker)
+    ids = boruvka_mst(n, edge_arr, weight_arr, tracker=tracker, backend=backend)
     return WeightedTree(n, edge_arr[ids], weight_arr[ids], validate=False)

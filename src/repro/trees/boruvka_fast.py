@@ -1,0 +1,136 @@
+"""Fully vectorized Boruvka rounds: the flat-array backend for the MST loop.
+
+GBBS-style filter/contract rounds (PAPERS.md: "Theoretically Efficient
+Parallel Graph Algorithms Can Be Fast and Scalable") over flat slabs.
+Each round runs three vectorized phases and no per-edge Python work:
+
+1. **Selection** -- every component picks its minimum-rank incident edge
+   with a single lexsort over ``(component, rank)`` pairs covering both
+   edge directions; first-occurrence rows are the winners.
+2. **Star contraction** -- the selected edges form a functional graph
+   ``parent[c] = partner(c)`` over component labels whose only cycles are
+   mutual selections (two components picking the *same* edge, see below);
+   breaking each 2-cycle toward the smaller label leaves a forest that
+   pointer doubling collapses to roots in ``O(log)`` gathers.
+3. **Filter + positional relabel** -- intra-component edges drop out, and
+   the surviving component labels are renamed to their first position in
+   the surviving endpoint list by one reversed scatter (the
+   ``sequf_fast`` window idiom), so every per-round slab is sized by the
+   live frontier, not ``n``.
+
+Bit-identity with the reference rounds
+(:func:`repro.trees.boruvka._boruvka_loop`): ranks are a permutation (no
+ties), so each component's min-rank incident edge is unique, and a
+selection cycle longer than 2 is impossible -- along any directed cycle
+of components the selected-edge rank would have to strictly decrease.
+The only repeats are mutual selections, and mutuality forces the *same*
+edge (each side's minimum bounds the other).  Deduplicated, every
+selected edge therefore merges exactly two distinct components -- which
+is why the reference's sequential union loop never skips a selected edge
+and this kernel may apply them all at once.  Chosen ids and round counts
+match the reference exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
+
+__all__ = ["boruvka_select_contract"]
+
+
+@cost_bound(
+    work="m * log(n)",
+    depth="log(n)**2",
+    vars=("m", "n"),
+    kind="helper",
+    theorem="O(log n) Boruvka rounds; each round is one lexsort over the "
+    "surviving edges plus O(log) pointer-doubling gathers",
+)
+@slab_contract(
+    dtypes={"edges": "int64", "ranks": "int64"},
+    contiguous=("ranks",),
+)
+def boruvka_select_contract(
+    n: int, edges: np.ndarray, ranks: np.ndarray
+) -> tuple[np.ndarray, int, int]:
+    """Vectorized Boruvka rounds over a validated edge list.
+
+    Returns ``(chosen, rounds, num_sets)``: the sorted MST edge ids, the
+    round count (matching the reference loop exactly), and the number of
+    connected components left (1 iff the graph spans ``n`` vertices).
+    The caller owns graph validation and the connectivity check.
+    """
+    m = int(edges.shape[0])
+    chosen_parts: list[np.ndarray] = []
+    ncomp = n
+    eid = np.arange(m, dtype=np.int64)
+    cu = np.ascontiguousarray(edges[:, 0]) if m else np.empty(0, dtype=np.int64)
+    cv = np.ascontiguousarray(edges[:, 1]) if m else np.empty(0, dtype=np.int64)
+    dom = n  # current component-label domain: [0, dom)
+    rounds = 0
+    while ncomp > 1:  # noqa: RPR102 -- O(log n) Boruvka rounds by Lemma
+        rounds += 1
+        k = int(eid.size)
+        if k == 0:
+            break
+        # Phase 1 -- selection.  Both directions of every edge, sorted by
+        # (component, rank); the first row of each component group is its
+        # min-rank incident edge.  Per-round concatenations are frontier-
+        # sized and the frontier shrinks geometrically: no quadratic churn.
+        rk = ranks[eid]
+        comp2 = np.concatenate([cu, cv])  # noqa: RPR204 -- fresh frontier slab
+        rk2 = np.concatenate([rk, rk])  # noqa: RPR204 -- fresh frontier slab
+        order = np.lexsort((rk2, comp2))
+        comp_s = comp2[order]
+        first = np.empty(comp_s.size, dtype=bool)
+        first[0] = True
+        first[1:] = comp_s[1:] != comp_s[:-1]
+        selpos = order[first]
+        winners = comp_s[first]
+        from_v = selpos >= k
+        j = np.where(from_v, selpos - k, selpos)
+        partner = np.where(from_v, cu[j], cv[j])
+        sel_eid = eid[j]
+        # Phase 2 -- star contraction.  parent[c] = partner(c); the only
+        # cycles are mutual selections, broken toward the smaller label.
+        parent = np.arange(dom, dtype=np.int64)
+        parent[winners] = partner
+        back = parent[partner] == winners
+        keep_root = back & (winners < partner)
+        parent[winners[keep_root]] = winners[keep_root]
+        while True:  # noqa: RPR102 -- pointer doubling, O(log) gathers
+            nxt = parent[parent]
+            if np.array_equal(nxt, parent):
+                break
+            parent = nxt
+        applied = np.unique(sel_eid)
+        chosen_parts.append(applied)
+        ncomp -= int(applied.size)
+        # Phase 3 -- filter intra-component edges, relabel survivors to
+        # positional ids (first occurrence among the surviving endpoints,
+        # via the reversed scatter) so next round's slabs stay frontier-
+        # sized.
+        cu = parent[cu]
+        cv = parent[cv]
+        cross = cu != cv
+        eid = eid[cross]
+        cu = cu[cross]
+        cv = cv[cross]
+        k2 = int(eid.size)
+        if k2:
+            both = np.concatenate([cu, cv])  # noqa: RPR204 -- fresh frontier slab
+            a2 = np.arange(2 * k2, dtype=np.int64)
+            firstpos = np.empty(dom, dtype=np.int64)
+            firstpos[both[::-1]] = a2[::-1]
+            lbl = firstpos[both]
+            cu = lbl[:k2]
+            cv = lbl[k2:]
+            dom = 2 * k2
+    if chosen_parts:
+        chosen = np.sort(np.concatenate(chosen_parts))
+    else:
+        chosen = np.empty(0, dtype=np.int64)
+    return chosen, rounds, ncomp

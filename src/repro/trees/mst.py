@@ -15,12 +15,16 @@ tree on distinct-weight inputs and a *consistent* tree otherwise.
 from __future__ import annotations
 
 import heapq
+import tempfile
+from pathlib import Path
 
 import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.csgraph import minimum_spanning_tree as _scipy_mst
 
 from repro.checkers import access as _access
+from repro.checkers.bounds import cost_bound
+from repro.checkers.contracts import slab_contract
 from repro.errors import InvalidGraphError, NotConnectedError
 from repro.primitives.sort import comparison_sort_cost
 from repro.runtime.cost_model import CostTracker, WorkDepth, active_tracker
@@ -28,7 +32,13 @@ from repro.structures.unionfind import UnionFind
 from repro.trees.weights import ranks_of
 from repro.trees.wtree import WeightedTree
 
-__all__ = ["kruskal_mst", "prim_mst", "scipy_mst", "minimum_spanning_tree"]
+__all__ = [
+    "kruskal_mst",
+    "prim_mst",
+    "scipy_mst",
+    "streaming_kruskal_mst",
+    "minimum_spanning_tree",
+]
 
 #: Edges per vectorized Kruskal batch (the fast-path inner-loop grain).
 _KRUSKAL_CHUNK = 4096
@@ -122,9 +132,11 @@ def _kruskal_scan_batched(
     chosen: list[int] = []
     need = n - 1
     remaining = order
+    since_compact = 0
     while remaining.size and len(chosen) < need:
         batch = remaining[:_KRUSKAL_CHUNK]
         remaining = remaining[_KRUSKAL_CHUNK:]
+        since_compact += batch.size
         ru = uf.find_many(edges[batch, 0])
         rv = uf.find_many(edges[batch, 1])
         cross = ru != rv
@@ -135,11 +147,18 @@ def _kruskal_scan_batched(
                 if len(chosen) == need:
                     break
         # Compact the tail: one batch find pass drops every edge already
-        # known to be intra-component, so later chunks scan only survivors.
-        if remaining.size > 2 * _KRUSKAL_CHUNK:
+        # known to be intra-component, so later chunks scan only
+        # survivors.  Amortized: each O(remaining) pass runs only after
+        # at least that many edges were scanned since the last one, so
+        # total compaction work stays within a constant factor of the
+        # scan (compacting after every chunk is quadratic at 10**7
+        # edges).  Dropped edges are exactly those the per-edge recheck
+        # would skip, so the chosen set is unchanged.
+        if remaining.size > 2 * _KRUSKAL_CHUNK and since_compact >= remaining.size:
             ru = uf.find_many(edges[remaining, 0])
             rv = uf.find_many(edges[remaining, 1])
             remaining = remaining[ru != rv]
+            since_compact = 0
     return chosen
 
 
@@ -213,22 +232,157 @@ def scipy_mst(n: int, edges: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return np.asarray(sorted(chosen), dtype=np.int64)
 
 
+@cost_bound(
+    work="m * log(m)",
+    depth="m",
+    vars=("m",),
+    kind="helper",
+    theorem="external sort: O(m/chunk) sorted spill runs, bounded k-way "
+    "merge, then the sequential Kruskal scan with batched pre-filtering",
+)
+def streaming_kruskal_mst(
+    path: "str | Path",
+    chunk: int = 262144,
+    merge_block: int | None = None,
+    spill_dir: "str | Path | None" = None,
+) -> tuple[int, np.ndarray]:
+    """Out-of-core Kruskal over a REDG1 edge file; returns ``(n, ids)``.
+
+    The filter-Kruskal pipeline for graphs larger than RAM: the file is
+    externally sorted by the ``(weight, edge-id)`` rank key in runs of
+    ``chunk`` edges (written to ``spill_dir``, a fresh temp directory by
+    default), the runs are k-way merged back in exact global rank order
+    holding only ``merge_block`` records per run (default: ``chunk``
+    split evenly across runs, so the merge never holds more than one
+    chunk of candidates), and each merged batch passes a vectorized
+    union-find pre-filter before the per-edge scan.  Once ``n - 1``
+    edges are chosen the merge stops -- unread spill data is never
+    touched.
+
+    The chosen ids are **bit-identical** to in-memory
+    :func:`kruskal_mst` on the same ``(n, edges, weights)`` for every
+    ``chunk``/``merge_block``: both scan edges in the unique rank order
+    and apply the same union rule.  Peak memory is ``O(chunk)`` records
+    regardless of ``m``.  Raises :class:`NotConnectedError` when the
+    graph does not span ``n`` vertices,
+    :class:`~repro.io.FormatError` / :class:`InvalidGraphError` for
+    malformed files.
+    """
+    from repro.io.edgefile import merge_runs, read_edge_header, spill_runs
+
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    n, _ = read_edge_header(path)
+    uf = UnionFind(n)
+    chosen: list[int] = []
+    need = n - 1
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") if spill_dir is None else _keep_dir(
+        spill_dir
+    ) as sdir:
+        runs = spill_runs(path, sdir, chunk)
+        if merge_block is None:
+            merge_block = max(1, chunk // max(1, len(runs)))
+        for batch in merge_runs(runs, merge_block):
+            _scan_rank_batch(
+                uf,
+                np.ascontiguousarray(batch["id"]),
+                np.ascontiguousarray(batch["u"]),
+                np.ascontiguousarray(batch["v"]),
+                chosen,
+                need,
+            )
+            if len(chosen) == need:
+                break
+    if len(chosen) != need:
+        raise NotConnectedError(
+            f"graph has {uf.num_sets} connected components; cannot span {n} vertices"
+        )
+    return n, np.asarray(chosen, dtype=np.int64)
+
+
+class _keep_dir:
+    """Context manager handing back a caller-owned spill directory."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def __enter__(self) -> "Path":
+        self.path.mkdir(parents=True, exist_ok=True)
+        return self.path
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+@slab_contract(
+    dtypes={"ids": "int64", "eu": "int64", "ev": "int64"},
+    contiguous=("ids", "eu", "ev"),
+)
+def _scan_rank_batch(
+    uf: UnionFind,
+    ids: np.ndarray,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    chosen: list[int],
+    need: int,
+) -> None:
+    """One rank-ordered batch through the Kruskal scan (mirrors
+    :func:`_kruskal_scan_batched`: batched pre-filter, per-edge recheck)."""
+    ru = uf.find_many(eu)
+    rv = uf.find_many(ev)
+    cross = ru != rv
+    for e, a, b in zip(
+        ids[cross].tolist(), ru[cross].tolist(), rv[cross].tolist()
+    ):  # noqa: RPR205 -- scalar union scan by design (matches kruskal_mst)
+        if uf.find(a) != uf.find(b):
+            uf.union(a, b)
+            chosen.append(e)
+            if len(chosen) == need:
+                return
+
+
 _METHODS = {"kruskal": kruskal_mst, "prim": prim_mst, "scipy": scipy_mst}
+
+#: ``backend=`` values accepted by :func:`minimum_spanning_tree` (mirrors
+#: ``repro.core.api.BACKENDS``; local to avoid the registry import cycle).
+_MST_BACKENDS = ("auto", "reference", "array")
 
 
 def minimum_spanning_tree(
-    n: int, edges: np.ndarray, weights: np.ndarray, method: str = "kruskal"
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray,
+    method: str = "kruskal",
+    backend: str = "auto",
 ) -> WeightedTree:
     """MST of a weighted graph as a :class:`WeightedTree`.
 
     The returned tree's edges keep their graph weights; edge ids are
-    renumbered 0..n-2 in increasing original-edge-id order.
+    renumbered 0..n-2 in increasing original-edge-id order.  ``method``
+    is one of ``"kruskal"``, ``"prim"``, ``"scipy"``, or ``"boruvka"``
+    (the parallel-friendly round algorithm, see
+    :mod:`repro.trees.boruvka`).  ``backend`` selects the Boruvka round
+    implementation (``"reference"`` scalar loop vs the vectorized
+    ``"array"``/``"auto"`` kernel); the other methods pick their fast
+    path from instrumentation state and accept but ignore it.
     """
-    try:
-        fn = _METHODS[method]
-    except KeyError:
-        raise ValueError(f"unknown MST method {method!r}; expected one of {sorted(_METHODS)}") from None
+    if backend not in _MST_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(_MST_BACKENDS)}"
+        )
     edge_arr = np.asarray(edges, dtype=np.int64)
     weight_arr = np.asarray(weights, dtype=np.float64)
-    ids = np.sort(fn(n, edge_arr, weight_arr))
+    if method == "boruvka":
+        from repro.trees.boruvka import boruvka_mst  # mst <-> boruvka cycle
+
+        ids = boruvka_mst(n, edge_arr, weight_arr, backend=backend)  # already sorted
+    else:
+        try:
+            fn = _METHODS[method]
+        except KeyError:
+            raise ValueError(
+                f"unknown MST method {method!r}; expected one of "
+                f"{sorted([*_METHODS, 'boruvka'])}"
+            ) from None
+        ids = np.sort(fn(n, edge_arr, weight_arr))
     return WeightedTree(n, edge_arr[ids], weight_arr[ids], validate=False)

@@ -25,6 +25,7 @@ PAIRS = (
     ("sequf", "sequf-fast", {}),
     ("rctt", "rctt-fast", {"seed": 0}),
     ("tree-contraction", "tree-contraction-fast", {"seed": 0}),
+    ("divide-conquer", "divide-conquer-fast", {}),
 )
 
 SIZES = (2, 3, 33, 97)
@@ -87,3 +88,68 @@ def test_array_backend_instrumented_accounting_matches_reference(ref_name, fast_
     assert np.array_equal(ref, fast)
     assert (t_fast.work, t_fast.depth) == (t_ref.work, t_ref.depth)
     assert t_ref.work > 0.0
+
+
+def _graph_from_tree(kind: str, n: int, rng: np.random.Generator):
+    """A connected graph on ``n`` vertices: the corpus tree's edges plus
+    random non-tree edges, so the MST stage has genuine choices to make."""
+    tree = make_tree(kind, n)
+    rows = [tuple(sorted(map(int, e))) for e in tree.edges]
+    seen = set(rows)
+    extra = min(2 * n, n * (n - 1) // 2 - len(rows))
+    while extra > 0:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and (min(u, v), max(u, v)) not in seen:
+            seen.add((min(u, v), max(u, v)))
+            rows.append((min(u, v), max(u, v)))
+            extra -= 1
+    return n, np.array(rows, dtype=np.int64)
+
+
+@pytest.mark.parametrize("family", sorted(WEIGHT_FAMILIES))
+@pytest.mark.parametrize("kind", sorted(TREE_KINDS))
+def test_graph_pipeline_end_to_end_bit_identical(kind, family):
+    """``graph_single_linkage(backend="array")`` must match
+    ``backend="reference"`` exactly -- MST edge ids, weights, and parents --
+    on every corpus topology under every adversarial weight family.
+
+    This is the pinned regression for the ``backend=`` plumbing: before
+    the keyword existed, only per-algorithm twins were exercised and the
+    pipeline always ran the reference path.
+    """
+    from repro.cluster.graph_linkage import graph_single_linkage
+
+    weights_of = WEIGHT_FAMILIES[family]
+    for n in (2, 3, 33):
+        rng = np.random.default_rng(zlib.crc32(f"g:{kind}:{family}:{n}".encode()))
+        n, edges = _graph_from_tree(kind, n, rng)
+        weights = weights_of(edges.shape[0], rng)
+        results = {
+            backend: graph_single_linkage(
+                n, edges, weights, mst_method="boruvka", backend=backend
+            )
+            for backend in ("reference", "array", "auto")
+        }
+        ref = results["reference"]
+        for backend in ("array", "auto"):
+            got = results[backend]
+            assert np.array_equal(got.mst.edges, ref.mst.edges), (kind, family, n)
+            assert got.mst.weights.tobytes() == ref.mst.weights.tobytes()
+            assert np.array_equal(got.dendrogram.parents, ref.dendrogram.parents)
+
+
+@pytest.mark.parametrize("mst_method", ["kruskal", "boruvka"])
+def test_points_pipeline_end_to_end_bit_identical(mst_method):
+    """``single_linkage(backend="array")`` on point clouds (both the k-NN
+    and complete-graph front ends) must match the reference backend."""
+    from repro.cluster.single_linkage import single_linkage
+
+    rng = np.random.default_rng(20240808)
+    # Duplicate coordinates force tied distances through the whole stack.
+    pts = rng.integers(0, 6, size=(60, 2)).astype(np.float64)
+    for k in (None, 3):
+        ref = single_linkage(pts, k=k, mst_method=mst_method, backend="reference")
+        arr = single_linkage(pts, k=k, mst_method=mst_method, backend="array")
+        assert np.array_equal(arr.mst.edges, ref.mst.edges)
+        assert arr.mst.weights.tobytes() == ref.mst.weights.tobytes()
+        assert np.array_equal(arr.dendrogram.parents, ref.dendrogram.parents)

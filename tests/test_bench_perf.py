@@ -21,7 +21,7 @@ from repro.bench.kernels import KERNELS, kernel_names
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-COMMITTED_BASELINE = REPO_ROOT / "BENCH_pr9.json"
+COMMITTED_BASELINE = REPO_ROOT / "BENCH_pr10.json"
 
 
 def _payload(**kernel_overrides):
@@ -177,6 +177,42 @@ class TestCommittedBaseline:
         }
         winners = [name for name, s in speedups.items() if s >= 1.3]
         assert len(winners) >= 2, speedups
+
+
+class TestCommittedScaleSection:
+    """The ISSUE's end-to-end acceptance numbers, pinned in the baseline.
+
+    ``repro bench scale --merge`` records them; these tests gate that
+    the committed file actually shows (1) >= 2x array-vs-reference at
+    m >= 10**6 with bit-identical output, and (2) a completed m = 10**7
+    out-of-core run whose peak RSS stayed under the chunk budget -- and
+    far under what materializing the edge list would cost.
+    """
+
+    def test_scale_section_present_and_typed(self):
+        scale = load_baseline(COMMITTED_BASELINE)["scale"]
+        for leg, fields in (
+            ("speedup", ("m", "n", "reference_s", "array_s", "speedup")),
+            ("streaming", ("m", "chunk", "wall_s", "peak_rss_mb", "rss_budget_mb")),
+        ):
+            for field in fields:
+                assert isinstance(scale[leg][field], (int, float)), (leg, field)
+
+    def test_end_to_end_speedup_at_a_million_edges(self):
+        leg = load_baseline(COMMITTED_BASELINE)["scale"]["speedup"]
+        assert leg["m"] >= 1_000_000
+        assert leg["bit_identical"] is True
+        assert leg["speedup"] >= 2.0, leg
+
+    def test_out_of_core_run_completed_within_budget(self):
+        leg = load_baseline(COMMITTED_BASELINE)["scale"]["streaming"]
+        assert leg["m"] >= 10_000_000
+        assert leg["completed"] is True
+        assert leg["chosen"] == leg["n"] - 1
+        assert leg["peak_rss_mb"] <= leg["rss_budget_mb"], leg
+        # Against the measured in-memory twin (same file, same machine):
+        # streaming must use at most half the memory it did.
+        assert leg["peak_rss_mb"] <= leg["in_memory_peak_rss_mb"] / 2, leg
 
 
 class TestKernels:

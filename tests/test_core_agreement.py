@@ -140,6 +140,7 @@ def test_algorithms_registry_is_complete():
         "tree-contraction-fast",
         "tree-contraction-list",
         "divide-conquer",
+        "divide-conquer-fast",
         "weight-dc",
         "cartesian",
         "brute",

@@ -144,6 +144,10 @@ def test_resolve_algorithm_matrix():
     assert resolve_algorithm("sequf", "auto") is sequf_fast
     assert resolve_algorithm("rctt", "array") is rctt_fast
     assert resolve_algorithm("tree-contraction", "array") is tree_contraction_fast
+    from repro.core.fast_merge import sld_merge_fast
+
+    assert resolve_algorithm("divide-conquer", "array") is sld_merge_fast
+    assert resolve_algorithm("divide-conquer-fast", "reference") is ALGORITHMS["divide-conquer"]
     # Twin-less algorithms: auto falls back, reference is itself.
     assert resolve_algorithm("brute", "auto") is ALGORITHMS["brute"]
     assert resolve_algorithm("brute", "reference") is ALGORITHMS["brute"]
@@ -176,5 +180,7 @@ def test_single_linkage_dendrogram_backend_kwarg():
     auto = single_linkage_dendrogram(tree, algorithm="sequf", validate=True)
     assert np.array_equal(ref.parents, arr.parents)
     assert np.array_equal(ref.parents, auto.parents)
+    dc = single_linkage_dendrogram(tree, algorithm="divide-conquer", backend="array")
+    assert np.array_equal(ref.parents, dc.parents)
     with pytest.raises(AlgorithmError):
-        single_linkage_dendrogram(tree, algorithm="divide-conquer", backend="array")
+        single_linkage_dendrogram(tree, algorithm="weight-dc", backend="array")

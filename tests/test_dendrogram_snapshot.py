@@ -194,3 +194,52 @@ class TestFormatErrors:
 
     def test_schema_constant_is_versioned(self):
         assert SNAPSHOT_SCHEMA.endswith("/1")
+
+
+class TestBuildFromSlabs:
+    """``build_snapshot_from_slabs`` is the array twin of
+    :func:`build_snapshot`: fed the raw pipeline slabs (no intermediate
+    ``Dendrogram`` object), every snapshot field must be bit-identical."""
+
+    @pytest.mark.parametrize("kind", ["path", "star", "random", "caterpillar", "broom", "binary"])
+    @pytest.mark.parametrize("n", [2, 3, 33, 97])
+    def test_matches_object_path(self, kind, n):
+        from repro.core.api import ALGORITHMS
+        from repro.dendrogram.snapshot import build_snapshot_from_slabs
+
+        rng = np.random.default_rng(n * 31 + len(kind))
+        tree = make_tree(kind, n).with_weights(
+            rng.integers(0, max(1, n // 4), size=n - 1).astype(np.float64)
+        )
+        parents = ALGORITHMS["sequf"](tree)
+        dend = single_linkage_dendrogram(tree, algorithm="sequf")
+        expected = build_snapshot(dend)
+        got = build_snapshot_from_slabs(tree.n, tree.edges, tree.weights, parents)
+        for slab in SLABS:
+            a, b = getattr(got, slab), getattr(expected, slab)
+            assert a.dtype == b.dtype, slab
+            assert np.array_equal(a, b), (kind, n, slab)
+        assert got.n == expected.n and got.generation == expected.generation
+
+    def test_generation_stamp_forwarded(self):
+        from repro.dendrogram.snapshot import build_snapshot_from_slabs
+
+        tree = make_tree("path", 5).with_weights(np.arange(4, dtype=np.float64))
+        from repro.core.api import ALGORITHMS
+
+        parents = ALGORITHMS["sequf"](tree)
+        snap = build_snapshot_from_slabs(
+            tree.n, tree.edges, tree.weights, parents, generation=7
+        )
+        assert snap.generation == 7
+
+    def test_single_edge(self):
+        from repro.dendrogram.snapshot import build_snapshot_from_slabs
+
+        snap = build_snapshot_from_slabs(
+            2,
+            np.array([[0, 1]], dtype=np.int64),
+            np.ones(1),
+            np.zeros(1, dtype=np.int64),
+        )
+        assert snap.m == 1 and snap.leaf_parent.tolist() == [0, 0]

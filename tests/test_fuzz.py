@@ -9,6 +9,7 @@ from repro.fuzz import (
     FUZZ_ALGORITHMS,
     CsvCase,
     DynamicCase,
+    GraphCase,
     NpzCase,
     TreeCase,
     case_rng,
@@ -44,6 +45,14 @@ def _case_equal(a, b) -> bool:
             and np.array_equal(a.edges, b.edges)
             and np.array_equal(a.weights, b.weights)
             and a.batches == b.batches
+            and a.label == b.label
+        )
+    if isinstance(a, GraphCase):
+        return (
+            a.n == b.n
+            and np.array_equal(a.edges, b.edges)
+            and np.array_equal(a.weights, b.weights)
+            and a.chunk == b.chunk
             and a.label == b.label
         )
     if isinstance(a, CsvCase):
@@ -136,6 +145,8 @@ class TestDetectionPower:
                 assert check.startswith("io:csv:")
             elif name.startswith("dynamic-"):
                 assert check.startswith("dynamic:")
+            elif name.startswith("streaming-"):
+                assert check.startswith("mst:")
             else:
                 assert check.startswith(("differential:", "relation:"))
 
@@ -311,3 +322,38 @@ class TestCli:
     def test_selftest_exit_zero(self, capsys):
         assert cli_main(["fuzz", "--selftest", "--no-shrink"]) == 0
         assert "fuzz selftest: OK" in capsys.readouterr().out
+
+
+class TestGraphDomain:
+    def test_clean_engines_produce_no_findings(self):
+        report = run_fuzz(seed=3, max_cases=40, domains=("graph",))
+        assert report.ok, [f.describe() for f in report.findings]
+
+    def test_graph_corpus_roundtrip_is_byte_stable(self, tmp_path):
+        from repro.fuzz.generators import gen_graph_case
+
+        case = gen_graph_case(case_rng(1, 0))
+        finding = Finding(check="mst:streaming", message="x", case=case)
+        path = save_finding(finding, tmp_path)
+        check, message, loaded = load_entry(path)
+        assert (check, message) == ("mst:streaming", "x")
+        assert _case_equal(case, loaded)
+        assert entry_bytes(finding) == path.read_bytes()
+
+    def test_streaming_mutant_shrinks_to_a_small_witness(self):
+        """The dropped-window mutant's shrunken case keeps failing and
+        only ever shrinks (never grows)."""
+        from repro.fuzz.oracles import mst_check
+        from repro.fuzz.selftest import _streaming_dropped_window
+
+        report = run_fuzz(
+            seed=0,
+            max_cases=150,
+            domains=("graph",),
+            streaming_fn=_streaming_dropped_window,
+            stop_on_finding=True,
+        )
+        assert report.findings
+        small = report.findings[0].case
+        assert mst_check(small, streaming_fn=_streaming_dropped_window)
+        assert not mst_check(small)  # the real engine passes on the witness

@@ -74,3 +74,44 @@ def test_boruvka_tree_is_weighted_tree():
 def test_single_vertex_graph():
     ids = boruvka_mst(1, np.zeros((0, 2), dtype=np.int64), np.zeros(0))
     assert ids.shape == (0,)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 40), seed=st.integers(0, 2**31 - 1))
+def test_array_backend_bit_identical(n, seed):
+    """The vectorized select/contract kernel must reproduce the reference
+    round loop exactly: same edge ids AND same round count."""
+    rng = np.random.default_rng(seed)
+    n, edges, weights = random_connected_graph(rng, n, extra=2 * n)
+    if seed % 2:  # every other example: heavy ties through the rank order
+        weights = rng.integers(0, 3, size=weights.size).astype(np.float64)
+    ref_ids, ref_rounds = boruvka_rounds(n, edges, weights, backend="reference")
+    arr_ids, arr_rounds = boruvka_rounds(n, edges, weights, backend="array")
+    assert np.array_equal(arr_ids, ref_ids)
+    assert arr_rounds == ref_rounds
+
+
+def test_unknown_backend_rejected():
+    from repro.errors import AlgorithmError
+
+    with pytest.raises(AlgorithmError, match="unknown backend"):
+        boruvka_mst(2, np.array([[0, 1]]), np.ones(1), backend="numpy")
+
+
+def test_array_backend_delegates_under_tracker():
+    """backend="array" with an enabled tracker must still charge the
+    reference loop's work/depth (the fast-twin delegation convention)."""
+    rng = np.random.default_rng(4)
+    n, edges, weights = random_connected_graph(rng, 48, extra=96)
+    t_ref, t_arr = CostTracker(), CostTracker()
+    ref = boruvka_mst(n, edges, weights, tracker=t_ref, backend="reference")
+    arr = boruvka_mst(n, edges, weights, tracker=t_arr, backend="array")
+    assert np.array_equal(ref, arr)
+    assert (t_arr.work, t_arr.depth) == (t_ref.work, t_ref.depth)
+    assert t_ref.work > 0.0
+
+
+def test_array_backend_disconnected_raises():
+    edges = np.array([[0, 1], [2, 3]], dtype=np.int64)
+    with pytest.raises(NotConnectedError):
+        boruvka_mst(4, edges, np.ones(2), backend="array")

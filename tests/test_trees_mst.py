@@ -69,7 +69,14 @@ def test_minimum_spanning_tree_returns_weighted_tree():
 
 def test_unknown_method():
     with pytest.raises(ValueError, match="MST method"):
-        minimum_spanning_tree(2, np.array([[0, 1]]), np.ones(1), method="boruvka")
+        minimum_spanning_tree(2, np.array([[0, 1]]), np.ones(1), method="dijkstra")
+    with pytest.raises(ValueError, match="unknown backend"):
+        minimum_spanning_tree(2, np.array([[0, 1]]), np.ones(1), backend="numpy")
+
+
+def test_boruvka_method_registered():
+    tree = minimum_spanning_tree(2, np.array([[0, 1]]), np.ones(1), method="boruvka")
+    assert tree.m == 1
 
 
 @pytest.mark.parametrize("method", ["kruskal", "prim"])
